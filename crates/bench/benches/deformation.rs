@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the deformation instructions and the
+//! code deformation unit (the paper claims deformations fit in one QEC
+//! cycle — the classical planning cost here is the relevant budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_defects::sample_uniform_defects;
+use surf_deformer_core::{data_q_rm, syndrome_q_rm, Deformer, EnlargeBudget};
+use surf_lattice::{Coord, Patch};
+
+fn bench_instructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instructions");
+    for d in [9usize, 15, 21] {
+        group.bench_with_input(BenchmarkId::new("data_q_rm", d), &d, |b, &d| {
+            b.iter_batched(
+                || Patch::rotated(d),
+                |mut p| {
+                    data_q_rm(&mut p, Coord::new(d as i32, d as i32)).unwrap();
+                    p
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("syndrome_q_rm", d), &d, |b, &d| {
+            b.iter_batched(
+                || Patch::rotated(d),
+                |mut p| {
+                    syndrome_q_rm(&mut p, Coord::new(d as i32 - 1, d as i32 - 1)).unwrap();
+                    p
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for d in [9usize, 15, 21, 27] {
+        let patch = Patch::rotated(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(patch.distance()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_mitigation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigate_cluster");
+    group.sample_size(20);
+    for d in [9usize, 15] {
+        let base = Patch::rotated(d);
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let mut rng = StdRng::seed_from_u64(4);
+        let defects = sample_uniform_defects(&universe, 10, 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || Deformer::with_budget(base.clone(), EnlargeBudget::uniform(4)),
+                |mut deformer| deformer.mitigate(&defects).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instructions, bench_distance, bench_full_mitigation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for detector-model construction, shot
+//! sampling, and the tableau simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_defects::DefectMap;
+use surf_lattice::{Basis, Patch};
+use surf_sim::{DecoderPrior, DetectorModel, NoiseParams, QubitNoise};
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_model_build");
+    for d in [5usize, 9, 13] {
+        let patch = Patch::rotated(d);
+        let noise = QubitNoise::new(NoiseParams::paper(), DefectMap::new());
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                std::hint::black_box(DetectorModel::build(
+                    &patch,
+                    Basis::Z,
+                    d as u32,
+                    &noise,
+                    DecoderPrior::Informed,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shot_sampling");
+    for d in [5usize, 9, 13] {
+        let patch = Patch::rotated(d);
+        let noise = QubitNoise::new(NoiseParams::paper(), DefectMap::new());
+        let model =
+            DetectorModel::build(&patch, Basis::Z, d as u32, &noise, DecoderPrior::Informed);
+        let mut rng = StdRng::seed_from_u64(5);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(model.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau(c: &mut Criterion) {
+    use surf_pauli::PauliString;
+    use surf_stabilizer::Tableau;
+    let mut group = c.benchmark_group("tableau_measure");
+    for n in [50usize, 200, 800] {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut t = Tableau::new(n);
+            let op = PauliString::xs(0..n as u64);
+            b.iter(|| std::hint::black_box(t.measure(&op, &keys, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build, bench_sampling, bench_tableau);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Calibration runs: fits the `p_L = A·Λ^{-(d+1)/2}` scaling models used
+//! by the end-to-end retry-risk estimator, and measures the per-strategy
+//! distance losses for cosmic-ray clusters.
+//!
+//! ```bash
+//! SHOTS=20000 cargo run --release -p surf-bench --bin calibrate
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_bench::{env_u64, logical_rate, ResultsTable};
+use surf_defects::{sample_clustered_defects, DefectMap};
+use surf_deformer_core::{AscS, MitigationStrategy, SurfDeformerStrategy};
+use surf_lattice::Patch;
+use surf_sim::{DecoderPrior, LogicalRateModel};
+
+fn main() {
+    let shots = env_u64("SHOTS", 20_000);
+    // Shots are graded: larger distances suppress failures exponentially
+    // and need proportionally more statistics.
+    let plan: Vec<(usize, u64)> = if env_u64("FULL", 0) == 1 {
+        vec![(3, shots), (5, 20 * shots), (7, 200 * shots)]
+    } else {
+        vec![(3, shots), (5, 20 * shots)]
+    };
+
+    // --- Clean scaling.
+    let mut table = ResultsTable::new("calibration_clean", &["d", "shots", "p_L/round"]);
+    let mut clean_points = Vec::new();
+    for &(d, n) in &plan {
+        let rate = logical_rate(
+            Patch::rotated(d),
+            DefectMap::new(),
+            DecoderPrior::Informed,
+            d as u32,
+            n,
+            1000 + d as u64,
+        );
+        if rate > 0.0 {
+            clean_points.push((d, rate));
+        }
+        table.row(vec![d.to_string(), n.to_string(), format!("{rate:.3e}")]);
+    }
+    table.finish();
+    if clean_points.len() >= 2 {
+        let clean = LogicalRateModel::fit(&clean_points);
+        println!("\nclean fit: A = {:.3e}, Λ = {:.2}\n", clean.a, clean.lambda);
+    } else {
+        println!("\nclean fit: not enough non-zero points; raise SHOTS\n");
+    }
+
+    // --- Untreated scaling: a 25-qubit 50% cluster, nominal decoder.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut table = ResultsTable::new("calibration_untreated", &["d", "p_L/round"]);
+    let mut untreated_points = Vec::new();
+    for &d in &[5usize, 7, 9] {
+        let patch = Patch::rotated(d);
+        let mut universe = patch.data_qubits();
+        universe.extend(patch.syndrome_qubits());
+        let defects = sample_clustered_defects(&universe, 25.min(universe.len() / 2), 3, 0.5, &mut rng);
+        let rate = logical_rate(
+            patch,
+            defects,
+            DecoderPrior::Nominal,
+            d as u32,
+            shots / 4,
+            2000 + d as u64,
+        );
+        if rate > 0.0 {
+            untreated_points.push((d, rate));
+        }
+        table.row(vec![d.to_string(), format!("{rate:.3e}")]);
+    }
+    table.finish();
+    if untreated_points.len() >= 2 {
+        let untreated = LogicalRateModel::fit(&untreated_points);
+        println!(
+            "\nuntreated fit: A = {:.3e}, Λ = {:.2}\n",
+            untreated.a, untreated.lambda
+        );
+    }
+
+    // --- Distance losses for cosmic-ray clusters.
+    let mut table = ResultsTable::new(
+        "calibration_losses",
+        &["d", "Surf-D loss", "ASC-S loss"],
+    );
+    for &d in &[9usize, 13, 17] {
+        let patch = Patch::rotated(d);
+        let mut universe = patch.data_qubits();
+        universe.extend(patch.syndrome_qubits());
+        let samples = env_u64("SAMPLES", 20);
+        let mut surf_loss = 0usize;
+        let mut asc_loss = 0usize;
+        for _ in 0..samples {
+            let defects = sample_clustered_defects(&universe, 25, 3, 0.5, &mut rng);
+            let s = SurfDeformerStrategy::removal_only().mitigate(&patch, &defects);
+            let a = AscS.mitigate(&patch, &defects);
+            surf_loss += d - s.patch.distance().min().min(d);
+            asc_loss += d - a.patch.distance().min().min(d);
+        }
+        table.row(vec![
+            d.to_string(),
+            format!("{:.1}", surf_loss as f64 / samples as f64),
+            format!("{:.1}", asc_loss as f64 / samples as f64),
+        ]);
+    }
+    table.finish();
+}

@@ -1,0 +1,70 @@
+//! **Fig. 12** — physical qubits needed to reach ≈1 % retry risk:
+//! Lattice Surgery vs revised Q3DE vs ASC-S vs Surf-Deformer.
+//!
+//! ```bash
+//! cargo run --release -p surf-bench --bin fig12
+//! ```
+
+use surf_bench::ResultsTable;
+use surf_defects::CosmicRayModel;
+use surf_programs::{distance_for_target, paper_benchmarks, Calibration, StrategyKind};
+
+fn main() {
+    let cal = Calibration::default_paper();
+    let rays = CosmicRayModel::paper();
+    let names = ["Simon-900-1500", "RCA-729-100", "QFT-100-20", "Grover-16-2"];
+    let strategies = [
+        StrategyKind::LatticeSurgery,
+        StrategyKind::Q3deRevised,
+        StrategyKind::AscS,
+        StrategyKind::SurfDeformer,
+    ];
+    let mut table = ResultsTable::new(
+        "fig12",
+        &["benchmark", "strategy", "d", "physical qubits"],
+    );
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for name in names {
+        let b = paper_benchmarks()
+            .into_iter()
+            .find(|b| b.program.name == name)
+            .unwrap();
+        let mut surf_qubits = None;
+        let mut per_strategy = Vec::new();
+        for s in strategies {
+            let delta = if s == StrategyKind::SurfDeformer { 4 } else { 0 };
+            match distance_for_target(&b.program, s, delta, &rays, &cal, 0.01) {
+                Some((d, o)) => {
+                    if s == StrategyKind::SurfDeformer {
+                        surf_qubits = Some(o.physical_qubits as f64);
+                    }
+                    per_strategy.push((s, d, o.physical_qubits));
+                    table.row(vec![
+                        name.to_string(),
+                        s.name().to_string(),
+                        d.to_string(),
+                        format!("{:.3e}", o.physical_qubits as f64),
+                    ]);
+                }
+                None => table.row(vec![
+                    name.to_string(),
+                    s.name().to_string(),
+                    "-".to_string(),
+                    "infeasible".to_string(),
+                ]),
+            }
+        }
+        if let Some(sq) = surf_qubits {
+            for (s, _, q) in per_strategy {
+                if s != StrategyKind::SurfDeformer {
+                    ratios.push((format!("{name} {}", s.name()), sq / q as f64));
+                }
+            }
+        }
+    }
+    table.finish();
+    println!("\nSurf-Deformer qubit fraction of each baseline (paper: ~0.25 of LS, ~0.5 of Q3DE*, ~0.85 of ASC-S):");
+    for (label, r) in ratios {
+        println!("  {label}: {r:.2}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+//!
+//! Each paper artefact has its own binary (`cargo run --release -p
+//! surf-bench --bin fig11a`, …); all of them print an aligned table to
+//! stdout and write a CSV copy under `target/paper_results/`.
+//!
+//! Workload sizes are tuned to finish in seconds–minutes; environment
+//! variables (`SHOTS`, `SAMPLES`, …, documented per binary) scale them up
+//! to paper-grade statistics.
+
+use std::fs;
+use std::path::PathBuf;
+
+use surf_defects::DefectMap;
+use surf_lattice::Patch;
+use surf_sim::{DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams};
+
+/// Reads an environment variable as an integer with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads an environment variable as a float with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A results table that prints aligned columns and persists a CSV copy.
+pub struct ResultsTable {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultsTable {
+    /// Creates a table with column headers.
+    pub fn new<S: Into<String>>(name: S, headers: &[&str]) -> Self {
+        ResultsTable {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Prints to stdout and writes `target/paper_results/<name>.csv`.
+    pub fn finish(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        let dir = PathBuf::from("target/paper_results");
+        let _ = fs::create_dir_all(&dir);
+        let mut csv = self.headers.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        if fs::write(&path, csv).is_ok() {
+            println!("\n[written {}]", path.display());
+        }
+    }
+}
+
+/// Runs a memory experiment and returns the combined per-round logical
+/// error rate.
+pub fn logical_rate(
+    patch: Patch,
+    kept_defects: DefectMap,
+    prior: DecoderPrior,
+    rounds: u32,
+    shots: u64,
+    seed: u64,
+) -> f64 {
+    let exp = MemoryExperiment {
+        patch,
+        rounds,
+        noise: NoiseParams::paper(),
+        kept_defects,
+        prior,
+        decoder: DecoderKind::Mwpm,
+    };
+    exp.run(shots, seed).per_round_rate(rounds)
+}
+
+/// Formats a rate in scientific notation (or a detection floor when no
+/// failures were observed).
+pub fn fmt_rate(rate: f64, shots: u64, rounds: u32) -> String {
+    if rate <= 0.0 {
+        format!("<{:.1e}", 1.0 / (shots as f64 * rounds as f64))
+    } else {
+        format!("{rate:.3e}")
+    }
+}

@@ -1,0 +1,307 @@
+//! Baseline defect-mitigation strategies: ASC-S and Q3DE, plus the common
+//! [`MitigationStrategy`] interface used by the evaluation harnesses.
+
+use surf_defects::DefectMap;
+use surf_lattice::{Basis, Coord, Patch};
+
+use crate::deformer::{apply_removal, Deformer, EnlargeBudget, MitigationReport};
+use crate::instructions::{data_q_rm, patch_q_rm};
+
+/// A defect-mitigation policy mapping `(patch, defects)` to a deformed
+/// patch. Implemented by [`SurfDeformerStrategy`], [`AscS`], [`Q3de`] and
+/// [`Untreated`].
+pub trait MitigationStrategy {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Produces the mitigated patch for a base code and a defect set.
+    fn mitigate(&self, base: &Patch, defects: &DefectMap) -> StrategyOutcome;
+}
+
+/// The result of running a mitigation strategy.
+#[derive(Clone, Debug)]
+pub struct StrategyOutcome {
+    /// The (possibly deformed/enlarged) patch to keep running.
+    pub patch: Patch,
+    /// Defects still physically present inside the patch (not removed) —
+    /// these keep injecting errors during simulation.
+    pub kept_defects: DefectMap,
+    /// Qubits excluded from the code.
+    pub removed: Vec<Coord>,
+    /// Layers added per side.
+    pub layers_added: [usize; 4],
+}
+
+/// The full Surf-Deformer strategy: Algorithm 1 removal plus (optionally)
+/// Algorithm 2 adaptive enlargement within a budget.
+#[derive(Clone, Copy, Debug)]
+pub struct SurfDeformerStrategy {
+    /// Enlargement budget; `EnlargeBudget::default()` disables enlargement
+    /// (the removal-only configuration of paper Fig. 11a/11b).
+    pub budget: EnlargeBudget,
+}
+
+impl SurfDeformerStrategy {
+    /// Removal-only configuration.
+    pub fn removal_only() -> Self {
+        SurfDeformerStrategy {
+            budget: EnlargeBudget::default(),
+        }
+    }
+
+    /// Removal plus adaptive enlargement with a uniform `Δd` budget.
+    pub fn with_delta_d(delta_d: usize) -> Self {
+        SurfDeformerStrategy {
+            budget: EnlargeBudget::uniform(delta_d),
+        }
+    }
+}
+
+impl MitigationStrategy for SurfDeformerStrategy {
+    fn name(&self) -> &'static str {
+        "Surf-Deformer"
+    }
+
+    fn mitigate(&self, base: &Patch, defects: &DefectMap) -> StrategyOutcome {
+        let mut deformer = Deformer::with_budget(base.clone(), self.budget);
+        let report = deformer
+            .mitigate(defects)
+            .expect("mitigation is infallible");
+        let kept = defects
+            .iter()
+            .filter(|(q, _)| report.kept.contains(q))
+            .map(|(q, i)| (q, i.error_rate))
+            .collect();
+        StrategyOutcome {
+            patch: deformer.patch().clone(),
+            kept_defects: kept,
+            removed: report.removed,
+            layers_added: report.layers_added,
+        }
+    }
+}
+
+/// The ASC-S baseline (Siegel et al. / Lin et al.): defect removal only,
+/// using `DataQ_RM` uniformly — a defective syndrome qubit is handled by
+/// removing *all four* adjacent data qubits, and boundary qubits are
+/// disabled with a fixed (unbalanced) rule. No enlargement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AscS;
+
+impl MitigationStrategy for AscS {
+    fn name(&self) -> &'static str {
+        "ASC-S"
+    }
+
+    fn mitigate(&self, base: &Patch, defects: &DefectMap) -> StrategyOutcome {
+        let mut patch = base.clone();
+        let mut removed = Vec::new();
+        let mut kept = DefectMap::new();
+        for (q, info) in defects.iter() {
+            if patch.contains_data(q) {
+                let res = if patch.is_interior_data(q) {
+                    data_q_rm(&mut patch, q).map(|_| ())
+                } else {
+                    // Fixed rule, no balancing: always fix Z (paper Fig. 8a).
+                    patch_q_rm(&mut patch, q, Some(Basis::Z)).map(|_| ())
+                };
+                match res {
+                    Ok(()) => removed.push(q),
+                    Err(_) => kept.insert(q, info.error_rate),
+                }
+            } else if patch.contains_syndrome(q) {
+                // ASC-S removes the ancilla's whole plaquette support via
+                // repeated DataQ_RM (paper Section V-A comparison).
+                let Some(id) = patch.check_at_ancilla(q) else {
+                    continue;
+                };
+                let support: Vec<Coord> =
+                    patch.check(id).unwrap().support.iter().copied().collect();
+                let mut ok = true;
+                for dq in support {
+                    if !patch.contains_data(dq) {
+                        continue;
+                    }
+                    let res = if patch.is_interior_data(dq) {
+                        data_q_rm(&mut patch, dq).map(|_| ())
+                    } else {
+                        patch_q_rm(&mut patch, dq, Some(Basis::Z)).map(|_| ())
+                    };
+                    if res.is_err() {
+                        ok = false;
+                    }
+                }
+                if ok {
+                    removed.push(q);
+                } else {
+                    kept.insert(q, info.error_rate);
+                }
+            }
+        }
+        StrategyOutcome {
+            patch,
+            kept_defects: kept,
+            removed,
+            layers_added: [0; 4],
+        }
+    }
+}
+
+/// The Q3DE baseline (Suzuki et al., MICRO'22): defects are *kept* in the
+/// code (the decoder is re-weighted with their true error rates) and the
+/// patch is enlarged to a fixed double size when any defect is detected.
+#[derive(Clone, Copy, Debug)]
+pub struct Q3de {
+    /// Whether the doubled footprint actually fits the layout (`false`
+    /// models the blocked configuration of paper Fig. 10b).
+    pub can_double: bool,
+}
+
+impl Default for Q3de {
+    fn default() -> Self {
+        Q3de { can_double: true }
+    }
+}
+
+impl MitigationStrategy for Q3de {
+    fn name(&self) -> &'static str {
+        "Q3DE"
+    }
+
+    fn mitigate(&self, base: &Patch, defects: &DefectMap) -> StrategyOutcome {
+        let (min, max) = base.bounding_box();
+        let (cx, cy) = ((min.x - 1) / 2, (min.y - 1) / 2);
+        let w = ((max.x - min.x) / 2 + 1) as usize;
+        let h = ((max.y - min.y) / 2 + 1) as usize;
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let affected = defects.qubits().iter().any(|q| universe.contains(q));
+        let (patch, layers) = if affected && self.can_double {
+            // Fixed-size enlargement: double both dimensions (grow east and
+            // south into the inter-space).
+            (
+                Patch::rectangle_at(cx, cy, 2 * w, 2 * h),
+                [0, h, 0, w],
+            )
+        } else {
+            (base.clone(), [0; 4])
+        };
+        // All defects inside the (possibly doubled) footprint stay active.
+        let mut all = patch.data_qubits();
+        all.extend(patch.syndrome_qubits());
+        let kept = defects
+            .iter()
+            .filter(|(q, _)| all.contains(q))
+            .map(|(q, i)| (q, i.error_rate))
+            .collect();
+        StrategyOutcome {
+            patch,
+            kept_defects: kept,
+            removed: Vec::new(),
+            layers_added: layers,
+        }
+    }
+}
+
+/// No mitigation at all: the defects stay and the decoder is not informed
+/// (the "Surface Code" baseline of paper Fig. 11a / Fig. 14).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Untreated;
+
+impl MitigationStrategy for Untreated {
+    fn name(&self) -> &'static str {
+        "Untreated"
+    }
+
+    fn mitigate(&self, base: &Patch, defects: &DefectMap) -> StrategyOutcome {
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let kept = defects
+            .iter()
+            .filter(|(q, _)| universe.contains(q))
+            .map(|(q, i)| (q, i.error_rate))
+            .collect();
+        StrategyOutcome {
+            patch: base.clone(),
+            kept_defects: kept,
+            removed: Vec::new(),
+            layers_added: [0; 4],
+        }
+    }
+}
+
+/// Re-exported helper so strategy implementors can run Algorithm 1 on their
+/// own patches.
+pub fn run_removal(patch: &mut Patch, defects: &DefectMap) -> MitigationReport {
+    let mut report = MitigationReport::default();
+    apply_removal(patch, defects, &mut report);
+    report.distance = patch.distance();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_syndrome_defect(d: usize) -> (Patch, DefectMap) {
+        let patch = Patch::rotated(d);
+        let c = (d as i32 / 2) * 2; // central-ish plaquette coordinate
+        let anc = Coord::new(c, c);
+        assert!(patch.is_interior_syndrome(anc), "{anc} not interior");
+        (patch, DefectMap::from_qubits([anc], 0.5))
+    }
+
+    #[test]
+    fn surf_deformer_beats_asc_on_syndrome_defects() {
+        let (patch, defects) = one_syndrome_defect(9);
+        let ours = SurfDeformerStrategy::removal_only().mitigate(&patch, &defects);
+        let asc = AscS.mitigate(&patch, &defects);
+        ours.patch.verify().unwrap();
+        asc.patch.verify().unwrap();
+        let od = ours.patch.distance();
+        let ad = asc.patch.distance();
+        assert!(
+            od.x + od.z > ad.x + ad.z,
+            "Surf-Deformer {od} should beat ASC-S {ad}"
+        );
+        // ASC-S throws away the four data qubits; we keep them.
+        assert_eq!(ours.patch.num_data(), 81);
+        assert_eq!(asc.patch.num_data(), 77);
+    }
+
+    #[test]
+    fn q3de_keeps_defects_and_doubles() {
+        let (patch, defects) = one_syndrome_defect(5);
+        let out = Q3de::default().mitigate(&patch, &defects);
+        out.patch.verify().unwrap();
+        assert_eq!(out.patch.num_data(), 100); // 10×10
+        assert_eq!(out.kept_defects.len(), 1);
+        assert!(out.removed.is_empty());
+        // Distance is doubled but the defect is still inside.
+        assert_eq!(out.patch.distance().min(), 10);
+    }
+
+    #[test]
+    fn q3de_blocked_stays_small() {
+        let (patch, defects) = one_syndrome_defect(5);
+        let out = Q3de { can_double: false }.mitigate(&patch, &defects);
+        assert_eq!(out.patch.num_data(), 25);
+    }
+
+    #[test]
+    fn untreated_keeps_everything() {
+        let (patch, defects) = one_syndrome_defect(5);
+        let out = Untreated.mitigate(&patch, &defects);
+        assert_eq!(out.patch.num_data(), 25);
+        assert_eq!(out.kept_defects.len(), 1);
+        assert_eq!(out.patch.distance().min(), 5);
+    }
+
+    #[test]
+    fn strategies_have_names() {
+        assert_eq!(SurfDeformerStrategy::removal_only().name(), "Surf-Deformer");
+        assert_eq!(AscS.name(), "ASC-S");
+        assert_eq!(Q3de::default().name(), "Q3DE");
+        assert_eq!(Untreated.name(), "Untreated");
+    }
+}

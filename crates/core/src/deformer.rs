@@ -1,0 +1,448 @@
+//! The code deformation unit (paper Section V): the Defect Removal
+//! subroutine (Algorithm 1) and the Adaptive Enlargement subroutine
+//! (Algorithm 2).
+
+use surf_defects::DefectMap;
+use surf_lattice::{BoundarySide, Coord, Distances, Patch};
+
+use crate::instructions::{data_q_rm, patch_q_rm, syndrome_q_rm, DeformError};
+
+/// Per-side enlargement budget (the layout's extra inter-space `Δd`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnlargeBudget {
+    /// Extra layers available north (side `Xl1`).
+    pub north: usize,
+    /// Extra layers available south (side `Xl2`).
+    pub south: usize,
+    /// Extra layers available west (side `Zl1`).
+    pub west: usize,
+    /// Extra layers available east (side `Zl2`).
+    pub east: usize,
+}
+
+impl EnlargeBudget {
+    /// A uniform budget of `delta_d` layers on every side.
+    pub fn uniform(delta_d: usize) -> Self {
+        EnlargeBudget {
+            north: delta_d,
+            south: delta_d,
+            west: delta_d,
+            east: delta_d,
+        }
+    }
+
+    /// Total layers available.
+    pub fn total(&self) -> usize {
+        self.north + self.south + self.west + self.east
+    }
+
+    fn get(&self, side: BoundarySide) -> usize {
+        match side {
+            BoundarySide::Xl1 => self.north,
+            BoundarySide::Xl2 => self.south,
+            BoundarySide::Zl1 => self.west,
+            BoundarySide::Zl2 => self.east,
+        }
+    }
+
+    fn take(&mut self, side: BoundarySide) {
+        let slot = match side {
+            BoundarySide::Xl1 => &mut self.north,
+            BoundarySide::Xl2 => &mut self.south,
+            BoundarySide::Zl1 => &mut self.west,
+            BoundarySide::Zl2 => &mut self.east,
+        };
+        *slot = slot.checked_sub(1).expect("budget underflow");
+    }
+}
+
+/// Outcome of a mitigation pass.
+#[derive(Clone, Debug, Default)]
+pub struct MitigationReport {
+    /// Qubits excluded from the code by removal instructions.
+    pub removed: Vec<Coord>,
+    /// Defective qubits that could not be removed (severed logical) and
+    /// remain physically active in the patch.
+    pub kept: Vec<Coord>,
+    /// Layers added per side `[north, south, west, east]`.
+    pub layers_added: [usize; 4],
+    /// Final code distances.
+    pub distance: Distances,
+    /// Whether the target distance was fully restored.
+    pub restored: bool,
+}
+
+/// The runtime code deformation unit: owns a patch, applies Algorithm 1
+/// (defect removal) and Algorithm 2 (adaptive enlargement) against incoming
+/// defect maps.
+///
+/// # Example
+///
+/// ```
+/// use surf_deformer_core::Deformer;
+/// use surf_defects::DefectMap;
+/// use surf_lattice::{Coord, Patch};
+///
+/// let mut deformer = Deformer::new(Patch::rotated(5));
+/// let defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+/// let report = deformer.remove_defects(&defects).unwrap();
+/// assert_eq!(report.removed.len(), 1);
+/// assert!(deformer.patch().distance().min() >= 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Deformer {
+    patch: Patch,
+    /// Footprint in cell units: origin and dims.
+    origin: (i32, i32),
+    dims: (usize, usize),
+    /// Target distances (the original code distance to restore).
+    target: Distances,
+    budget: EnlargeBudget,
+    /// All defects applied so far (re-applied after footprint regrowth).
+    defects: DefectMap,
+    layers_added: [usize; 4],
+}
+
+impl Deformer {
+    /// Wraps a freshly built rectangular patch with zero enlargement budget.
+    pub fn new(patch: Patch) -> Self {
+        Deformer::with_budget(patch, EnlargeBudget::default())
+    }
+
+    /// Wraps a patch with an enlargement budget (`Δd` from the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch is not a clean rectangle.
+    pub fn with_budget(patch: Patch, budget: EnlargeBudget) -> Self {
+        let (min, max) = patch.bounding_box();
+        let origin = ((min.x - 1) / 2, (min.y - 1) / 2);
+        let dims = (
+            ((max.x - min.x) / 2 + 1) as usize,
+            ((max.y - min.y) / 2 + 1) as usize,
+        );
+        assert_eq!(
+            patch.num_data(),
+            dims.0 * dims.1,
+            "Deformer requires a clean rectangular starting patch"
+        );
+        let target = patch.distance();
+        Deformer {
+            patch,
+            origin,
+            dims,
+            target,
+            budget,
+            defects: DefectMap::new(),
+            layers_added: [0; 4],
+        }
+    }
+
+    /// The current (deformed) patch.
+    pub fn patch(&self) -> &Patch {
+        &self.patch
+    }
+
+    /// The distances the deformer tries to restore.
+    pub fn target_distance(&self) -> Distances {
+        self.target
+    }
+
+    /// Remaining enlargement budget.
+    pub fn budget(&self) -> EnlargeBudget {
+        self.budget
+    }
+
+    /// **Algorithm 1** — removes the given defects from the code without
+    /// enlargement. Interior data qubits use `DataQ_RM`, interior syndrome
+    /// qubits `SyndromeQ_RM`, boundary qubits `PatchQ_RM` with balancing.
+    ///
+    /// Defects that cannot be removed without severing the logical qubit
+    /// are reported in [`MitigationReport::kept`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (unremovable defects are kept, not
+    /// errors), but returns `Result` for future instruction failures.
+    pub fn remove_defects(&mut self, defects: &DefectMap) -> Result<MitigationReport, DeformError> {
+        for (q, info) in defects.iter() {
+            self.defects.insert(q, info.error_rate);
+        }
+        let mut report = MitigationReport::default();
+        apply_removal(&mut self.patch, defects, &mut report);
+        report.distance = self.patch.distance();
+        report.restored =
+            report.distance.x >= self.target.x && report.distance.z >= self.target.z;
+        report.layers_added = self.layers_added;
+        Ok(report)
+    }
+
+    /// **Algorithm 1 + Algorithm 2** — removes defects, then adaptively
+    /// enlarges the patch within the budget until the target distance is
+    /// restored (or the budget/progress runs out).
+    ///
+    /// Enlargement regenerates the rectangular footprint one layer at a
+    /// time and re-applies the removal subroutine to every known defect
+    /// inside the new footprint — this realises the paper's handling of
+    /// irregular boundaries and defective prospective layers (Fig. 9,
+    /// Algorithm 2 line 24).
+    ///
+    /// # Errors
+    ///
+    /// See [`Deformer::remove_defects`].
+    pub fn mitigate(&mut self, defects: &DefectMap) -> Result<MitigationReport, DeformError> {
+        let mut report = self.remove_defects(defects)?;
+        let mut stall = 0usize;
+        while !report.restored && stall < 3 && self.budget.total() > 0 {
+            let d = self.patch.distance();
+            // Prefer the axis that is further from its target; fall back to
+            // the other axis when the preferred one is out of budget.
+            let x_deficit = self.target.x.saturating_sub(d.x);
+            let z_deficit = self.target.z.saturating_sub(d.z);
+            let mut candidates: Vec<(usize, BoundarySide)> = Vec::new();
+            if x_deficit > 0 {
+                let pri = if x_deficit >= z_deficit { 0 } else { 1 };
+                candidates.push((pri, BoundarySide::Xl1));
+                candidates.push((pri, BoundarySide::Xl2));
+            }
+            if z_deficit > 0 {
+                let pri = if z_deficit > x_deficit { 0 } else { 1 };
+                candidates.push((pri, BoundarySide::Zl1));
+                candidates.push((pri, BoundarySide::Zl2));
+            }
+            let side = candidates
+                .into_iter()
+                .filter(|&(_, s)| self.budget.get(s) > 0)
+                .min_by_key(|&(pri, s)| (pri, self.layer_defect_count(s)))
+                .map(|(_, s)| s);
+            let Some(side) = side else {
+                break; // no budget on any needed axis
+            };
+            self.grow(side);
+            let new_d = self.patch.distance();
+            if new_d.min() <= d.min() && new_d.x + new_d.z <= d.x + d.z {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            report.distance = new_d;
+            report.restored = new_d.x >= self.target.x && new_d.z >= self.target.z;
+        }
+        report.layers_added = self.layers_added;
+        report.removed = self
+            .defects
+            .qubits()
+            .into_iter()
+            .filter(|&q| !self.patch.contains_data(q) || !report.kept.contains(&q))
+            .collect();
+        Ok(report)
+    }
+
+    /// Number of known defects that would fall inside the prospective layer
+    /// on `side` (paper Algorithm 2 `find_layer` cost).
+    pub fn layer_defect_count(&self, side: BoundarySide) -> usize {
+        let (ox, oy) = self.origin;
+        let (w, h) = (self.dims.0 as i32, self.dims.1 as i32);
+        self.defects
+            .qubits()
+            .into_iter()
+            .filter(|q| {
+                // Lattice coordinate band of the prospective layer.
+                match side {
+                    BoundarySide::Xl1 => q.y <= 2 * oy && q.y >= 2 * oy - 2,
+                    BoundarySide::Xl2 => {
+                        q.y >= 2 * (oy + h) && q.y <= 2 * (oy + h) + 2
+                    }
+                    BoundarySide::Zl1 => q.x <= 2 * ox && q.x >= 2 * ox - 2,
+                    BoundarySide::Zl2 => {
+                        q.x >= 2 * (ox + w) && q.x <= 2 * (ox + w) + 2
+                    }
+                }
+            })
+            .count()
+    }
+
+    /// Adds one layer on `side`: regenerates the footprint rectangle and
+    /// replays the removal of every known defect inside it.
+    fn grow(&mut self, side: BoundarySide) {
+        self.budget.take(side);
+        match side {
+            BoundarySide::Xl1 => {
+                self.origin.1 -= 1;
+                self.dims.1 += 1;
+                self.layers_added[0] += 1;
+            }
+            BoundarySide::Xl2 => {
+                self.dims.1 += 1;
+                self.layers_added[1] += 1;
+            }
+            BoundarySide::Zl1 => {
+                self.origin.0 -= 1;
+                self.dims.0 += 1;
+                self.layers_added[2] += 1;
+            }
+            BoundarySide::Zl2 => {
+                self.dims.0 += 1;
+                self.layers_added[3] += 1;
+            }
+        }
+        self.patch = Patch::rectangle_at(self.origin.0, self.origin.1, self.dims.0, self.dims.1);
+        let mut scratch = MitigationReport::default();
+        let defects = self.defects.clone();
+        apply_removal(&mut self.patch, &defects, &mut scratch);
+    }
+}
+
+/// The body of Algorithm 1, shared by the deformer and the baselines.
+pub(crate) fn apply_removal(patch: &mut Patch, defects: &DefectMap, report: &mut MitigationReport) {
+    // Syndrome defects first (their octagons want intact neighbours), then
+    // interior data, then boundary qubits.
+    let mut syndrome = Vec::new();
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    for q in defects.qubits() {
+        if patch.contains_data(q) {
+            if patch.is_interior_data(q) {
+                interior.push(q);
+            } else {
+                boundary.push(q);
+            }
+        } else if patch.contains_syndrome(q) {
+            if patch.is_interior_syndrome(q) {
+                syndrome.push(q);
+            } else {
+                boundary.push(q);
+            }
+        }
+        // Defects outside the patch footprint are not ours to handle.
+    }
+    for q in syndrome {
+        match syndrome_q_rm(patch, q) {
+            Ok(_) => report.removed.push(q),
+            Err(_) => report.kept.push(q),
+        }
+    }
+    for q in interior {
+        // Classification may have changed after earlier removals.
+        if !patch.contains_data(q) {
+            report.removed.push(q);
+            continue;
+        }
+        let result = if patch.is_interior_data(q) {
+            data_q_rm(patch, q)
+        } else {
+            patch_q_rm(patch, q, None).map(|(log, _)| log)
+        };
+        match result {
+            Ok(_) => report.removed.push(q),
+            Err(_) => report.kept.push(q),
+        }
+    }
+    for q in boundary {
+        if !patch.contains_data(q) && !patch.contains_syndrome(q) {
+            report.removed.push(q);
+            continue;
+        }
+        match patch_q_rm(patch, q, None) {
+            Ok(_) => report.removed.push(q),
+            Err(_) => report.kept.push(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_defects::sample_uniform_defects;
+
+    #[test]
+    fn removal_handles_mixed_defects() {
+        let mut deformer = Deformer::new(Patch::rotated(7));
+        let defects = DefectMap::from_qubits(
+            [Coord::new(5, 5), Coord::new(6, 6), Coord::new(1, 7)],
+            0.5,
+        );
+        let report = deformer.remove_defects(&defects).unwrap();
+        deformer.patch().verify().unwrap();
+        assert_eq!(report.removed.len() + report.kept.len(), 3);
+        assert!(report.kept.is_empty());
+        assert!(report.distance.min() >= 4, "{}", report.distance);
+    }
+
+    #[test]
+    fn enlargement_restores_distance() {
+        let mut deformer =
+            Deformer::with_budget(Patch::rotated(5), EnlargeBudget::uniform(3));
+        let defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+        let report = deformer.mitigate(&defects).unwrap();
+        deformer.patch().verify().unwrap();
+        assert!(report.restored, "distance {}", report.distance);
+        assert!(report.distance.x >= 5 && report.distance.z >= 5);
+        // Adaptive: at most a couple of layers, far less than doubling.
+        let layers: usize = report.layers_added.iter().sum();
+        assert!(layers >= 1 && layers <= 3, "layers {layers}");
+    }
+
+    #[test]
+    fn enlargement_respects_budget() {
+        let mut deformer =
+            Deformer::with_budget(Patch::rotated(5), EnlargeBudget::default());
+        let defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+        let report = deformer.mitigate(&defects).unwrap();
+        assert_eq!(report.layers_added, [0; 4]);
+        assert!(!report.restored);
+    }
+
+    #[test]
+    fn grows_on_the_cheaper_side() {
+        // A defect near the north edge makes the northern prospective layer
+        // dirtier; growth should prefer the south.
+        let mut deformer =
+            Deformer::with_budget(Patch::rotated(5), EnlargeBudget::uniform(2));
+        // Defect inside patch + one hovering just north of the patch.
+        let mut defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+        defects.insert(Coord::new(5, -1), 0.5);
+        let report = deformer.mitigate(&defects).unwrap();
+        assert!(report.layers_added[1] >= report.layers_added[0]);
+    }
+
+    #[test]
+    fn random_defect_storm_stays_valid() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for d in [5, 7] {
+            let patch = Patch::rotated(d);
+            let mut universe = patch.data_qubits();
+            universe.extend(patch.syndrome_qubits());
+            for k in [3, 6, 10] {
+                let defects = sample_uniform_defects(&universe, k, 0.5, &mut rng);
+                let mut deformer =
+                    Deformer::with_budget(patch.clone(), EnlargeBudget::uniform(4));
+                let report = deformer.mitigate(&defects).unwrap();
+                deformer
+                    .patch()
+                    .verify()
+                    .unwrap_or_else(|e| panic!("d={d} k={k}: {e}"));
+                assert!(report.distance.min() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn defective_scale_layer_triggers_second_layer() {
+        // Paper Fig. 9(c)(d): a defect sitting in the prospective layer
+        // forces two layers to restore the distance.
+        let mut deformer =
+            Deformer::with_budget(Patch::rotated(5), EnlargeBudget::uniform(3));
+        let mut defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+        // Defects across the entire southern prospective layer region.
+        for c in 0..5 {
+            defects.insert(Coord::new(2 * c + 1, 11), 0.5);
+        }
+        let report = deformer.mitigate(&defects).unwrap();
+        deformer.patch().verify().unwrap();
+        let layers: usize = report.layers_added.iter().sum();
+        assert!(layers >= 2, "needs more than one layer: {layers}");
+    }
+}

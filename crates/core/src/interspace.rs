@@ -1,0 +1,116 @@
+//! The layout generator's inter-space solver (paper Section VI, Eq. 1).
+//!
+//! Defects arriving as a Poisson process can force a patch to enlarge; the
+//! layout reserves an extra inter-space `Δd` so that enlargement stays out
+//! of the communication channels. `Δd` is chosen as the smallest value
+//! whose blocking probability is below a threshold `α_block`.
+
+/// The defect process parameters entering Eq. 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DefectChannelModel {
+    /// Per-qubit defect (strike) rate `ρ` in events per second.
+    pub rate_per_qubit_s: f64,
+    /// Defect duration `T` in seconds.
+    pub duration_s: f64,
+    /// Maximal defect size `D` in code-distance cells.
+    pub max_defect_size: usize,
+}
+
+impl DefectChannelModel {
+    /// The cosmic-ray parameters of the paper's worked example
+    /// (Section VI): `ρ = 0.1 Hz / 26`, `T = 25 ms`, `D ≈ 4`.
+    pub fn paper() -> Self {
+        DefectChannelModel {
+            rate_per_qubit_s: 0.1 / 26.0,
+            duration_s: 0.025,
+            max_defect_size: 4,
+        }
+    }
+
+    /// The Poisson parameter `λ = 2 d² ρ T` for a distance-`d` patch
+    /// (a patch holds roughly `2d²` physical qubits).
+    pub fn lambda(&self, d: usize) -> f64 {
+        2.0 * (d * d) as f64 * self.rate_per_qubit_s * self.duration_s
+    }
+}
+
+/// The probability that more defects arrive than the inter-space `Δd` can
+/// absorb (paper Eq. 1):
+///
+/// `p_block = 1 − Σ_{k=0}^{⌊Δd/D⌋} λᵏ e^{−λ} / k!`
+pub fn block_probability(model: &DefectChannelModel, d: usize, delta_d: usize) -> f64 {
+    let lambda = model.lambda(d);
+    let kmax = delta_d / model.max_defect_size;
+    let mut cumulative = 0.0;
+    let mut term = (-lambda).exp(); // λ^0 e^-λ / 0!
+    for k in 0..=kmax {
+        cumulative += term;
+        term *= lambda / (k + 1) as f64;
+    }
+    (1.0 - cumulative).max(0.0)
+}
+
+/// The smallest `Δd` with `p_block < α_block` (paper: α_block = 0.01).
+///
+/// # Panics
+///
+/// Panics if no `Δd ≤ 1000` suffices (pathological parameters).
+pub fn required_interspace(model: &DefectChannelModel, d: usize, alpha_block: f64) -> usize {
+    for delta_d in 0..=1000 {
+        if block_probability(model, d, delta_d) < alpha_block {
+            return delta_d;
+        }
+    }
+    panic!("no feasible inter-space below 1000 layers");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // d = 27 ⇒ λ ≈ 0.14; Δd = 4 ⇒ p_block = 1 − p(0) − p(1) ≈ 0.0089.
+        let m = DefectChannelModel::paper();
+        let lambda = m.lambda(27);
+        assert!((lambda - 0.14).abs() < 0.01, "λ = {lambda}");
+        let p = block_probability(&m, 27, 4);
+        assert!((p - 0.0089).abs() < 0.001, "p_block = {p}");
+        assert!(p < 0.01);
+        assert_eq!(required_interspace(&m, 27, 0.01), 4);
+    }
+
+    #[test]
+    fn block_probability_monotone_in_delta() {
+        let m = DefectChannelModel::paper();
+        let mut last = 1.0;
+        for delta in [0, 4, 8, 12, 16] {
+            let p = block_probability(&m, 27, delta);
+            assert!(p <= last + 1e-12, "Δd={delta}: {p} > {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn larger_codes_need_more_interspace() {
+        let m = DefectChannelModel {
+            rate_per_qubit_s: 0.1,
+            duration_s: 0.025,
+            max_defect_size: 4,
+        };
+        let small = required_interspace(&m, 9, 0.01);
+        let large = required_interspace(&m, 51, 0.01);
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn zero_rate_needs_no_interspace() {
+        let m = DefectChannelModel {
+            rate_per_qubit_s: 0.0,
+            duration_s: 0.025,
+            max_defect_size: 4,
+        };
+        assert_eq!(required_interspace(&m, 27, 0.01), 0);
+        assert_eq!(block_probability(&m, 27, 0), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # Surf-Deformer core
+//!
+//! The paper's primary contribution: a code-deformation framework that
+//! extends the surface-code instruction set with adaptive defect
+//! mitigation.
+//!
+//! * **Instruction set** (paper Section IV): [`data_q_rm`],
+//!   [`syndrome_q_rm`], [`patch_q_rm`], [`patch_q_add`] — each built from
+//!   atomic gauge transformations and returning a replayable
+//!   [`surf_stabilizer::GaugeTransformLog`].
+//! * **Code deformation unit** (Section V): [`Deformer`] runs the Defect
+//!   Removal subroutine (Algorithm 1) and the Adaptive Enlargement
+//!   subroutine (Algorithm 2) under a per-side [`EnlargeBudget`].
+//! * **Baselines** (Section II): [`AscS`] (uniform `DataQ_RM` removal,
+//!   no recovery), [`Q3de`] (fixed doubling, defects kept), and
+//!   [`Untreated`], all behind the [`MitigationStrategy`] trait.
+//! * **Layout parameters** (Section VI): [`interspace`] solves Eq. 1 for
+//!   the extra inter-space `Δd`.
+//! * **Yield analysis** (Fig. 13b): [`yield_analysis`].
+//!
+//! # Example
+//!
+//! ```
+//! use surf_deformer_core::{Deformer, EnlargeBudget};
+//! use surf_defects::DefectMap;
+//! use surf_lattice::{Coord, Patch};
+//!
+//! // A cosmic ray hits the centre of a distance-5 patch.
+//! let defects = DefectMap::from_qubits([Coord::new(5, 5), Coord::new(4, 4)], 0.5);
+//! let mut deformer = Deformer::with_budget(Patch::rotated(5), EnlargeBudget::uniform(4));
+//! let report = deformer.mitigate(&defects).unwrap();
+//! assert!(report.restored, "distance restored adaptively: {}", report.distance);
+//! ```
+
+mod baselines;
+mod deformer;
+mod instructions;
+pub mod interspace;
+pub mod yield_analysis;
+
+pub use baselines::{
+    run_removal, AscS, MitigationStrategy, Q3de, StrategyOutcome, SurfDeformerStrategy, Untreated,
+};
+pub use deformer::{Deformer, EnlargeBudget, MitigationReport};
+pub use instructions::{data_q_rm, patch_q_add, patch_q_rm, syndrome_q_rm, DeformError};

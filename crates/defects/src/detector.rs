@@ -1,0 +1,137 @@
+use rand::Rng;
+
+use surf_lattice::Coord;
+
+use crate::DefectMap;
+
+/// A hardware defect detector.
+///
+/// The paper assumes hardware detectors ([31], [32]) that locate defective
+/// qubits at runtime. [`DefectDetector::perfect`] reports ground truth;
+/// [`DefectDetector::imprecise`] flips each per-qubit verdict with the
+/// configured false-positive / false-negative probability (paper Fig. 14b
+/// uses 0.01 for both).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DefectDetector {
+    /// Probability of flagging a healthy qubit as defective.
+    pub false_positive: f64,
+    /// Probability of missing a defective qubit.
+    pub false_negative: f64,
+    /// Error rate reported for (incorrectly) flagged healthy qubits.
+    pub reported_rate: f64,
+}
+
+impl DefectDetector {
+    /// A detector that always reports ground truth.
+    pub fn perfect() -> Self {
+        DefectDetector {
+            false_positive: 0.0,
+            false_negative: 0.0,
+            reported_rate: 0.5,
+        }
+    }
+
+    /// A detector with the paper's "unreliable detection" setting
+    /// (FP = FN = 0.01).
+    pub fn paper_imprecise() -> Self {
+        DefectDetector::imprecise(0.01, 0.01)
+    }
+
+    /// A detector with explicit error probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn imprecise(false_positive: f64, false_negative: f64) -> Self {
+        assert!((0.0..=1.0).contains(&false_positive));
+        assert!((0.0..=1.0).contains(&false_negative));
+        DefectDetector {
+            false_positive,
+            false_negative,
+            reported_rate: 0.5,
+        }
+    }
+
+    /// Produces the *detected* defect map from ground truth over the qubit
+    /// universe.
+    pub fn detect<R: Rng + ?Sized>(
+        &self,
+        truth: &DefectMap,
+        universe: &[Coord],
+        rng: &mut R,
+    ) -> DefectMap {
+        let mut out = DefectMap::new();
+        for &q in universe {
+            match truth.info(q) {
+                Some(info) => {
+                    if self.false_negative == 0.0 || rng.gen::<f64>() >= self.false_negative {
+                        out.insert(q, info.error_rate);
+                    }
+                }
+                None => {
+                    if self.false_positive > 0.0 && rng.gen::<f64>() < self.false_positive {
+                        out.insert(q, self.reported_rate);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_lattice::Patch;
+
+    fn setup() -> (Vec<Coord>, DefectMap) {
+        let p = Patch::rotated(9);
+        let mut u = p.data_qubits();
+        u.extend(p.syndrome_qubits());
+        let truth = DefectMap::from_qubits(u[..20].iter().copied(), 0.5);
+        (u, truth)
+    }
+
+    #[test]
+    fn perfect_detector_reports_truth() {
+        let (u, truth) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let detected = DefectDetector::perfect().detect(&truth, &u, &mut rng);
+        assert_eq!(detected, truth);
+    }
+
+    #[test]
+    fn false_negatives_drop_defects() {
+        let (u, truth) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let det = DefectDetector::imprecise(0.0, 0.5);
+        let mut dropped = 0;
+        for _ in 0..50 {
+            let d = det.detect(&truth, &u, &mut rng);
+            assert!(d.len() <= truth.len());
+            dropped += truth.len() - d.len();
+        }
+        let rate = dropped as f64 / (50.0 * truth.len() as f64);
+        assert!((rate - 0.5).abs() < 0.1, "observed FN rate {rate}");
+    }
+
+    #[test]
+    fn false_positives_add_defects() {
+        let (u, truth) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let det = DefectDetector::imprecise(0.1, 0.0);
+        let d = det.detect(&truth, &u, &mut rng);
+        assert!(d.len() > truth.len());
+        for q in truth.qubits() {
+            assert!(d.contains(q), "true defects always kept at FN=0");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_rejected() {
+        DefectDetector::imprecise(1.5, 0.0);
+    }
+}

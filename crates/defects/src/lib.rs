@@ -1,0 +1,153 @@
+//! Dynamic and static defect models for surface codes.
+//!
+//! Implements the defect processes the Surf-Deformer paper evaluates
+//! against (Section VII-A):
+//!
+//! * [`CosmicRayModel`] — multi-bit burst errors: Poisson-distributed strike
+//!   events, each elevating a ~25-qubit neighbourhood to a ~50 % error rate
+//!   for ~25 000 QEC rounds (parameters from McEwen et al., used verbatim by
+//!   the paper and by Q3DE).
+//! * [`DriftModel`] — slow per-qubit error-rate drift.
+//! * [`sample_static_faults`] — fabrication-style static faults for the
+//!   chiplet-yield study (paper Fig. 13b).
+//! * [`DefectDetector`] — the hardware defect detector abstraction, either
+//!   perfect or with configurable false-positive/false-negative rates
+//!   (paper Fig. 14b).
+//! * [`DefectMap`] — the set of currently defective qubits handed to the
+//!   code deformation unit.
+
+mod detector;
+mod models;
+
+pub use detector::DefectDetector;
+pub use models::{
+    sample_clustered_defects, sample_poisson, sample_static_faults, sample_uniform_defects,
+    CosmicRayEvent, CosmicRayModel, DriftModel,
+};
+
+use std::collections::BTreeMap;
+
+use surf_lattice::Coord;
+
+/// Information about one defective qubit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DefectInfo {
+    /// The elevated physical error rate of the qubit while defective.
+    pub error_rate: f64,
+}
+
+/// The set of currently defective qubits, as reported by a defect detector.
+///
+/// # Example
+///
+/// ```
+/// use surf_defects::DefectMap;
+/// use surf_lattice::Coord;
+///
+/// let mut map = DefectMap::new();
+/// map.insert(Coord::new(3, 3), 0.5);
+/// assert!(map.contains(Coord::new(3, 3)));
+/// assert_eq!(map.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DefectMap {
+    map: BTreeMap<Coord, DefectInfo>,
+}
+
+impl DefectMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DefectMap::default()
+    }
+
+    /// Marks `q` defective with the given error rate (keeping the larger
+    /// rate if already present).
+    pub fn insert(&mut self, q: Coord, error_rate: f64) {
+        let entry = self.map.entry(q).or_insert(DefectInfo { error_rate });
+        if error_rate > entry.error_rate {
+            entry.error_rate = error_rate;
+        }
+    }
+
+    /// Removes `q`, returning whether it was present.
+    pub fn remove(&mut self, q: Coord) -> bool {
+        self.map.remove(&q).is_some()
+    }
+
+    /// Returns `true` if `q` is defective.
+    pub fn contains(&self, q: Coord) -> bool {
+        self.map.contains_key(&q)
+    }
+
+    /// The defect info of `q`, if defective.
+    pub fn info(&self, q: Coord) -> Option<DefectInfo> {
+        self.map.get(&q).copied()
+    }
+
+    /// Number of defective qubits.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no qubit is defective.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sorted defective coordinates.
+    pub fn qubits(&self) -> Vec<Coord> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Iterates over `(coord, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, DefectInfo)> + '_ {
+        self.map.iter().map(|(&c, &i)| (c, i))
+    }
+
+    /// Builds a map from an iterator of coordinates at a common error rate.
+    pub fn from_qubits<I: IntoIterator<Item = Coord>>(qubits: I, error_rate: f64) -> Self {
+        let mut map = DefectMap::new();
+        for q in qubits {
+            map.insert(q, error_rate);
+        }
+        map
+    }
+}
+
+impl FromIterator<(Coord, f64)> for DefectMap {
+    fn from_iter<I: IntoIterator<Item = (Coord, f64)>>(iter: I) -> Self {
+        let mut map = DefectMap::new();
+        for (q, rate) in iter {
+            map.insert(q, rate);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_max_rate() {
+        let mut m = DefectMap::new();
+        let q = Coord::new(1, 1);
+        m.insert(q, 0.3);
+        m.insert(q, 0.1);
+        assert_eq!(m.info(q).unwrap().error_rate, 0.3);
+        m.insert(q, 0.5);
+        assert_eq!(m.info(q).unwrap().error_rate, 0.5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn from_qubits_and_remove() {
+        let qs = [Coord::new(1, 1), Coord::new(3, 3)];
+        let mut m = DefectMap::from_qubits(qs, 0.5);
+        assert_eq!(m.len(), 2);
+        assert!(m.remove(Coord::new(1, 1)));
+        assert!(!m.remove(Coord::new(1, 1)));
+        assert!(!m.is_empty());
+        assert_eq!(m.qubits(), vec![Coord::new(3, 3)]);
+    }
+}

@@ -1,0 +1,361 @@
+use rand::Rng;
+
+use surf_lattice::Coord;
+
+use crate::DefectMap;
+
+/// One cosmic-ray strike: a burst event elevating the error rate of a
+/// neighbourhood of qubits for a fixed number of QEC rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CosmicRayEvent {
+    /// The struck qubit.
+    pub center: Coord,
+    /// First affected QEC round.
+    pub start_round: u64,
+    /// Number of affected rounds.
+    pub duration_rounds: u64,
+}
+
+impl CosmicRayEvent {
+    /// Returns `true` if the event is active during `round`.
+    pub fn active_at(&self, round: u64) -> bool {
+        round >= self.start_round && round < self.start_round + self.duration_rounds
+    }
+}
+
+/// The multi-bit burst-error model of McEwen et al., as adopted by Q3DE and
+/// the Surf-Deformer paper: each physical qubit is struck following a
+/// Poisson process; a strike elevates the error rate of every qubit within
+/// a small neighbourhood to ≈50 % for ≈25 ms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CosmicRayModel {
+    /// Strike rate per qubit per round.
+    pub event_rate_per_qubit_round: f64,
+    /// Rounds a strike stays active (25 ms ≈ 25 000 rounds at 1 µs/round).
+    pub duration_rounds: u64,
+    /// Chebyshev radius of the affected neighbourhood. Radius 3 covers the
+    /// struck qubit plus 24 neighbours on the surface-code lattice.
+    pub region_radius: i32,
+    /// Error rate of affected qubits while the event is active.
+    pub defect_error_rate: f64,
+}
+
+impl CosmicRayModel {
+    /// The parameters used in the paper's evaluation (Section VII-A):
+    /// one event per 10 s on a 26-qubit device (λ = 1/(26·10 s) per qubit),
+    /// 25 ms duration, 25-qubit region, 50 % error rate, at 1 µs per QEC
+    /// round.
+    pub fn paper() -> Self {
+        CosmicRayModel {
+            event_rate_per_qubit_round: 1.0 / (26.0 * 10.0e6),
+            duration_rounds: 25_000,
+            region_radius: 3,
+            defect_error_rate: 0.5,
+        }
+    }
+
+    /// Scales the event rate by `factor` (the x-axis of paper Fig. 11c).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.event_rate_per_qubit_round *= factor;
+        self
+    }
+
+    /// Expected number of strikes on `num_qubits` qubits over `rounds`.
+    pub fn expected_events(&self, num_qubits: usize, rounds: u64) -> f64 {
+        self.event_rate_per_qubit_round * num_qubits as f64 * rounds as f64
+    }
+
+    /// Samples strike events over a qubit set and time horizon.
+    pub fn sample_events<R: Rng + ?Sized>(
+        &self,
+        qubits: &[Coord],
+        rounds: u64,
+        rng: &mut R,
+    ) -> Vec<CosmicRayEvent> {
+        let lambda = self.expected_events(qubits.len(), rounds);
+        let count = sample_poisson(lambda, rng);
+        (0..count)
+            .map(|_| CosmicRayEvent {
+                center: qubits[rng.gen_range(0..qubits.len())],
+                start_round: rng.gen_range(0..rounds),
+                duration_rounds: self.duration_rounds,
+            })
+            .collect()
+    }
+
+    /// The qubits affected by a strike at `center`, restricted to the given
+    /// qubit universe.
+    pub fn affected_region(&self, center: Coord, universe: &[Coord]) -> Vec<Coord> {
+        universe
+            .iter()
+            .copied()
+            .filter(|q| q.chebyshev(center) <= self.region_radius)
+            .collect()
+    }
+
+    /// The defect map active at `round` given a set of events.
+    pub fn defect_map_at(
+        &self,
+        events: &[CosmicRayEvent],
+        universe: &[Coord],
+        round: u64,
+    ) -> DefectMap {
+        let mut map = DefectMap::new();
+        for e in events.iter().filter(|e| e.active_at(round)) {
+            for q in self.affected_region(e.center, universe) {
+                map.insert(q, self.defect_error_rate);
+            }
+        }
+        map
+    }
+}
+
+/// Slow error-rate drift: each qubit's base error rate is multiplied by a
+/// log-uniform factor in `[1, max_factor]`, re-sampled on request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftModel {
+    /// Maximum drift multiplier.
+    pub max_factor: f64,
+}
+
+impl DriftModel {
+    /// Samples a per-qubit drift factor.
+    pub fn sample_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        debug_assert!(self.max_factor >= 1.0);
+        self.max_factor.powf(rng.gen::<f64>())
+    }
+
+    /// Samples a defect map of qubits whose drifted rate exceeds
+    /// `threshold × base_rate`.
+    pub fn sample_defects<R: Rng + ?Sized>(
+        &self,
+        universe: &[Coord],
+        base_rate: f64,
+        threshold: f64,
+        rng: &mut R,
+    ) -> DefectMap {
+        universe
+            .iter()
+            .filter_map(|&q| {
+                let rate = base_rate * self.sample_factor(rng);
+                (rate >= threshold * base_rate).then_some((q, rate))
+            })
+            .collect()
+    }
+}
+
+/// Samples `k` distinct uniformly random defective qubits (the defect
+/// pattern used for paper Figs. 11a/11b/13/14).
+///
+/// # Panics
+///
+/// Panics if `k > universe.len()`.
+pub fn sample_uniform_defects<R: Rng + ?Sized>(
+    universe: &[Coord],
+    k: usize,
+    error_rate: f64,
+    rng: &mut R,
+) -> DefectMap {
+    assert!(k <= universe.len(), "cannot sample {k} defects from {}", universe.len());
+    // Partial Fisher–Yates over an index vector.
+    let mut idx: Vec<usize> = (0..universe.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    DefectMap::from_qubits(idx[..k].iter().map(|&i| universe[i]), error_rate)
+}
+
+/// Samples defects in cosmic-ray-like clusters until at least `k` qubits
+/// are defective (then truncated to exactly `k`).
+pub fn sample_clustered_defects<R: Rng + ?Sized>(
+    universe: &[Coord],
+    k: usize,
+    radius: i32,
+    error_rate: f64,
+    rng: &mut R,
+) -> DefectMap {
+    assert!(k <= universe.len());
+    let mut map = DefectMap::new();
+    while map.len() < k {
+        let center = universe[rng.gen_range(0..universe.len())];
+        for q in universe.iter().filter(|q| q.chebyshev(center) <= radius) {
+            if map.len() >= k {
+                break;
+            }
+            map.insert(*q, error_rate);
+        }
+    }
+    map
+}
+
+/// Samples `k` static fabrication faults (dead qubits) for yield analysis.
+pub fn sample_static_faults<R: Rng + ?Sized>(
+    universe: &[Coord],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Coord> {
+    sample_uniform_defects(universe, k, 1.0, rng).qubits()
+}
+
+/// Knuth/inversion Poisson sampler (exact for the small rates used here;
+/// falls back to a normal approximation for large λ).
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let v: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_lattice::Patch;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn universe() -> Vec<Coord> {
+        let p = Patch::rotated(9);
+        let mut u = p.data_qubits();
+        u.extend(p.syndrome_qubits());
+        u
+    }
+
+    #[test]
+    fn paper_model_parameters() {
+        let m = CosmicRayModel::paper();
+        assert_eq!(m.duration_rounds, 25_000);
+        assert_eq!(m.region_radius, 3);
+        assert!((m.defect_error_rate - 0.5).abs() < 1e-12);
+        // Expected events over a d=27 patch (≈1457 qubits) in 25k rounds.
+        let expected = m.expected_events(1457, 25_000);
+        assert!(expected > 0.1 && expected < 0.2, "λ = {expected}");
+    }
+
+    #[test]
+    fn affected_region_size_is_about_25() {
+        let m = CosmicRayModel::paper();
+        let u = universe();
+        // An interior data-qubit strike hits 25 qubits (13 data + 12 anc or
+        // vice versa, depending on parity).
+        let region = m.affected_region(Coord::new(9, 9), &u);
+        assert_eq!(region.len(), 25);
+    }
+
+    #[test]
+    fn events_respect_duration() {
+        let e = CosmicRayEvent {
+            center: Coord::new(1, 1),
+            start_round: 10,
+            duration_rounds: 5,
+        };
+        assert!(!e.active_at(9));
+        assert!(e.active_at(10));
+        assert!(e.active_at(14));
+        assert!(!e.active_at(15));
+    }
+
+    #[test]
+    fn sampled_event_count_tracks_rate() {
+        let mut r = rng();
+        let m = CosmicRayModel::paper().scaled(1e4); // exaggerate for stats
+        let u = universe();
+        let rounds = 10_000;
+        let mut total = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            total += m.sample_events(&u, rounds, &mut r).len();
+        }
+        let mean = total as f64 / trials as f64;
+        let expected = m.expected_events(u.len(), rounds);
+        assert!(
+            (mean - expected).abs() < 0.35 * expected.max(1.0),
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn defect_map_at_combines_active_events() {
+        let m = CosmicRayModel::paper();
+        let u = universe();
+        let events = vec![
+            CosmicRayEvent { center: Coord::new(3, 3), start_round: 0, duration_rounds: 100 },
+            CosmicRayEvent { center: Coord::new(15, 15), start_round: 50, duration_rounds: 100 },
+        ];
+        let early = m.defect_map_at(&events, &u, 10);
+        let late = m.defect_map_at(&events, &u, 75);
+        let after = m.defect_map_at(&events, &u, 200);
+        assert!(!early.is_empty());
+        assert!(late.len() > early.len());
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn uniform_defects_distinct_and_exact() {
+        let mut r = rng();
+        let u = universe();
+        let m = sample_uniform_defects(&u, 40, 0.5, &mut r);
+        assert_eq!(m.len(), 40);
+        for (q, info) in m.iter() {
+            assert!(u.contains(&q));
+            assert_eq!(info.error_rate, 0.5);
+        }
+    }
+
+    #[test]
+    fn clustered_defects_exact_count() {
+        let mut r = rng();
+        let u = universe();
+        let m = sample_clustered_defects(&u, 30, 3, 0.5, &mut r);
+        assert_eq!(m.len(), 30);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut r = rng();
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 4000;
+            let total: u64 = (0..n).map(|_| sample_poisson(lambda, &mut r)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "λ={lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(0.0, &mut r), 0);
+    }
+
+    #[test]
+    fn drift_factors_bounded() {
+        let mut r = rng();
+        let d = DriftModel { max_factor: 10.0 };
+        for _ in 0..100 {
+            let f = d.sample_factor(&mut r);
+            assert!((1.0..=10.0).contains(&f));
+        }
+        let defects = d.sample_defects(&universe(), 1e-3, 5.0, &mut r);
+        // Log-uniform: ~30% of qubits exceed 5x.
+        assert!(defects.len() > 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Conversion from the geometric [`Patch`] view to the algebraic
+//! [`MeasuredCode`] view of `surf-stabilizer`.
+//!
+//! The measured operator set of a patch is exactly its checks: singleton
+//! groups contribute stabilizers, multi-check groups contribute gauge
+//! operators (whose products are the super-stabilizers). The conversion is
+//! used by the verification layer to replay deformations on the tableau
+//! simulator.
+
+use surf_pauli::{Pauli, PauliString};
+use surf_stabilizer::MeasuredCode;
+
+use crate::{Basis, Coord, Patch};
+
+/// Builds a [`PauliString`] for an all-`basis` operator on a qubit set.
+pub fn check_string<'a, I: IntoIterator<Item = &'a Coord>>(basis: Basis, support: I) -> PauliString {
+    let p = match basis {
+        Basis::X => Pauli::X,
+        Basis::Z => Pauli::Z,
+    };
+    PauliString::from_pairs(support.into_iter().map(|c| (c.key(), p)))
+}
+
+impl Patch {
+    /// The measured-code view: singleton-group checks become stabilizers,
+    /// multi-group checks become gauge operators.
+    pub fn to_measured_code(&self) -> MeasuredCode {
+        let mut stab = Vec::new();
+        let mut gauge = Vec::new();
+        for g in self.group_ids() {
+            let members = self.group_members(g).to_vec();
+            if members.len() == 1 {
+                let c = self.check(members[0]).unwrap();
+                stab.push(check_string(c.basis, &c.support));
+            } else {
+                for id in members {
+                    let c = self.check(id).unwrap();
+                    gauge.push(check_string(c.basis, &c.support));
+                }
+            }
+        }
+        MeasuredCode::new(
+            stab,
+            gauge,
+            check_string(Basis::X, self.logical_x()),
+            check_string(Basis::Z, self.logical_z()),
+        )
+    }
+
+    /// Sorted `u64` qubit keys of every physical qubit (data and ancilla),
+    /// for mapping Pauli strings onto tableau columns.
+    pub fn qubit_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .data_qubits()
+            .iter()
+            .map(|c| c.key())
+            .chain(self.syndrome_qubits().iter().map(|c| c.key()))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Sorted `u64` keys of the data qubits only.
+    pub fn data_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.data_qubits().iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_patch_has_no_gauges() {
+        let p = Patch::rotated(3);
+        let code = p.to_measured_code();
+        assert_eq!(code.stabilizers().len(), 8);
+        assert!(code.gauges().is_empty());
+        code.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merged_groups_become_gauges() {
+        let mut p = Patch::rotated(3);
+        let q = Coord::new(3, 3);
+        let xs = p.checks_on_data(q, Basis::X);
+        let zs = p.checks_on_data(q, Basis::Z);
+        p.remove_data(q);
+        let xg: Vec<_> = xs.iter().map(|&id| p.check(id).unwrap().group).collect();
+        let zg: Vec<_> = zs.iter().map(|&id| p.check(id).unwrap().group).collect();
+        p.merge_groups(&xg);
+        p.merge_groups(&zg);
+        let code = p.to_measured_code();
+        assert_eq!(code.gauges().len(), 4);
+        assert_eq!(code.stabilizers().len(), 4);
+        code.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn check_string_builds_expected_operator() {
+        let s = check_string(
+            Basis::Z,
+            &[Coord::new(1, 1), Coord::new(3, 1)].into_iter().collect::<Vec<_>>(),
+        );
+        assert_eq!(s.weight(), 2);
+        assert!(s.is_z_type());
+        assert!(s.acts_on(Coord::new(1, 1).key()));
+    }
+
+    #[test]
+    fn qubit_keys_sorted_unique() {
+        let p = Patch::rotated(3);
+        let keys = p.qubit_keys();
+        assert_eq!(keys.len(), p.num_physical_qubits());
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let dk = p.data_keys();
+        assert_eq!(dk.len(), 9);
+    }
+}

@@ -1,0 +1,245 @@
+use std::fmt;
+
+/// A 2-D lattice coordinate.
+///
+/// The rotated surface code lives on the integer grid with the convention:
+///
+/// * **data qubits** at odd/odd coordinates `(2c+1, 2r+1)`,
+/// * **syndrome (ancilla) qubits** at even/even coordinates `(2i, 2j)`,
+/// * plaquette at `(2i, 2j)` is **X-type iff `i + j` is odd**, Z-type
+///   otherwise.
+///
+/// `x` grows eastward, `y` grows southward. The logical X operator of a
+/// fresh patch runs vertically (north–south), the logical Z horizontally
+/// (west–east).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    /// Horizontal position (east is positive).
+    pub x: i32,
+    /// Vertical position (south is positive).
+    pub y: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Coord { x, y }
+    }
+
+    /// Packs the coordinate into a stable `u64` key for use as a qubit id in
+    /// [`surf_pauli::PauliString`]s.
+    pub fn key(self) -> u64 {
+        ((self.x as u32 as u64) << 32) | (self.y as u32 as u64)
+    }
+
+    /// Inverse of [`Coord::key`].
+    pub fn from_key(key: u64) -> Self {
+        Coord {
+            x: (key >> 32) as u32 as i32,
+            y: key as u32 as i32,
+        }
+    }
+
+    /// Returns `true` if this is a data-qubit site (odd/odd).
+    pub fn is_data_site(self) -> bool {
+        self.x.rem_euclid(2) == 1 && self.y.rem_euclid(2) == 1
+    }
+
+    /// Returns `true` if this is a syndrome-qubit site (even/even).
+    pub fn is_syndrome_site(self) -> bool {
+        self.x.rem_euclid(2) == 0 && self.y.rem_euclid(2) == 0
+    }
+
+    /// The plaquette basis at a syndrome site: X-type iff `i + j` odd where
+    /// the site is `(2i, 2j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is not a syndrome site.
+    pub fn plaquette_basis(self) -> Basis {
+        assert!(self.is_syndrome_site(), "{self:?} is not a syndrome site");
+        if (self.x / 2 + self.y / 2).rem_euclid(2) == 1 {
+            Basis::X
+        } else {
+            Basis::Z
+        }
+    }
+
+    /// The four diagonal neighbours (the data qubits of a plaquette, or the
+    /// plaquettes touching a data qubit).
+    pub fn diagonal_neighbors(self) -> [Coord; 4] {
+        [
+            Coord::new(self.x - 1, self.y - 1),
+            Coord::new(self.x + 1, self.y - 1),
+            Coord::new(self.x - 1, self.y + 1),
+            Coord::new(self.x + 1, self.y + 1),
+        ]
+    }
+
+    /// The four same-parity neighbours at Chebyshev distance 2 (e.g. the
+    /// diagonal plaquettes of a plaquette).
+    pub fn distance_two_diagonals(self) -> [Coord; 4] {
+        [
+            Coord::new(self.x - 2, self.y - 2),
+            Coord::new(self.x + 2, self.y - 2),
+            Coord::new(self.x - 2, self.y + 2),
+            Coord::new(self.x + 2, self.y + 2),
+        ]
+    }
+
+    /// Chebyshev (L∞) distance to another coordinate.
+    pub fn chebyshev(self, other: Coord) -> i32 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Coord {
+    fn from((x, y): (i32, i32)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// The Pauli basis of a stabilizer check or boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Basis {
+    /// X-type checks detect Z errors.
+    X,
+    /// Z-type checks detect X errors.
+    Z,
+}
+
+impl Basis {
+    /// The opposite basis.
+    pub fn opposite(self) -> Basis {
+        match self {
+            Basis::X => Basis::Z,
+            Basis::Z => Basis::X,
+        }
+    }
+}
+
+impl fmt::Display for Basis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Basis::X => write!(f, "X"),
+            Basis::Z => write!(f, "Z"),
+        }
+    }
+}
+
+/// One of the four boundaries of a rectangular patch, named after the
+/// logical operator terminating there (paper Section IV: `XL1`, `XL2`,
+/// `ZL1`, `ZL2`).
+///
+/// The logical X string runs north–south, so `XL1`/`XL2` are the north and
+/// south boundaries; growing there increases the X distance. `ZL1`/`ZL2`
+/// are west and east.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundarySide {
+    /// North boundary (terminates the logical X string).
+    Xl1,
+    /// South boundary (terminates the logical X string).
+    Xl2,
+    /// West boundary (terminates the logical Z string).
+    Zl1,
+    /// East boundary (terminates the logical Z string).
+    Zl2,
+}
+
+impl BoundarySide {
+    /// All four sides.
+    pub const ALL: [BoundarySide; 4] = [
+        BoundarySide::Xl1,
+        BoundarySide::Xl2,
+        BoundarySide::Zl1,
+        BoundarySide::Zl2,
+    ];
+
+    /// The logical operator whose string terminates on this boundary.
+    ///
+    /// Growing on an `X` side increases the X distance.
+    pub fn logical_basis(self) -> Basis {
+        match self {
+            BoundarySide::Xl1 | BoundarySide::Xl2 => Basis::X,
+            BoundarySide::Zl1 | BoundarySide::Zl2 => Basis::Z,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_with_negatives() {
+        for c in [
+            Coord::new(0, 0),
+            Coord::new(-5, 7),
+            Coord::new(123, -456),
+            Coord::new(i32::MIN, i32::MAX),
+        ] {
+            assert_eq!(Coord::from_key(c.key()), c);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique_on_a_grid() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for x in -20..20 {
+            for y in -20..20 {
+                assert!(seen.insert(Coord::new(x, y).key()));
+            }
+        }
+    }
+
+    #[test]
+    fn site_parity() {
+        assert!(Coord::new(1, 1).is_data_site());
+        assert!(Coord::new(-1, 3).is_data_site());
+        assert!(Coord::new(0, 0).is_syndrome_site());
+        assert!(Coord::new(-2, 4).is_syndrome_site());
+        assert!(!Coord::new(1, 2).is_data_site());
+        assert!(!Coord::new(1, 2).is_syndrome_site());
+    }
+
+    #[test]
+    fn plaquette_checkerboard() {
+        assert_eq!(Coord::new(0, 0).plaquette_basis(), Basis::Z);
+        assert_eq!(Coord::new(2, 0).plaquette_basis(), Basis::X);
+        assert_eq!(Coord::new(0, 2).plaquette_basis(), Basis::X);
+        assert_eq!(Coord::new(2, 2).plaquette_basis(), Basis::Z);
+        assert_eq!(Coord::new(-2, 0).plaquette_basis(), Basis::X);
+    }
+
+    #[test]
+    fn neighbors() {
+        let plaq = Coord::new(2, 2);
+        let data: Vec<Coord> = plaq.diagonal_neighbors().to_vec();
+        assert!(data.iter().all(|c| c.is_data_site()));
+        assert!(data.contains(&Coord::new(1, 1)));
+        assert!(data.contains(&Coord::new(3, 3)));
+        let diag: Vec<Coord> = plaq.distance_two_diagonals().to_vec();
+        assert!(diag.iter().all(|c| c.is_syndrome_site()));
+        assert_eq!(plaq.chebyshev(Coord::new(4, 5)), 3);
+    }
+
+    #[test]
+    fn boundary_sides() {
+        assert_eq!(BoundarySide::Xl1.logical_basis(), Basis::X);
+        assert_eq!(BoundarySide::Zl2.logical_basis(), Basis::Z);
+        assert_eq!(Basis::X.opposite(), Basis::Z);
+    }
+}

@@ -1,0 +1,44 @@
+//! Rotated surface-code patches: geometry, gauge groups, schedules and
+//! code distance.
+//!
+//! The central type is [`Patch`]: a set of data qubits plus measured checks
+//! partitioned into *gauge groups* (a group's product is a stabilizer; a
+//! singleton group is an ordinary stabilizer). This one abstraction covers
+//! fresh rotated codes and every deformed configuration produced by the
+//! Surf-Deformer instructions:
+//!
+//! * [`Patch::rotated`] / [`Patch::rectangle`] — standard rotated codes;
+//! * mutators ([`Patch::remove_data`], [`Patch::merge_groups`],
+//!   [`Patch::add_check`], …) — deformation building blocks used by
+//!   `surf-deformer-core`;
+//! * [`Patch::distance`] — X/Z code distances of arbitrary deformed patches
+//!   via parity-doubled BFS;
+//! * [`Patch::reroute_logicals_avoiding`] — GF(2) logical rerouting;
+//! * [`MeasurementSchedule`] — super-stabilizer measurement cadences;
+//! * [`Patch::to_measured_code`] — bridge to the algebraic view of
+//!   `surf-stabilizer` for tableau-based verification.
+//!
+//! # Example
+//!
+//! ```
+//! use surf_lattice::{Distances, Patch};
+//!
+//! let patch = Patch::rotated(5);
+//! assert_eq!(patch.distance(), Distances { x: 5, z: 5 });
+//! assert_eq!(patch.num_physical_qubits(), 49);
+//! patch.verify().unwrap();
+//! ```
+
+mod convert;
+mod coord;
+mod distance;
+mod logical;
+mod patch;
+mod schedule;
+
+pub use convert::check_string;
+pub use coord::{Basis, BoundarySide, Coord};
+pub use distance::Distances;
+pub use logical::RerouteError;
+pub use patch::{Check, CheckId, GroupId, Patch};
+pub use schedule::{Cadence, MeasurementSchedule};

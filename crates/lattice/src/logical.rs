@@ -1,0 +1,204 @@
+//! Logical-operator rerouting.
+//!
+//! Before a deformation removes data qubits, the logical operators must be
+//! moved off them by multiplying with stabilizers (group products) — this
+//! changes the representative, never the logical action. The solver below
+//! finds such a combination with GF(2) elimination restricted to the
+//! forbidden columns.
+
+use std::collections::BTreeSet;
+
+use surf_pauli::gf2::Mat;
+use surf_pauli::BitVec;
+
+use crate::{Basis, Coord, Patch};
+
+/// Failure to move a logical operator off a forbidden region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RerouteError {
+    /// Which logical could not be rerouted.
+    pub basis: Basis,
+    /// The forbidden qubits that could not be vacated.
+    pub avoid: Vec<Coord>,
+}
+
+impl std::fmt::Display for RerouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "logical {} operator cannot avoid {:?} (patch would lose its logical qubit)",
+            self.basis, self.avoid
+        )
+    }
+}
+
+impl std::error::Error for RerouteError {}
+
+impl Patch {
+    /// Multiplies the logical operators by group products so that neither
+    /// acts on any qubit in `avoid`.
+    ///
+    /// # Errors
+    ///
+    /// [`RerouteError`] if a logical cannot be vacated — this means the
+    /// removal would sever the patch's logical qubit (e.g. a defect line
+    /// cutting the patch in two).
+    pub fn reroute_logicals_avoiding(&mut self, avoid: &BTreeSet<Coord>) -> Result<(), RerouteError> {
+        let new_x = self.reroute_one(Basis::X, self.logical_x().clone(), avoid)?;
+        let new_z = self.reroute_one(Basis::Z, self.logical_z().clone(), avoid)?;
+        self.set_logicals(new_x, new_z);
+        Ok(())
+    }
+
+    /// Moves only the logical operator of `basis` off the `avoid` set.
+    ///
+    /// # Errors
+    ///
+    /// [`RerouteError`] if no equivalent representative avoids the set.
+    pub fn reroute_logical_avoiding(
+        &mut self,
+        basis: Basis,
+        avoid: &BTreeSet<Coord>,
+    ) -> Result<(), RerouteError> {
+        match basis {
+            Basis::X => {
+                let new_x = self.reroute_one(Basis::X, self.logical_x().clone(), avoid)?;
+                let z = self.logical_z().clone();
+                self.set_logicals(new_x, z);
+            }
+            Basis::Z => {
+                let new_z = self.reroute_one(Basis::Z, self.logical_z().clone(), avoid)?;
+                let x = self.logical_x().clone();
+                self.set_logicals(x, new_z);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reroutes a single logical of the given basis off `avoid`, returning
+    /// the new support.
+    fn reroute_one(
+        &self,
+        basis: Basis,
+        logical: BTreeSet<Coord>,
+        avoid: &BTreeSet<Coord>,
+    ) -> Result<BTreeSet<Coord>, RerouteError> {
+        if logical.intersection(avoid).count() == 0 {
+            return Ok(logical);
+        }
+        let cols: Vec<Coord> = avoid.iter().copied().collect();
+        let col_of = |q: &Coord| cols.binary_search(q).ok();
+        // Rows: stabilizer-group products of the same basis, restricted to
+        // `avoid` (gauge-only products are not stabilizers and must not be
+        // multiplied into a logical).
+        let group_ids: Vec<_> = self
+            .stabilizer_group_ids()
+            .into_iter()
+            .filter(|&g| self.group_basis(g) == Some(basis))
+            .collect();
+        let products: Vec<BTreeSet<Coord>> =
+            group_ids.iter().map(|&g| self.group_product(g)).collect();
+        let mut mat = Mat::new(cols.len());
+        for product in &products {
+            let mut row = BitVec::zeros(cols.len());
+            for q in product {
+                if let Some(i) = col_of(q) {
+                    row.set(i, true);
+                }
+            }
+            mat.push_row(row);
+        }
+        let mut target = BitVec::zeros(cols.len());
+        for q in &logical {
+            if let Some(i) = col_of(q) {
+                target.set(i, true);
+            }
+        }
+        let combo = mat.solve_combination(&target).ok_or_else(|| RerouteError {
+            basis,
+            avoid: cols.clone(),
+        })?;
+        let mut support = logical;
+        for idx in combo {
+            for q in &products[idx] {
+                if !support.remove(q) {
+                    support.insert(*q);
+                }
+            }
+        }
+        debug_assert!(support.intersection(avoid).count() == 0);
+        Ok(support)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reroute_around_single_qubit() {
+        let mut p = Patch::rotated(5);
+        let q = Coord::new(1, 1); // corner, on both logicals
+        assert!(p.logical_x().contains(&q));
+        assert!(p.logical_z().contains(&q));
+        let avoid: BTreeSet<Coord> = [q].into_iter().collect();
+        p.reroute_logicals_avoiding(&avoid).unwrap();
+        assert!(!p.logical_x().contains(&q));
+        assert!(!p.logical_z().contains(&q));
+        p.verify().unwrap();
+        // Distances unchanged: rerouting is representative-only.
+        assert_eq!(p.distance_x(), 5);
+        assert_eq!(p.distance_z(), 5);
+    }
+
+    #[test]
+    fn reroute_noop_when_disjoint() {
+        let mut p = Patch::rotated(3);
+        let before_x = p.logical_x().clone();
+        let avoid: BTreeSet<Coord> = [Coord::new(5, 5)].into_iter().collect();
+        p.reroute_logicals_avoiding(&avoid).unwrap();
+        assert_eq!(p.logical_x(), &before_x);
+    }
+
+    #[test]
+    fn reroute_around_full_row_severs_logical_x() {
+        // Every logical X chain must terminate on the north boundary, i.e.
+        // contain a qubit of the north-most row. Forbidding the entire row
+        // therefore severs logical X and the reroute must fail.
+        let mut p = Patch::rotated(3);
+        let avoid: BTreeSet<Coord> = (0..3).map(|c| Coord::new(2 * c + 1, 1)).collect();
+        let err = p.reroute_logicals_avoiding(&avoid).unwrap_err();
+        assert_eq!(err.basis, Basis::X);
+    }
+
+    #[test]
+    fn reroute_z_off_its_own_row_succeeds() {
+        // Z_L alone can hop to the next row (multiply by the Z plaquettes
+        // between the rows); only its single crossing with X_L pins it.
+        let mut p = Patch::rotated(3);
+        let row0: BTreeSet<Coord> = (1..3).map(|c| Coord::new(2 * c + 1, 1)).collect();
+        // Avoid row 0 except the X_L crossing qubit (1,1).
+        p.reroute_logicals_avoiding(&row0).unwrap();
+        assert_eq!(p.logical_z().intersection(&row0).count(), 0);
+        p.verify().unwrap();
+        assert_eq!(p.distance_z(), 3);
+    }
+
+    #[test]
+    fn reroute_around_plaquette_support() {
+        // SyndromeQ_RM needs the logicals off all four data qubits of the
+        // removed plaquette.
+        let mut p = Patch::rotated(5);
+        let avoid: BTreeSet<Coord> = Coord::new(4, 4)
+            .diagonal_neighbors()
+            .into_iter()
+            .collect();
+        p.reroute_logicals_avoiding(&avoid).unwrap();
+        assert_eq!(p.logical_x().intersection(&avoid).count(), 0);
+        assert_eq!(p.logical_z().intersection(&avoid).count(), 0);
+        p.verify().unwrap();
+        assert_eq!(p.distance(), Distances { x: 5, z: 5 });
+    }
+
+    use crate::Distances;
+}

@@ -1,0 +1,27 @@
+//! Lattice-surgery layouts, ancilla-path routing, and throughput
+//! simulation (paper Section VI and Fig. 11c).
+//!
+//! * [`LayoutParams`] — grid layouts with per-scheme inter-space widths and
+//!   physical-qubit accounting;
+//! * [`RoutingGrid`] — the channel lattice with defect-induced blocking and
+//!   BFS ancilla-path routing;
+//! * [`ThroughputSim`] — dependency-respecting greedy scheduling of CNOT
+//!   task sets under sampled defects.
+//!
+//! # Example
+//!
+//! ```
+//! use surf_layout::LayoutParams;
+//!
+//! let surf = LayoutParams::surf_deformer(100, 19, 4);
+//! let q3de = LayoutParams::q3de_revised(100, 19);
+//! assert!(surf.physical_qubits() < q3de.physical_qubits());
+//! ```
+
+mod params;
+mod routing;
+mod throughput;
+
+pub use params::{LayoutParams, LayoutScheme};
+pub use routing::{Cell, RoutingGrid};
+pub use throughput::{Task, ThroughputResult, ThroughputSim};

@@ -1,0 +1,285 @@
+//! Throughput simulation of non-local operations under defects
+//! (paper Fig. 11c).
+//!
+//! Tasks are lists of CNOTs with implicit data dependencies (gates sharing
+//! a logical qubit execute in order). Each timestep (one lattice-surgery
+//! merge window of `d` QEC rounds), every ready gate tries to claim a
+//! vertex-disjoint ancilla path; defective patches may have spilled into
+//! the channels depending on the layout scheme, blocking routes.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use surf_defects::sample_poisson;
+use crate::params::{LayoutParams, LayoutScheme};
+use crate::routing::RoutingGrid;
+
+/// A quantum task: an ordered list of CNOTs on logical qubit indices.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// CNOT gates `(control, target)` in program order.
+    pub gates: Vec<(usize, usize)>,
+}
+
+impl Task {
+    /// A random task of `num_gates` CNOTs over a qubit pool.
+    pub fn random<R: Rng + ?Sized>(pool: &[usize], num_gates: usize, rng: &mut R) -> Task {
+        assert!(pool.len() >= 2);
+        let gates = (0..num_gates)
+            .map(|_| {
+                let a = pool[rng.gen_range(0..pool.len())];
+                let mut b = pool[rng.gen_range(0..pool.len())];
+                while b == a {
+                    b = pool[rng.gen_range(0..pool.len())];
+                }
+                (a, b)
+            })
+            .collect();
+        Task { gates }
+    }
+
+    /// The paper's Fig. 11c task sets: `tasks` tasks of `gates_per_task`
+    /// CNOTs over `pool_size` distinct qubits out of `total`.
+    pub fn paper_set<R: Rng + ?Sized>(
+        tasks: usize,
+        gates_per_task: usize,
+        pool_size: usize,
+        total: usize,
+        rng: &mut R,
+    ) -> Vec<Task> {
+        // Choose `pool_size` distinct logical qubits.
+        let mut ids: Vec<usize> = (0..total).collect();
+        for i in 0..pool_size {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        let pool = &ids[..pool_size];
+        (0..tasks)
+            .map(|t| {
+                // Each task works on its own slice of the pool, giving the
+                // intra-task parallelism the paper's step counts imply.
+                let chunk = pool_size / tasks;
+                let slice = &pool[t * chunk..(t + 1) * chunk];
+                Task::random(slice, gates_per_task, rng)
+            })
+            .collect()
+    }
+}
+
+/// Result of one throughput simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThroughputResult {
+    /// Gates completed.
+    pub completed: usize,
+    /// Timesteps elapsed.
+    pub timesteps: usize,
+    /// Gates left unexecutable when the step cap was reached.
+    pub stranded: usize,
+}
+
+impl ThroughputResult {
+    /// Average completed operations per timestep.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.timesteps.max(1) as f64
+    }
+
+    /// Whether every gate completed.
+    pub fn finished(&self) -> bool {
+        self.stranded == 0
+    }
+}
+
+/// Configuration for a throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputSim {
+    /// Layout scheme and dimensions.
+    pub params: LayoutParams,
+    /// Mean number of defect events per patch during the task window
+    /// (`λ = 2d²ρT_window`).
+    pub defect_mu_per_patch: f64,
+    /// Defect size in cells (the `D` of Eq. 1).
+    pub defect_size: usize,
+    /// Step cap: abort (OverRuntime) beyond this many timesteps.
+    pub step_cap: usize,
+}
+
+impl ThroughputSim {
+    /// Samples defect-induced channel blocks and runs the task sets.
+    pub fn run<R: Rng + ?Sized>(&self, tasks: &[Task], rng: &mut R) -> ThroughputResult {
+        let side = self.params.grid_side();
+        let mut grid = RoutingGrid::new(side);
+        // Sample per-patch defect counts and derive blocking.
+        for patch in 0..self.params.logical_qubits {
+            let k = sample_poisson(self.defect_mu_per_patch, rng) as usize;
+            if k == 0 {
+                continue;
+            }
+            match self.params.scheme {
+                LayoutScheme::LatticeSurgery => {} // no enlargement, no blocks
+                LayoutScheme::Q3de => grid.block_doubling(patch),
+                LayoutScheme::Q3deRevised => {
+                    // Margin d absorbs ⌊d/D⌋ defects.
+                    if k > self.params.margin / self.defect_size.max(1) {
+                        grid.block_doubling(patch);
+                    }
+                }
+                LayoutScheme::SurfDeformer => {
+                    // Margin Δd absorbs ⌊Δd/D⌋ defects (Eq. 1); overflow
+                    // spills into one random channel cell.
+                    if k > self.params.margin / self.defect_size.max(1) {
+                        grid.block_overflow(patch, rng.gen_range(0..4));
+                    }
+                }
+            }
+        }
+        // Dependency-respecting greedy scheduler.
+        let mut next_gate: Vec<usize> = vec![0; tasks.len()];
+        let mut completed = 0usize;
+        let total: usize = tasks.iter().map(|t| t.gates.len()).sum();
+        let mut timesteps = 0usize;
+        while completed < total && timesteps < self.step_cap {
+            timesteps += 1;
+            let mut occupied: HashSet<crate::routing::Cell> = HashSet::new();
+            let mut busy_qubits: HashSet<usize> = HashSet::new();
+            let mut progressed = false;
+            // Round-robin over tasks; within a task, issue the longest
+            // prefix of gates whose qubits are still free this step.
+            for (t, task) in tasks.iter().enumerate() {
+                let mut pc = next_gate[t];
+                while pc < task.gates.len() {
+                    let (a, b) = task.gates[pc];
+                    if busy_qubits.contains(&a) || busy_qubits.contains(&b) {
+                        break;
+                    }
+                    match grid.route(a, b, &occupied) {
+                        Some(path) => {
+                            occupied.extend(path);
+                            busy_qubits.insert(a);
+                            busy_qubits.insert(b);
+                            pc += 1;
+                            completed += 1;
+                            progressed = true;
+                        }
+                        None => break,
+                    }
+                }
+                next_gate[t] = pc;
+            }
+            if !progressed {
+                // Every remaining gate is blocked: with static blocks this
+                // will not resolve (OverRuntime).
+                break;
+            }
+        }
+        ThroughputResult {
+            completed,
+            timesteps,
+            stranded: total - completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_tasks(rng: &mut StdRng) -> Vec<Task> {
+        Task::paper_set(5, 25, 50, 100, rng)
+    }
+
+    fn sim(scheme: LayoutScheme, mu: f64) -> ThroughputSim {
+        let params = match scheme {
+            LayoutScheme::LatticeSurgery => LayoutParams::lattice_surgery(100, 9),
+            LayoutScheme::Q3de => LayoutParams::q3de(100, 9),
+            LayoutScheme::Q3deRevised => LayoutParams::q3de_revised(100, 9),
+            LayoutScheme::SurfDeformer => LayoutParams::surf_deformer(100, 9, 4),
+        };
+        ThroughputSim {
+            params,
+            defect_mu_per_patch: mu,
+            defect_size: 4,
+            step_cap: 10_000,
+        }
+    }
+
+    #[test]
+    fn no_defect_runs_finish_fast() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tasks = paper_tasks(&mut rng);
+        let result = sim(LayoutScheme::LatticeSurgery, 0.0).run(&tasks, &mut rng);
+        assert!(result.finished());
+        assert!(result.timesteps < 200);
+        assert!(result.throughput() > 0.5);
+    }
+
+    #[test]
+    fn q3de_throughput_collapses_under_defects() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q3 = 0.0;
+        let mut surf = 0.0;
+        let trials = 10;
+        for _ in 0..trials {
+            let tasks = paper_tasks(&mut rng);
+            q3 += sim(LayoutScheme::Q3de, 0.5).run(&tasks, &mut rng).throughput();
+            surf += sim(LayoutScheme::SurfDeformer, 0.5)
+                .run(&tasks, &mut rng)
+                .throughput();
+        }
+        assert!(
+            surf > q3,
+            "Surf-Deformer throughput {surf} must beat Q3DE {q3} under defects"
+        );
+    }
+
+    #[test]
+    fn q3de_can_strand_gates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stranded = 0usize;
+        for _ in 0..10 {
+            let tasks = paper_tasks(&mut rng);
+            let r = sim(LayoutScheme::Q3de, 2.0).run(&tasks, &mut rng);
+            stranded += r.stranded;
+        }
+        assert!(stranded > 0, "heavy doubling must strand some gates");
+    }
+
+    #[test]
+    fn surf_deformer_stays_near_optimal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut base = 0.0;
+        let mut surf = 0.0;
+        for _ in 0..10 {
+            let tasks = paper_tasks(&mut rng);
+            base += sim(LayoutScheme::LatticeSurgery, 0.0)
+                .run(&tasks, &mut rng)
+                .throughput();
+            surf += sim(LayoutScheme::SurfDeformer, 0.5)
+                .run(&tasks, &mut rng)
+                .throughput();
+        }
+        assert!(
+            surf > 0.7 * base,
+            "Surf-Deformer {surf} should stay near the defect-free optimum {base}"
+        );
+    }
+
+    #[test]
+    fn task_generation_respects_pool() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tasks = Task::paper_set(5, 25, 50, 100, &mut rng);
+        assert_eq!(tasks.len(), 5);
+        let mut qubits: HashSet<usize> = HashSet::new();
+        for t in &tasks {
+            assert_eq!(t.gates.len(), 25);
+            for &(a, b) in &t.gates {
+                assert_ne!(a, b);
+                qubits.insert(a);
+                qubits.insert(b);
+            }
+        }
+        assert!(qubits.len() <= 50);
+    }
+}

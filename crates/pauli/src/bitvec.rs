@@ -1,0 +1,264 @@
+use std::fmt;
+
+/// A growable, bit-packed boolean vector.
+///
+/// `BitVec` backs the dense symplectic representation used by the tableau
+/// simulator and the GF(2) solver. Bits are packed into `u64` words; XOR of
+/// whole vectors and popcount-style queries run word-at-a-time.
+///
+/// # Example
+///
+/// ```
+/// use surf_pauli::BitVec;
+///
+/// let mut v = BitVec::zeros(100);
+/// v.set(3, true);
+/// v.set(99, true);
+/// assert_eq!(v.count_ones(), 2);
+/// let mut w = BitVec::zeros(100);
+/// w.set(3, true);
+/// v.xor_assign(&w);
+/// assert!(!v.get(3));
+/// assert!(v.get(99));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn toggle(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / 64] ^= 1u64 << (idx % 64);
+    }
+
+    /// XORs `other` into `self` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Parity (mod-2 sum) of the AND of two vectors — the symplectic building
+    /// block for commutation tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot_parity(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Iterator over indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Sets every bit to zero, keeping the length.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Grows the vector to `new_len` bits, padding with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len < len`.
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len >= self.len, "BitVec cannot shrink via grow");
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = BitVec::zeros(0);
+        for bit in iter {
+            let idx = v.len;
+            v.grow(idx + 1);
+            v.set(idx, bit);
+        }
+        v
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_toggle() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(!v.get(64));
+        v.set(64, true);
+        assert!(v.get(64));
+        v.toggle(64);
+        assert!(!v.get(64));
+        v.toggle(129);
+        assert!(v.get(129));
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn xor_and_parity() {
+        let mut a = BitVec::zeros(70);
+        let mut b = BitVec::zeros(70);
+        a.set(1, true);
+        a.set(65, true);
+        b.set(65, true);
+        b.set(3, true);
+        assert!(a.dot_parity(&b)); // overlap only at 65
+        a.xor_assign(&b);
+        assert!(a.get(1));
+        assert!(a.get(3));
+        assert!(!a.get(65));
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let mut v = BitVec::zeros(200);
+        for idx in [0, 63, 64, 127, 199] {
+            v.set(idx, true);
+        }
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 63, 64, 127, 199]);
+    }
+
+    #[test]
+    fn grow_preserves_bits() {
+        let mut v = BitVec::zeros(10);
+        v.set(9, true);
+        v.grow(100);
+        assert!(v.get(9));
+        assert!(!v.get(99));
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+    }
+
+    #[test]
+    fn is_zero_and_clear() {
+        let mut v = BitVec::zeros(66);
+        assert!(v.is_zero());
+        v.set(65, true);
+        assert!(!v.is_zero());
+        v.clear();
+        assert!(v.is_zero());
+        assert_eq!(v.len(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(4);
+        v.get(4);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let v = BitVec::zeros(3);
+        assert_eq!(format!("{v:?}"), "BitVec[000]");
+    }
+}

@@ -1,0 +1,270 @@
+//! Linear algebra over GF(2).
+//!
+//! Used by the workspace for:
+//!
+//! * checking independence of stabilizer generators (paper Theorem 1 (1)),
+//! * testing span membership (is an operator a product of stabilizers?),
+//! * rerouting logical operators off removed qubits (solve
+//!   `L + Σ S_i ≡ 0` on a forbidden support).
+//!
+//! Rows are [`BitVec`]s; the matrix is row-major and dense. Sizes in this
+//! workspace stay below a few thousand columns, so dense elimination is fast.
+
+use crate::BitVec;
+
+/// A dense GF(2) matrix built from rows.
+///
+/// # Example
+///
+/// ```
+/// use surf_pauli::gf2::Mat;
+/// use surf_pauli::BitVec;
+///
+/// let rows = vec![
+///     [true, true, false].into_iter().collect::<BitVec>(),
+///     [false, true, true].into_iter().collect::<BitVec>(),
+/// ];
+/// let m = Mat::from_rows(3, rows);
+/// assert_eq!(m.rank(), 2);
+/// let target: BitVec = [true, false, true].into_iter().collect();
+/// // row0 + row1 = target
+/// let combo = m.solve_combination(&target).unwrap();
+/// assert_eq!(combo, vec![0, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Mat {
+    cols: usize,
+    rows: Vec<BitVec>,
+}
+
+impl Mat {
+    /// Creates a matrix with `cols` columns and no rows.
+    pub fn new(cols: usize) -> Self {
+        Mat { cols, rows: Vec::new() }
+    }
+
+    /// Creates a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from `cols`.
+    pub fn from_rows(cols: usize, rows: Vec<BitVec>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), cols, "row length mismatch");
+        }
+        Mat { cols, rows }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from `cols`.
+    pub fn push_row(&mut self, row: BitVec) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Rank of the matrix over GF(2).
+    pub fn rank(&self) -> usize {
+        let mut work: Vec<BitVec> = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank..work.len()).find(|&r| work[r].get(col)) else {
+                continue;
+            };
+            work.swap(rank, pivot);
+            let pivot_row = work[rank].clone();
+            for (r, row) in work.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+            if rank == work.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Returns `true` if `target` lies in the row span.
+    pub fn in_span(&self, target: &BitVec) -> bool {
+        self.solve_combination(target).is_some()
+    }
+
+    /// Finds a subset of row indices whose XOR equals `target`, if one
+    /// exists.
+    ///
+    /// Runs Gaussian elimination on an augmented system that tracks, for each
+    /// reduced row, which original rows were combined to produce it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != cols`.
+    pub fn solve_combination(&self, target: &BitVec) -> Option<Vec<usize>> {
+        assert_eq!(target.len(), self.cols, "target length mismatch");
+        let n = self.rows.len();
+        // (reduced row, membership vector over original rows)
+        let mut work: Vec<(BitVec, BitVec)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut tag = BitVec::zeros(n);
+                tag.set(i, true);
+                (r.clone(), tag)
+            })
+            .collect();
+        let mut goal = target.clone();
+        let mut goal_tag = BitVec::zeros(n);
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank..work.len()).find(|&r| work[r].0.get(col)) else {
+                continue;
+            };
+            work.swap(rank, pivot);
+            let (pivot_row, pivot_tag) = work[rank].clone();
+            for (r, (row, tag)) in work.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                    tag.xor_assign(&pivot_tag);
+                }
+            }
+            if goal.get(col) {
+                goal.xor_assign(&pivot_row);
+                goal_tag.xor_assign(&pivot_tag);
+            }
+            rank += 1;
+            if rank == work.len() {
+                break;
+            }
+        }
+        if goal.is_zero() {
+            Some(goal_tag.iter_ones().collect())
+        } else {
+            None
+        }
+    }
+
+    /// Returns a basis of the null space of the matrix viewed as a map
+    /// `x ↦ Mᵀ·x`? No — of the *row* null space: subsets of rows XORing to
+    /// zero. Each returned vector has length `num_rows()`.
+    pub fn row_nullspace(&self) -> Vec<BitVec> {
+        let n = self.rows.len();
+        let mut work: Vec<(BitVec, BitVec)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut tag = BitVec::zeros(n);
+                tag.set(i, true);
+                (r.clone(), tag)
+            })
+            .collect();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank..work.len()).find(|&r| work[r].0.get(col)) else {
+                continue;
+            };
+            work.swap(rank, pivot);
+            let (pivot_row, pivot_tag) = work[rank].clone();
+            for (r, (row, tag)) in work.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                    tag.xor_assign(&pivot_tag);
+                }
+            }
+            rank += 1;
+            if rank == work.len() {
+                break;
+            }
+        }
+        work.iter()
+            .filter(|(row, _)| row.is_zero())
+            .map(|(_, tag)| tag.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[u8]) -> BitVec {
+        bits.iter().map(|&b| b == 1).collect()
+    }
+
+    #[test]
+    fn rank_basic() {
+        let m = Mat::from_rows(
+            3,
+            vec![bv(&[1, 0, 0]), bv(&[0, 1, 0]), bv(&[1, 1, 0])],
+        );
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rank_of_empty_and_zero() {
+        assert_eq!(Mat::new(5).rank(), 0);
+        let m = Mat::from_rows(4, vec![bv(&[0, 0, 0, 0])]);
+        assert_eq!(m.rank(), 0);
+    }
+
+    #[test]
+    fn solve_combination_finds_subset() {
+        let m = Mat::from_rows(
+            4,
+            vec![bv(&[1, 1, 0, 0]), bv(&[0, 1, 1, 0]), bv(&[0, 0, 1, 1])],
+        );
+        // rows 0+1+2 = [1,0,0,1]
+        let combo = m.solve_combination(&bv(&[1, 0, 0, 1])).unwrap();
+        let mut acc = BitVec::zeros(4);
+        for idx in combo {
+            acc.xor_assign(&m.rows[idx]);
+        }
+        assert_eq!(acc, bv(&[1, 0, 0, 1]));
+    }
+
+    #[test]
+    fn solve_combination_none_when_outside_span() {
+        let m = Mat::from_rows(3, vec![bv(&[1, 1, 0]), bv(&[0, 1, 1])]);
+        assert!(m.solve_combination(&bv(&[1, 0, 0])).is_none());
+        assert!(!m.in_span(&bv(&[1, 0, 0])));
+        assert!(m.in_span(&bv(&[1, 0, 1])));
+    }
+
+    #[test]
+    fn zero_target_gives_empty_combo() {
+        let m = Mat::from_rows(3, vec![bv(&[1, 1, 0])]);
+        assert_eq!(m.solve_combination(&bv(&[0, 0, 0])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn row_nullspace_detects_dependency() {
+        let m = Mat::from_rows(
+            3,
+            vec![bv(&[1, 1, 0]), bv(&[0, 1, 1]), bv(&[1, 0, 1])],
+        );
+        let null = m.row_nullspace();
+        assert_eq!(null.len(), 1);
+        // The dependency is rows {0,1,2}.
+        assert_eq!(null[0].iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn independent_rows_have_trivial_nullspace() {
+        let m = Mat::from_rows(3, vec![bv(&[1, 0, 0]), bv(&[0, 1, 0])]);
+        assert!(m.row_nullspace().is_empty());
+    }
+}

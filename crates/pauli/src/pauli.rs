@@ -1,0 +1,164 @@
+use std::fmt;
+
+/// A single-qubit Pauli operator, modulo global phase.
+///
+/// The group structure used throughout the workspace is the projective Pauli
+/// group: multiplication ignores the `±i` phases (they are tracked separately
+/// where needed, e.g. in the tableau simulator).
+///
+/// # Example
+///
+/// ```
+/// use surf_pauli::Pauli;
+/// assert_eq!(Pauli::X * Pauli::Z, Pauli::Y);
+/// assert!(!Pauli::X.commutes_with(Pauli::Z));
+/// assert!(Pauli::X.commutes_with(Pauli::X));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Pauli {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The bit-flip operator.
+    X,
+    /// The combined bit- and phase-flip operator (`XZ` up to phase).
+    Y,
+    /// The phase-flip operator.
+    Z,
+}
+
+impl Pauli {
+    /// All four Pauli operators, in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Pauli operators.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns the symplectic `(x, z)` bit pair of this operator.
+    ///
+    /// `X → (1,0)`, `Z → (0,1)`, `Y → (1,1)`, `I → (0,0)`.
+    pub fn xz_bits(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from its symplectic `(x, z)` bit pair.
+    pub fn from_xz_bits(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns `true` if the two operators commute.
+    ///
+    /// Two distinct non-identity Paulis anti-commute; everything else
+    /// commutes.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// Returns `true` for `X`, `Y`, or `Z`.
+    pub fn is_error(self) -> bool {
+        self != Pauli::I
+    }
+
+    /// Returns `true` if this operator has an `X` component (`X` or `Y`).
+    pub fn anticommutes_with_z(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Returns `true` if this operator has a `Z` component (`Z` or `Y`).
+    pub fn anticommutes_with_x(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+}
+
+impl std::ops::Mul for Pauli {
+    type Output = Pauli;
+
+    /// Phaseless Pauli multiplication: `X * Z = Y`, `X * X = I`, etc.
+    fn mul(self, rhs: Pauli) -> Pauli {
+        let (x1, z1) = self.xz_bits();
+        let (x2, z2) = rhs.xz_bits();
+        Pauli::from_xz_bits(x1 ^ x2, z1 ^ z2)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_table() {
+        use Pauli::*;
+        assert_eq!(X * X, I);
+        assert_eq!(Y * Y, I);
+        assert_eq!(Z * Z, I);
+        assert_eq!(X * Z, Y);
+        assert_eq!(Z * X, Y);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        for p in Pauli::ALL {
+            assert_eq!(p * I, p);
+            assert_eq!(I * p, p);
+        }
+    }
+
+    #[test]
+    fn commutation() {
+        use Pauli::*;
+        assert!(X.commutes_with(X));
+        assert!(!X.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+        for p in Pauli::ALL {
+            assert!(p.commutes_with(I));
+            assert!(I.commutes_with(p));
+            assert!(p.commutes_with(p));
+        }
+    }
+
+    #[test]
+    fn xz_bits_roundtrip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.xz_bits();
+            assert_eq!(Pauli::from_xz_bits(x, z), p);
+        }
+    }
+
+    #[test]
+    fn component_queries() {
+        assert!(Pauli::X.anticommutes_with_z());
+        assert!(Pauli::Y.anticommutes_with_z());
+        assert!(!Pauli::Z.anticommutes_with_z());
+        assert!(Pauli::Z.anticommutes_with_x());
+        assert!(Pauli::Y.anticommutes_with_x());
+        assert!(!Pauli::X.anticommutes_with_x());
+        assert!(!Pauli::I.is_error());
+        assert!(Pauli::Y.is_error());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pauli::Y.to_string(), "Y");
+    }
+}

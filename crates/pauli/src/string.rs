@@ -1,0 +1,281 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Pauli;
+
+/// A sparse multi-qubit Pauli operator, modulo global phase.
+///
+/// Qubits are identified by arbitrary `u64` keys (the lattice crate encodes
+/// 2-D coordinates into these keys), so a `PauliString` survives code
+/// deformation where qubits are added and removed at runtime.
+///
+/// The representation stores only non-identity sites, sorted by qubit id.
+///
+/// # Example
+///
+/// ```
+/// use surf_pauli::{Pauli, PauliString};
+///
+/// let a = PauliString::from_pairs([(0, Pauli::X), (1, Pauli::X)]);
+/// let b = PauliString::from_pairs([(1, Pauli::Z), (2, Pauli::Z)]);
+/// let ab = a.product(&b);
+/// assert_eq!(ab.get(1), Pauli::Y);
+/// assert_eq!(ab.weight(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PauliString {
+    terms: BTreeMap<u64, Pauli>,
+}
+
+impl PauliString {
+    /// The identity operator.
+    pub fn identity() -> Self {
+        PauliString::default()
+    }
+
+    /// Builds a string from `(qubit, pauli)` pairs; identity entries are
+    /// dropped, repeated qubits are multiplied together.
+    pub fn from_pairs<I: IntoIterator<Item = (u64, Pauli)>>(pairs: I) -> Self {
+        let mut s = PauliString::default();
+        for (q, p) in pairs {
+            s.multiply_site(q, p);
+        }
+        s
+    }
+
+    /// Builds an all-`X` string on the given qubits.
+    pub fn xs<I: IntoIterator<Item = u64>>(qubits: I) -> Self {
+        PauliString::from_pairs(qubits.into_iter().map(|q| (q, Pauli::X)))
+    }
+
+    /// Builds an all-`Z` string on the given qubits.
+    pub fn zs<I: IntoIterator<Item = u64>>(qubits: I) -> Self {
+        PauliString::from_pairs(qubits.into_iter().map(|q| (q, Pauli::Z)))
+    }
+
+    /// The Pauli acting on `qubit` (identity if absent).
+    pub fn get(&self, qubit: u64) -> Pauli {
+        self.terms.get(&qubit).copied().unwrap_or(Pauli::I)
+    }
+
+    /// Multiplies the single-site operator `p` on `qubit` into this string.
+    pub fn multiply_site(&mut self, qubit: u64, p: Pauli) {
+        if p == Pauli::I {
+            return;
+        }
+        let combined = self.get(qubit) * p;
+        if combined == Pauli::I {
+            self.terms.remove(&qubit);
+        } else {
+            self.terms.insert(qubit, combined);
+        }
+    }
+
+    /// Number of non-identity sites.
+    pub fn weight(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if this is the identity operator.
+    pub fn is_identity(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterator over `(qubit, pauli)` pairs in qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Pauli)> + '_ {
+        self.terms.iter().map(|(&q, &p)| (q, p))
+    }
+
+    /// Iterator over the qubits in the support.
+    pub fn support(&self) -> impl Iterator<Item = u64> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Returns `true` if `qubit` is acted on non-trivially.
+    pub fn acts_on(&self, qubit: u64) -> bool {
+        self.terms.contains_key(&qubit)
+    }
+
+    /// The phaseless product of two strings.
+    pub fn product(&self, other: &PauliString) -> PauliString {
+        let mut out = self.clone();
+        for (q, p) in other.iter() {
+            out.multiply_site(q, p);
+        }
+        out
+    }
+
+    /// Multiplies `other` into `self` in place.
+    pub fn multiply_assign(&mut self, other: &PauliString) {
+        for (q, p) in other.iter() {
+            self.multiply_site(q, p);
+        }
+    }
+
+    /// Returns `true` if the two operators commute.
+    ///
+    /// Commutation is determined by the parity of the number of sites where
+    /// the two strings hold distinct non-identity Paulis.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        // Walk the smaller support for efficiency.
+        let (small, large) = if self.weight() <= other.weight() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut anti = 0usize;
+        for (q, p) in small.iter() {
+            let o = large.get(q);
+            if o != Pauli::I && o != p {
+                anti += 1;
+            }
+        }
+        anti % 2 == 0
+    }
+
+    /// Restricts the string to the given predicate over qubits, returning the
+    /// sub-operator on matching sites.
+    pub fn filter<F: Fn(u64) -> bool>(&self, keep: F) -> PauliString {
+        PauliString {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(&q, _)| keep(q))
+                .map(|(&q, &p)| (q, p))
+                .collect(),
+        }
+    }
+
+    /// Removes `qubit` from the support (acts as projecting that site to
+    /// identity). Returns the Pauli that was removed.
+    pub fn erase(&mut self, qubit: u64) -> Pauli {
+        self.terms.remove(&qubit).unwrap_or(Pauli::I)
+    }
+
+    /// Returns `true` if every site of this string is `X` (or the string is
+    /// the identity).
+    pub fn is_x_type(&self) -> bool {
+        self.terms.values().all(|&p| p == Pauli::X)
+    }
+
+    /// Returns `true` if every site of this string is `Z` (or the string is
+    /// the identity).
+    pub fn is_z_type(&self) -> bool {
+        self.terms.values().all(|&p| p == Pauli::Z)
+    }
+}
+
+impl FromIterator<(u64, Pauli)> for PauliString {
+    fn from_iter<I: IntoIterator<Item = (u64, Pauli)>>(iter: I) -> Self {
+        PauliString::from_pairs(iter)
+    }
+}
+
+impl fmt::Display for PauliString {
+    /// Formats as `X0·Z5·Y7`, or `I` for the identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "I");
+        }
+        let mut first = true;
+        for (q, p) in self.iter() {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            write!(f, "{p}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_merges_and_drops_identity() {
+        let s = PauliString::from_pairs([(0, Pauli::X), (0, Pauli::Z), (1, Pauli::I)]);
+        assert_eq!(s.get(0), Pauli::Y);
+        assert_eq!(s.get(1), Pauli::I);
+        assert_eq!(s.weight(), 1);
+    }
+
+    #[test]
+    fn self_inverse_product() {
+        let s = PauliString::from_pairs([(0, Pauli::X), (3, Pauli::Y), (9, Pauli::Z)]);
+        assert!(s.product(&s).is_identity());
+    }
+
+    #[test]
+    fn commutation_examples() {
+        // Weight-2 overlap of anti-commuting sites => commute overall.
+        let zz = PauliString::zs([0, 1]);
+        let xx = PauliString::xs([0, 1]);
+        assert!(zz.commutes_with(&xx));
+        // Weight-1 overlap => anti-commute.
+        let x0 = PauliString::xs([0]);
+        assert!(!zz.commutes_with(&x0));
+        // Disjoint supports always commute.
+        let z9 = PauliString::zs([9]);
+        assert!(x0.commutes_with(&z9));
+        // Identity commutes with everything.
+        assert!(PauliString::identity().commutes_with(&zz));
+    }
+
+    #[test]
+    fn plaquette_commutation_like_surface_code() {
+        // Two plaquettes sharing an edge (2 qubits) commute.
+        let x_plaq = PauliString::xs([0, 1, 2, 3]);
+        let z_plaq = PauliString::zs([2, 3, 4, 5]);
+        assert!(x_plaq.commutes_with(&z_plaq));
+        // After removing one shared qubit they anti-commute.
+        let mut z_cut = z_plaq.clone();
+        z_cut.erase(2);
+        assert!(!x_plaq.commutes_with(&z_cut));
+    }
+
+    #[test]
+    fn type_queries() {
+        assert!(PauliString::xs([1, 2]).is_x_type());
+        assert!(!PauliString::xs([1, 2]).is_z_type());
+        assert!(PauliString::zs([1]).is_z_type());
+        assert!(PauliString::identity().is_x_type());
+        assert!(PauliString::identity().is_z_type());
+        let y = PauliString::from_pairs([(0, Pauli::Y)]);
+        assert!(!y.is_x_type() && !y.is_z_type());
+    }
+
+    #[test]
+    fn filter_and_erase() {
+        let s = PauliString::from_pairs([(0, Pauli::X), (5, Pauli::Z), (10, Pauli::Y)]);
+        let evens = s.filter(|q| q % 2 == 0);
+        assert_eq!(evens.weight(), 3 - 1 + 0); // qubits 0 and 10 survive
+        let mut t = s.clone();
+        assert_eq!(t.erase(5), Pauli::Z);
+        assert_eq!(t.erase(5), Pauli::I);
+        assert_eq!(t.weight(), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = PauliString::from_pairs([(2, Pauli::Z), (0, Pauli::X)]);
+        assert_eq!(s.to_string(), "X0·Z2");
+        assert_eq!(PauliString::identity().to_string(), "I");
+    }
+
+    #[test]
+    fn multiply_assign_matches_product() {
+        let a = PauliString::from_pairs([(0, Pauli::X), (1, Pauli::Y)]);
+        let b = PauliString::from_pairs([(1, Pauli::Z), (2, Pauli::X)]);
+        let mut c = a.clone();
+        c.multiply_assign(&b);
+        assert_eq!(c, a.product(&b));
+    }
+}

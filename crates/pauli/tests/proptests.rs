@@ -1,0 +1,125 @@
+//! Property-based tests for the Pauli algebra substrate.
+
+use proptest::prelude::*;
+use surf_pauli::gf2::Mat;
+use surf_pauli::{BitVec, Pauli, PauliString};
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
+}
+
+fn arb_string(max_qubits: u64) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec((0..max_qubits, arb_pauli()), 0..12)
+        .prop_map(PauliString::from_pairs)
+}
+
+proptest! {
+    #[test]
+    fn pauli_mul_associative(a in arb_pauli(), b in arb_pauli(), c in arb_pauli()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn pauli_mul_commutative_mod_phase(a in arb_pauli(), b in arb_pauli()) {
+        // Phaseless multiplication is commutative.
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn string_product_associative(
+        a in arb_string(16), b in arb_string(16), c in arb_string(16)
+    ) {
+        prop_assert_eq!(a.product(&b).product(&c), a.product(&b.product(&c)));
+    }
+
+    #[test]
+    fn string_self_product_identity(a in arb_string(16)) {
+        prop_assert!(a.product(&a).is_identity());
+    }
+
+    #[test]
+    fn commutation_symmetric(a in arb_string(16), b in arb_string(16)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+    }
+
+    #[test]
+    fn commutation_from_symplectic_form(a in arb_string(16), b in arb_string(16)) {
+        // Cross-check sparse commutation against the dense symplectic form
+        // <a,b> = ax·bz + az·bx (mod 2).
+        let n = 16usize;
+        let mut ax = BitVec::zeros(n);
+        let mut az = BitVec::zeros(n);
+        for (q, p) in a.iter() {
+            let (x, z) = p.xz_bits();
+            if x { ax.set(q as usize, true); }
+            if z { az.set(q as usize, true); }
+        }
+        let mut bx = BitVec::zeros(n);
+        let mut bz = BitVec::zeros(n);
+        for (q, p) in b.iter() {
+            let (x, z) = p.xz_bits();
+            if x { bx.set(q as usize, true); }
+            if z { bz.set(q as usize, true); }
+        }
+        let sym = ax.dot_parity(&bz) ^ az.dot_parity(&bx);
+        prop_assert_eq!(a.commutes_with(&b), !sym);
+    }
+
+    #[test]
+    fn product_commutation_bilinear(
+        a in arb_string(12), b in arb_string(12), c in arb_string(12)
+    ) {
+        // sign(ab, c) = sign(a, c) * sign(b, c)
+        let lhs = a.product(&b).commutes_with(&c);
+        let rhs = a.commutes_with(&c) == b.commutes_with(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bitvec_xor_involutive(bits in prop::collection::vec(any::<bool>(), 1..200)) {
+        let a: BitVec = bits.iter().copied().collect();
+        let b: BitVec = bits.iter().map(|x| !x).collect();
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn solve_combination_is_sound(
+        rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 8), 1..8),
+        target_rows in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let rows: Vec<BitVec> = rows.into_iter().map(|r| r.into_iter().collect()).collect();
+        let m = Mat::from_rows(8, rows.clone());
+        // XOR a known subset of rows to build an in-span target.
+        let mut target = BitVec::zeros(8);
+        for (i, take) in target_rows.iter().take(rows.len()).enumerate() {
+            if *take {
+                target.xor_assign(&rows[i]);
+            }
+        }
+        let combo = m.solve_combination(&target);
+        prop_assert!(combo.is_some());
+        let mut acc = BitVec::zeros(8);
+        for idx in combo.unwrap() {
+            acc.xor_assign(&rows[idx]);
+        }
+        prop_assert_eq!(acc, target);
+    }
+
+    #[test]
+    fn rank_bounded(rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 10), 0..10)) {
+        let n = rows.len();
+        let m = Mat::from_rows(10, rows.into_iter().map(|r| r.into_iter().collect()).collect());
+        let rank = m.rank();
+        prop_assert!(rank <= n.min(10));
+        // rank + dim(row nullspace) = num rows
+        prop_assert_eq!(rank + m.row_nullspace().len(), n);
+    }
+}

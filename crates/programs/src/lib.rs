@@ -1,0 +1,35 @@
+//! Quantum-program workloads, lattice-surgery compilation and end-to-end
+//! retry-risk estimation (paper Section VII, Table II, Figs. 12/13a).
+//!
+//! * [`workloads`] — Simon / RCA / QFT / Grover generators whose operation
+//!   counts reproduce Table II, plus the published counts themselves;
+//! * [`compile`] — the Litinski-style layout/T-factory cost model;
+//! * [`retry`] — the semi-analytic retry-risk integration calibrated by
+//!   this workspace's Monte-Carlo fits.
+//!
+//! # Example
+//!
+//! ```
+//! use surf_programs::workloads::simon;
+//! use surf_programs::compile::compile;
+//! use surf_programs::retry::{retry_risk, Calibration, StrategyKind};
+//! use surf_defects::CosmicRayModel;
+//!
+//! let program = simon(400, 1000);
+//! let compiled = compile(&program, StrategyKind::SurfDeformer.scheme(), 19, 4);
+//! let outcome = retry_risk(
+//!     &compiled,
+//!     StrategyKind::SurfDeformer,
+//!     &CosmicRayModel::paper(),
+//!     &Calibration::default_paper(),
+//! );
+//! assert!(!outcome.over_runtime);
+//! ```
+
+pub mod compile;
+pub mod retry;
+pub mod workloads;
+
+pub use compile::{compile as compile_program, CompiledProgram};
+pub use retry::{distance_for_target, retry_risk, Calibration, RetryOutcome, StrategyKind};
+pub use workloads::{grover, paper_benchmarks, qft, ripple_carry_adder, simon, Benchmark, Program};

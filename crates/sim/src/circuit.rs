@@ -1,0 +1,325 @@
+//! Clifford circuit IR and syndrome-extraction circuit generation.
+//!
+//! The paper's evaluation uses a circuit-level depolarizing model on the
+//! real syndrome-extraction circuits (ancilla reset → four CNOTs →
+//! measurement). This module provides the Stim-style substrate for that:
+//! a small Clifford instruction set, a generator that lowers a fresh
+//! [`Patch`] into its repeated syndrome-extraction circuit, and noise
+//! annotation. Deformed patches with gauge groups use the phenomenological
+//! detector model of [`crate::DetectorModel`]; the circuit-level path
+//! covers plain patches and serves as the calibration anchor between the
+//! two noise models.
+
+use std::collections::BTreeMap;
+
+use surf_lattice::{Basis, Coord, Patch};
+
+/// One Clifford instruction over dense qubit indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instruction {
+    /// Reset qubits to |0⟩.
+    ResetZ(Vec<usize>),
+    /// Reset qubits to |+⟩.
+    ResetX(Vec<usize>),
+    /// Hadamard gates.
+    H(Vec<usize>),
+    /// CNOTs as `(control, target)` pairs.
+    Cx(Vec<(usize, usize)>),
+    /// Z-basis measurements; outcomes append to the measurement record.
+    MeasureZ(Vec<usize>),
+    /// X-basis measurements.
+    MeasureX(Vec<usize>),
+    /// Single-qubit depolarizing noise at probability `p` on each qubit.
+    Depolarize1(Vec<usize>, f64),
+    /// Two-qubit depolarizing noise after CNOTs.
+    Depolarize2(Vec<(usize, usize)>, f64),
+    /// Classical flip of the next measurement outcomes of these qubits.
+    /// (Applied by pairing with the immediately following measurement.)
+    MeasFlip(Vec<usize>, f64),
+}
+
+/// A Clifford circuit with a measurement record layout.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Instruction stream.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Total measurement-record entries produced by one execution.
+    pub fn num_measurements(&self) -> usize {
+        self.instructions
+            .iter()
+            .map(|i| match i {
+                Instruction::MeasureZ(qs) | Instruction::MeasureX(qs) => qs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A detector: the XOR of a set of measurement-record indices that is
+/// deterministic under zero noise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Detector {
+    /// Measurement-record indices.
+    pub records: Vec<usize>,
+}
+
+/// The circuit plus detector/observable layout of a memory experiment.
+#[derive(Clone, Debug)]
+pub struct MemoryCircuit {
+    /// The noisy circuit.
+    pub circuit: Circuit,
+    /// Detector definitions.
+    pub detectors: Vec<Detector>,
+    /// The check basis of each detector (used to decompose Y-type error
+    /// signatures into per-basis graph edges).
+    pub detector_basis: Vec<Basis>,
+    /// Measurement-record indices whose XOR is the logical readout.
+    pub observable: Vec<usize>,
+    /// Dense index of every qubit (data first, then ancillas).
+    pub qubit_index: Vec<Coord>,
+}
+
+/// Builds the standard memory experiment circuit for a *fresh* (singleton
+/// groups only) patch: `rounds` rounds of syndrome extraction followed by
+/// a transversal data readout in `memory_basis`.
+///
+/// CNOT order within a plaquette follows the standard N/E/W/S zig-zag so
+/// that hook errors align with the code axes.
+///
+/// # Panics
+///
+/// Panics if the patch has multi-check gauge groups (use the
+/// phenomenological [`crate::DetectorModel`] for deformed patches) or if
+/// `rounds == 0`.
+pub fn memory_circuit(
+    patch: &Patch,
+    memory_basis: Basis,
+    rounds: u32,
+    p: f64,
+) -> MemoryCircuit {
+    assert!(rounds > 0);
+    assert!(
+        patch.group_ids().iter().all(|&g| patch.group_members(g).len() == 1),
+        "circuit-level generation requires a fresh patch"
+    );
+    // Dense indexing: data qubits then ancillas.
+    let data = patch.data_qubits();
+    let ancillas = patch.syndrome_qubits();
+    let mut index: BTreeMap<Coord, usize> = BTreeMap::new();
+    for (i, &q) in data.iter().chain(ancillas.iter()).enumerate() {
+        index.insert(q, i);
+    }
+    let checks: Vec<(usize, Basis, Vec<usize>)> = patch
+        .checks()
+        .filter_map(|(_, c)| {
+            let anc = c.ancilla?;
+            // Standard staggered orders: X plaquettes visit their data in
+            // zig order (NW, NE, SW, SE), Z plaquettes in zag order
+            // (NW, SW, NE, SE). Mixing the orders keeps every pair of
+            // adjacent checks commuting at each layer, preserving
+            // stabilizer determinism, and aligns hook errors with the
+            // benign axis.
+            let mut sup: Vec<Coord> = c.support.iter().copied().collect();
+            match c.basis {
+                Basis::X => sup.sort_by_key(|q| (q.y - anc.y, q.x - anc.x)),
+                Basis::Z => sup.sort_by_key(|q| (q.x - anc.x, q.y - anc.y)),
+            }
+            Some((
+                index[&anc],
+                c.basis,
+                sup.into_iter().map(|q| index[&q]).collect(),
+            ))
+        })
+        .collect();
+    let n = index.len();
+    let data_idx: Vec<usize> = (0..data.len()).collect();
+    let mut circuit = Circuit {
+        num_qubits: n,
+        instructions: Vec::new(),
+    };
+    // Initialise data in the memory basis.
+    circuit.instructions.push(match memory_basis {
+        Basis::Z => Instruction::ResetZ(data_idx.clone()),
+        Basis::X => Instruction::ResetX(data_idx.clone()),
+    });
+    // Measurement bookkeeping: per ancilla, the record index of its last
+    // measurement.
+    let mut record_count = 0usize;
+    let mut last_meas: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut detectors: Vec<Detector> = Vec::new();
+    let mut detector_basis: Vec<Basis> = Vec::new();
+    for round in 0..rounds {
+        // Ancilla preparation.
+        let x_anc: Vec<usize> = checks
+            .iter()
+            .filter(|(_, b, _)| *b == Basis::X)
+            .map(|(a, _, _)| *a)
+            .collect();
+        let z_anc: Vec<usize> = checks
+            .iter()
+            .filter(|(_, b, _)| *b == Basis::Z)
+            .map(|(a, _, _)| *a)
+            .collect();
+        circuit.instructions.push(Instruction::ResetX(x_anc.clone()));
+        circuit.instructions.push(Instruction::ResetZ(z_anc.clone()));
+        if p > 0.0 {
+            let all: Vec<usize> = (0..n).collect();
+            circuit.instructions.push(Instruction::Depolarize1(all, p));
+        }
+        // Four interaction layers.
+        for layer in 0..4 {
+            let mut pairs = Vec::new();
+            for (anc, basis, sup) in &checks {
+                if let Some(&dq) = sup.get(layer) {
+                    match basis {
+                        // X ancilla controls; Z ancilla is the target.
+                        Basis::X => pairs.push((*anc, dq)),
+                        Basis::Z => pairs.push((dq, *anc)),
+                    }
+                }
+            }
+            if p > 0.0 {
+                circuit
+                    .instructions
+                    .push(Instruction::Depolarize2(pairs.clone(), p));
+            }
+            circuit.instructions.push(Instruction::Cx(pairs));
+        }
+        // Measure ancillas (with classical flip noise).
+        if p > 0.0 {
+            let mut flips = x_anc.clone();
+            flips.extend(&z_anc);
+            circuit.instructions.push(Instruction::MeasFlip(flips, p));
+        }
+        circuit.instructions.push(Instruction::MeasureX(x_anc.clone()));
+        for (k, &a) in x_anc.iter().enumerate() {
+            let rec = record_count + k;
+            let basis_matches = memory_basis == Basis::X;
+            let before = detectors.len();
+            push_detector(&mut detectors, &mut last_meas, a, rec, round, basis_matches);
+            detector_basis.extend(std::iter::repeat(Basis::X).take(detectors.len() - before));
+        }
+        record_count += x_anc.len();
+        circuit.instructions.push(Instruction::MeasureZ(z_anc.clone()));
+        for (k, &a) in z_anc.iter().enumerate() {
+            let rec = record_count + k;
+            let basis_matches = memory_basis == Basis::Z;
+            let before = detectors.len();
+            push_detector(&mut detectors, &mut last_meas, a, rec, round, basis_matches);
+            detector_basis.extend(std::iter::repeat(Basis::Z).take(detectors.len() - before));
+        }
+        record_count += z_anc.len();
+    }
+    // Final transversal data readout.
+    if p > 0.0 {
+        circuit
+            .instructions
+            .push(Instruction::MeasFlip(data_idx.clone(), p));
+    }
+    circuit.instructions.push(match memory_basis {
+        Basis::Z => Instruction::MeasureZ(data_idx.clone()),
+        Basis::X => Instruction::MeasureX(data_idx.clone()),
+    });
+    let data_record_base = record_count;
+    // Final detectors: each memory-basis check compared with the parity of
+    // its data qubits' readouts.
+    for (anc, basis, sup) in &checks {
+        if *basis != memory_basis {
+            continue;
+        }
+        let mut records: Vec<usize> = sup.iter().map(|&d| data_record_base + d).collect();
+        if let Some(&prev) = last_meas.get(anc) {
+            records.push(prev);
+        }
+        detectors.push(Detector { records });
+        detector_basis.push(memory_basis);
+    }
+    // Observable: the logical string read from the data readout.
+    let logical = match memory_basis {
+        Basis::Z => patch.logical_z(),
+        Basis::X => patch.logical_x(),
+    };
+    let observable: Vec<usize> = logical
+        .iter()
+        .map(|q| data_record_base + index[q])
+        .collect();
+    MemoryCircuit {
+        circuit,
+        detectors,
+        detector_basis,
+        observable,
+        qubit_index: data.into_iter().chain(ancillas).collect(),
+    }
+}
+
+/// Emits the consecutive-round detector for ancilla `a` measured at record
+/// `rec`; the first round only gets a detector when the check's basis
+/// matches the initialisation basis.
+fn push_detector(
+    detectors: &mut Vec<Detector>,
+    last_meas: &mut BTreeMap<usize, usize>,
+    a: usize,
+    rec: usize,
+    round: u32,
+    basis_matches_init: bool,
+) {
+    match last_meas.get(&a) {
+        Some(&prev) => detectors.push(Detector {
+            records: vec![prev, rec],
+        }),
+        None if round == 0 && basis_matches_init => {
+            detectors.push(Detector { records: vec![rec] })
+        }
+        None => {}
+    }
+    last_meas.insert(a, rec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_shape_d3() {
+        let patch = Patch::rotated(3);
+        let mc = memory_circuit(&patch, Basis::Z, 3, 1e-3);
+        // 8 ancillas measured per round + 9 data at the end.
+        assert_eq!(mc.circuit.num_measurements(), 8 * 3 + 9);
+        // Detectors: 4 Z at round 0, 8 per later round, 4 final Z.
+        assert_eq!(mc.detectors.len(), 4 + 8 + 8 + 4);
+        assert_eq!(mc.observable.len(), 3);
+        assert_eq!(mc.circuit.num_qubits, 17);
+    }
+
+    #[test]
+    fn memory_x_mirrors_memory_z() {
+        let patch = Patch::rotated(3);
+        let z = memory_circuit(&patch, Basis::Z, 2, 0.0);
+        let x = memory_circuit(&patch, Basis::X, 2, 0.0);
+        assert_eq!(z.detectors.len(), x.detectors.len());
+        assert_eq!(z.circuit.num_measurements(), x.circuit.num_measurements());
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh patch")]
+    fn deformed_patches_rejected() {
+        let mut patch = Patch::rotated(5);
+        surf_deformer_core::data_q_rm(&mut patch, Coord::new(5, 5)).unwrap();
+        memory_circuit(&patch, Basis::Z, 2, 0.0);
+    }
+
+    #[test]
+    fn noiseless_circuit_has_no_noise_instructions() {
+        let patch = Patch::rotated(3);
+        let mc = memory_circuit(&patch, Basis::Z, 2, 0.0);
+        assert!(!mc.circuit.instructions.iter().any(|i| matches!(
+            i,
+            Instruction::Depolarize1(..) | Instruction::Depolarize2(..) | Instruction::MeasFlip(..)
+        )));
+    }
+}

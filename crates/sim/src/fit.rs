@@ -1,0 +1,119 @@
+//! Logical-error-rate scaling fits.
+//!
+//! Below threshold the per-round logical error rate of a distance-`d`
+//! surface code follows `p_L(d) ≈ A · Λ^{-(d+1)/2}`. Monte-Carlo can only
+//! reach moderate distances (the paper itself skips d = 21, 27 "because
+//! the logical error rates are so low that numerical simulations cannot
+//! provide reasonable estimations"); the large-`d` points of the
+//! evaluation are therefore obtained from this fit, exactly as in the
+//! original evaluation methodology.
+
+/// The fitted scaling model `p_L(d) = A · Λ^{-(d+1)/2}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogicalRateModel {
+    /// Prefactor `A`.
+    pub a: f64,
+    /// Error-suppression factor `Λ` per two rows of distance.
+    pub lambda: f64,
+}
+
+impl LogicalRateModel {
+    /// Least-squares fit of `ln p = ln A − ((d+1)/2)·ln Λ` over measured
+    /// `(d, p_L)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or any rate is
+    /// non-positive.
+    pub fn fit(points: &[(usize, f64)]) -> LogicalRateModel {
+        assert!(points.len() >= 2, "need at least two (d, p) points");
+        let xy: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(d, p)| {
+                assert!(p > 0.0, "rates must be positive, got {p} at d={d}");
+                ((d as f64 + 1.0) / 2.0, p.ln())
+            })
+            .collect();
+        let n = xy.len() as f64;
+        let sx: f64 = xy.iter().map(|(x, _)| x).sum();
+        let sy: f64 = xy.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = xy.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = xy.iter().map(|(x, y)| x * y).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        LogicalRateModel {
+            a: intercept.exp(),
+            lambda: (-slope).exp(),
+        }
+    }
+
+    /// Projected per-round logical error rate at distance `d`.
+    pub fn rate(&self, d: usize) -> f64 {
+        (self.a * self.lambda.powf(-((d as f64 + 1.0) / 2.0))).min(0.5)
+    }
+
+    /// Projected failure probability over `rounds` rounds.
+    pub fn window_failure(&self, d: usize, rounds: u64) -> f64 {
+        let p = self.rate(d);
+        (1.0 - (1.0 - 2.0 * p).powf(rounds as f64)) / 2.0
+    }
+
+    /// The distance needed to reach a target per-round rate.
+    pub fn distance_for_rate(&self, target: f64) -> usize {
+        for d in (1..=401).step_by(2) {
+            if self.rate(d) <= target {
+                return d;
+            }
+        }
+        401
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery_from_synthetic_points() {
+        let truth = LogicalRateModel {
+            a: 0.08,
+            lambda: 9.0,
+        };
+        let points: Vec<(usize, f64)> =
+            [3, 5, 7, 9].iter().map(|&d| (d, truth.rate(d))).collect();
+        let fit = LogicalRateModel::fit(&points);
+        assert!((fit.a - truth.a).abs() / truth.a < 1e-6);
+        assert!((fit.lambda - truth.lambda).abs() / truth.lambda < 1e-6);
+    }
+
+    #[test]
+    fn rate_decreases_with_distance() {
+        let m = LogicalRateModel { a: 0.1, lambda: 5.0 };
+        assert!(m.rate(9) < m.rate(5));
+        assert!(m.rate(27) < 1e-8);
+    }
+
+    #[test]
+    fn window_failure_accumulates() {
+        let m = LogicalRateModel { a: 0.1, lambda: 5.0 };
+        let one = m.window_failure(9, 1);
+        let many = m.window_failure(9, 1000);
+        assert!(many > one);
+        assert!(many <= 0.5);
+    }
+
+    #[test]
+    fn distance_for_rate_monotone() {
+        let m = LogicalRateModel { a: 0.1, lambda: 8.0 };
+        let d1 = m.distance_for_rate(1e-6);
+        let d2 = m.distance_for_rate(1e-12);
+        assert!(d2 > d1);
+        assert!(m.rate(d1) <= 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn fit_needs_points() {
+        LogicalRateModel::fit(&[(3, 0.01)]);
+    }
+}

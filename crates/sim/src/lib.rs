@@ -1,0 +1,38 @@
+//! Monte-Carlo stabilizer memory simulation for (deformed) surface codes.
+//!
+//! This crate replaces the paper's Stim + PyMatching stack:
+//!
+//! * [`DetectorModel`] — builds a graph-like detector error model for any
+//!   patch produced by the Surf-Deformer instructions, including
+//!   super-stabilizer gauge groups with period-2 measurement cadences;
+//! * [`MemoryExperiment`] — samples X-/Z-basis memory experiments in
+//!   parallel and decodes them with MWPM or union-find;
+//! * [`LogicalRateModel`] — the `p_L = A·Λ^{-(d+1)/2}` scaling fit used to
+//!   project large-distance points (the paper uses the same methodology);
+//! * [`NoiseParams`]/[`QubitNoise`] — phenomenological noise with defect
+//!   overlays, measurement flips and correlated two-qubit errors.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use surf_lattice::Patch;
+//! use surf_sim::MemoryExperiment;
+//!
+//! let exp = MemoryExperiment::standard(Patch::rotated(3));
+//! let stats = exp.run(1_000, 42);
+//! println!("logical error rate per round: {:.2e}", stats.per_round_rate(3));
+//! ```
+
+pub mod circuit;
+mod fit;
+pub mod frame;
+mod memory;
+mod model;
+mod noise;
+
+pub use circuit::{memory_circuit, Circuit, Detector, Instruction, MemoryCircuit};
+pub use fit::LogicalRateModel;
+pub use frame::{extract_dem, sample_shot};
+pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats};
+pub use model::{Channel, DecoderPrior, DetectorModel};
+pub use noise::{NoiseParams, QubitNoise};

@@ -1,0 +1,278 @@
+//! Monte-Carlo memory experiments.
+//!
+//! A memory experiment initialises a logical eigenstate, runs `rounds`
+//! noisy QEC rounds on the (possibly deformed) patch, reads out the data
+//! qubits, decodes, and counts logical failures. X- and Z-basis memories
+//! are simulated independently; the reported per-round logical error rate
+//! is their sum (either basis failing fails the computation).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use surf_defects::DefectMap;
+use surf_lattice::{Basis, Patch};
+use surf_matching::{MwpmDecoder, UnionFindDecoder};
+
+use crate::model::{DecoderPrior, DetectorModel};
+use crate::noise::{NoiseParams, QubitNoise};
+
+/// Which decoder backend to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Exact minimum-weight perfect matching (default; the paper uses
+    /// PyMatching).
+    Mwpm,
+    /// The union-find decoder (ablation/speed).
+    UnionFind,
+}
+
+/// Configuration of a memory experiment on one patch.
+#[derive(Clone, Debug)]
+pub struct MemoryExperiment {
+    /// The (possibly deformed) patch.
+    pub patch: Patch,
+    /// Number of noisy measurement rounds.
+    pub rounds: u32,
+    /// Nominal noise parameters.
+    pub noise: NoiseParams,
+    /// Defective qubits physically present in the patch.
+    pub kept_defects: DefectMap,
+    /// Decoder knowledge about the defects.
+    pub prior: DecoderPrior,
+    /// Decoder backend.
+    pub decoder: DecoderKind,
+}
+
+/// Outcome counts of a batch of shots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Shots run per basis.
+    pub shots: u64,
+    /// Logical failures in the Z-basis memory (undetected X-type errors).
+    pub failures_z_memory: u64,
+    /// Logical failures in the X-basis memory.
+    pub failures_x_memory: u64,
+}
+
+impl MemoryStats {
+    /// Failure probability of the Z-basis memory over the whole window.
+    pub fn p_fail_z(&self) -> f64 {
+        self.failures_z_memory as f64 / self.shots as f64
+    }
+
+    /// Failure probability of the X-basis memory.
+    pub fn p_fail_x(&self) -> f64 {
+        self.failures_x_memory as f64 / self.shots as f64
+    }
+
+    /// Combined per-round logical error rate: converts each basis's window
+    /// failure probability `P` to a per-round rate via
+    /// `P = (1 − (1 − 2p)^R)/2` and sums the bases.
+    pub fn per_round_rate(&self, rounds: u32) -> f64 {
+        per_round(self.p_fail_z(), rounds) + per_round(self.p_fail_x(), rounds)
+    }
+}
+
+/// Inverts `P = (1 − (1 − 2p)^R)/2` for the per-round rate `p`.
+pub fn per_round(p_window: f64, rounds: u32) -> f64 {
+    let clamped = p_window.min(0.5 - 1e-12);
+    (1.0 - (1.0 - 2.0 * clamped).powf(1.0 / rounds as f64)) / 2.0
+}
+
+impl MemoryExperiment {
+    /// A standard experiment: `rounds = d`, paper noise, perfect knowledge.
+    pub fn standard(patch: Patch) -> Self {
+        let rounds = patch.distance().min().max(2) as u32;
+        MemoryExperiment {
+            patch,
+            rounds,
+            noise: NoiseParams::paper(),
+            kept_defects: DefectMap::new(),
+            prior: DecoderPrior::Informed,
+            decoder: DecoderKind::Mwpm,
+        }
+    }
+
+    /// Runs `shots` shots per basis, parallelised over available cores.
+    pub fn run(&self, shots: u64, seed: u64) -> MemoryStats {
+        let failures_z = self.run_basis(Basis::Z, shots, seed);
+        let failures_x = self.run_basis(Basis::X, shots, seed ^ 0x9E37_79B9_7F4A_7C15);
+        MemoryStats {
+            shots,
+            failures_z_memory: failures_z,
+            failures_x_memory: failures_x,
+        }
+    }
+
+    /// Runs one basis and returns the failure count.
+    pub fn run_basis(&self, memory_basis: Basis, shots: u64, seed: u64) -> u64 {
+        let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
+        let model = DetectorModel::build(
+            &self.patch,
+            memory_basis,
+            self.rounds,
+            &noise,
+            self.prior,
+        );
+        let mwpm = match self.decoder {
+            DecoderKind::Mwpm => Some(MwpmDecoder::new(model.graph.clone())),
+            DecoderKind::UnionFind => None,
+        };
+        let uf = match self.decoder {
+            DecoderKind::UnionFind => Some(UnionFindDecoder::new(model.graph.clone())),
+            DecoderKind::Mwpm => None,
+        };
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shots.max(1) as usize);
+        let per_thread = shots / threads as u64;
+        let remainder = shots % threads as u64;
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let model = &model;
+                let mwpm = mwpm.as_ref();
+                let uf = uf.as_ref();
+                let counter = &counter;
+                let my_shots = per_thread + u64::from((t as u64) < remainder);
+                let my_seed = seed
+                    .wrapping_add(0xA076_1D64_78BD_642F)
+                    .wrapping_mul(t as u64 + 1);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(my_seed);
+                    let mut local = 0u64;
+                    for _ in 0..my_shots {
+                        let (syndrome, true_obs) = model.sample(&mut rng);
+                        let predicted = match (mwpm, uf) {
+                            (Some(d), _) => d.decode(&syndrome) & 1 == 1,
+                            (_, Some(d)) => d.decode(&syndrome) & 1 == 1,
+                            _ => unreachable!(),
+                        };
+                        if predicted != true_obs {
+                            local += 1;
+                        }
+                    }
+                    counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        counter.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_round_inversion() {
+        // Small probability: per-round ≈ P/R.
+        let p = per_round(0.01, 10);
+        assert!((p - 0.001).abs() < 2e-4, "{p}");
+        // Saturation clamps gracefully.
+        assert!(per_round(0.5, 10) < 0.5);
+        assert!(per_round(0.7, 10) < 0.5);
+    }
+
+    #[test]
+    fn noiseless_experiment_never_fails() {
+        let mut exp = MemoryExperiment::standard(Patch::rotated(3));
+        exp.noise = NoiseParams::uniform(0.0);
+        let stats = exp.run(50, 7);
+        assert_eq!(stats.failures_z_memory, 0);
+        assert_eq!(stats.failures_x_memory, 0);
+    }
+
+    #[test]
+    fn low_noise_low_failure() {
+        let mut exp = MemoryExperiment::standard(Patch::rotated(3));
+        exp.noise = NoiseParams::uniform(1e-3);
+        exp.rounds = 3;
+        let stats = exp.run(300, 11);
+        // d=3 at p=1e-3: logical error rate well below 1%.
+        assert!(stats.p_fail_z() < 0.05, "{}", stats.p_fail_z());
+        assert!(stats.p_fail_x() < 0.05);
+    }
+
+    #[test]
+    fn high_noise_high_failure() {
+        let mut exp = MemoryExperiment::standard(Patch::rotated(3));
+        exp.noise = NoiseParams::uniform(0.2);
+        exp.rounds = 3;
+        let stats = exp.run(200, 13);
+        assert!(
+            stats.p_fail_z() > 0.1,
+            "way above threshold must fail often: {}",
+            stats.p_fail_z()
+        );
+    }
+
+    #[test]
+    fn larger_distance_suppresses_errors() {
+        let rate = |d: usize, seed: u64| {
+            let mut exp = MemoryExperiment::standard(Patch::rotated(d));
+            exp.noise = NoiseParams::uniform(0.01);
+            exp.rounds = d as u32;
+            let shots = 400;
+            exp.run(shots, seed).per_round_rate(d as u32)
+        };
+        let r3 = rate(3, 21);
+        let r7 = rate(7, 22);
+        assert!(
+            r7 < r3,
+            "d=7 rate {r7} must beat d=3 rate {r3} below threshold"
+        );
+    }
+
+    #[test]
+    fn union_find_also_decodes() {
+        let mut exp = MemoryExperiment::standard(Patch::rotated(3));
+        exp.noise = NoiseParams::uniform(1e-3);
+        exp.decoder = DecoderKind::UnionFind;
+        let stats = exp.run(200, 5);
+        assert!(stats.p_fail_z() < 0.1);
+    }
+
+    #[test]
+    fn deformed_patch_simulates() {
+        use surf_deformer_core::data_q_rm;
+        use surf_lattice::Coord;
+        let mut patch = Patch::rotated(5);
+        data_q_rm(&mut patch, Coord::new(5, 5)).unwrap();
+        let mut exp = MemoryExperiment::standard(patch);
+        exp.rounds = 6;
+        let stats = exp.run(200, 17);
+        // Deformed d≈4 code still corrects most errors at p=1e-3.
+        assert!(stats.p_fail_z() < 0.1, "{}", stats.p_fail_z());
+    }
+
+    #[test]
+    fn untreated_defects_hurt_much_more_than_removal() {
+        use surf_deformer_core::{MitigationStrategy, SurfDeformerStrategy, Untreated};
+        use surf_lattice::Coord;
+        let base = Patch::rotated(5);
+        let defects = DefectMap::from_qubits(
+            [Coord::new(5, 5), Coord::new(4, 4), Coord::new(5, 3)],
+            0.5,
+        );
+        let rate = |strategy: &dyn MitigationStrategy, prior| {
+            let out = strategy.mitigate(&base, &defects);
+            let exp = MemoryExperiment {
+                patch: out.patch,
+                rounds: 5,
+                noise: NoiseParams::paper(),
+                kept_defects: out.kept_defects,
+                prior,
+                decoder: DecoderKind::Mwpm,
+            };
+            exp.run(400, 23).per_round_rate(5)
+        };
+        let untreated = rate(&Untreated, DecoderPrior::Nominal);
+        let removed = rate(&SurfDeformerStrategy::removal_only(), DecoderPrior::Informed);
+        assert!(
+            removed < untreated,
+            "removal {removed} must beat untreated {untreated}"
+        );
+    }
+}

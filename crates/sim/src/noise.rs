@@ -1,0 +1,131 @@
+//! Noise parameters for memory simulations.
+
+use surf_defects::DefectMap;
+use surf_lattice::Coord;
+
+/// Phenomenological circuit-style noise (paper Section VII-A): per-round
+/// depolarizing noise on data qubits, classical flips on measurement
+/// outcomes, optional two-qubit correlated depolarizing noise between data
+/// qubits sharing a check (paper Fig. 14a).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseParams {
+    /// Per-round single-qubit depolarizing probability on each data qubit.
+    pub p_data: f64,
+    /// Measurement-outcome flip probability (ancilla and data readout).
+    pub p_meas: f64,
+    /// Per-round two-qubit correlated depolarizing probability on adjacent
+    /// data-qubit pairs (0 disables the channel).
+    pub p_correlated: f64,
+}
+
+impl NoiseParams {
+    /// The paper's standard setting: `p = 10⁻³` for both data and
+    /// measurement noise, no extra correlated channel.
+    pub fn paper() -> Self {
+        NoiseParams {
+            p_data: 1e-3,
+            p_meas: 1e-3,
+            p_correlated: 0.0,
+        }
+    }
+
+    /// Uniform depolarizing/measurement probability `p`.
+    pub fn uniform(p: f64) -> Self {
+        NoiseParams {
+            p_data: p,
+            p_meas: p,
+            p_correlated: 0.0,
+        }
+    }
+
+    /// Adds a correlated two-qubit channel (paper Fig. 14a).
+    pub fn with_correlated(mut self, p: f64) -> Self {
+        self.p_correlated = p;
+        self
+    }
+
+    /// The probability that a depolarizing channel of strength `p` flips a
+    /// given basis (X-or-Y for the Z-detector graph, etc.): `2p/3`.
+    pub fn basis_flip(p: f64) -> f64 {
+        2.0 * p / 3.0
+    }
+}
+
+/// Per-qubit true error rates: nominal everywhere, elevated on defective
+/// qubits still present in the code.
+#[derive(Clone, Debug)]
+pub struct QubitNoise {
+    params: NoiseParams,
+    defects: DefectMap,
+}
+
+impl QubitNoise {
+    /// Combines nominal parameters with the kept-defect map.
+    pub fn new(params: NoiseParams, defects: DefectMap) -> Self {
+        QubitNoise { params, defects }
+    }
+
+    /// Nominal parameters.
+    pub fn params(&self) -> NoiseParams {
+        self.params
+    }
+
+    /// The per-round basis-flip probability of data qubit `q`.
+    pub fn data_flip(&self, q: Coord) -> f64 {
+        let p = self
+            .defects
+            .info(q)
+            .map(|i| i.error_rate)
+            .unwrap_or(self.params.p_data);
+        NoiseParams::basis_flip(p).min(0.5)
+    }
+
+    /// The measurement-flip probability of a check measured through
+    /// `ancilla` (`None` = direct data-qubit measurement at nominal rate).
+    pub fn meas_flip(&self, ancilla: Option<Coord>) -> f64 {
+        match ancilla.and_then(|a| self.defects.info(a)) {
+            Some(info) => info.error_rate.min(0.5),
+            None => self.params.p_meas,
+        }
+    }
+
+    /// The readout-flip probability of data qubit `q` at the end of the
+    /// experiment.
+    pub fn readout_flip(&self, q: Coord) -> f64 {
+        match self.defects.info(q) {
+            Some(info) => info.error_rate.min(0.5),
+            None => self.params.p_meas,
+        }
+    }
+
+    /// Whether any defective qubit is present.
+    pub fn has_defects(&self) -> bool {
+        !self.defects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defective_qubits_get_elevated_rates() {
+        let q = Coord::new(3, 3);
+        let defects = DefectMap::from_qubits([q], 0.5);
+        let noise = QubitNoise::new(NoiseParams::paper(), defects);
+        assert!((noise.data_flip(q) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((noise.data_flip(Coord::new(5, 5)) - 2e-3 / 3.0).abs() < 1e-12);
+        assert_eq!(noise.meas_flip(Some(q)), 0.5);
+        assert_eq!(noise.meas_flip(Some(Coord::new(0, 2))), 1e-3);
+        assert_eq!(noise.meas_flip(None), 1e-3);
+        assert_eq!(noise.readout_flip(q), 0.5);
+    }
+
+    #[test]
+    fn builders() {
+        let n = NoiseParams::uniform(1e-2).with_correlated(4e-3);
+        assert_eq!(n.p_data, 1e-2);
+        assert_eq!(n.p_correlated, 4e-3);
+        assert!((NoiseParams::basis_flip(0.003) - 0.002).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Subsystem stabilizer codes, gauge transformations, and a tableau simulator.
+//!
+//! This crate implements the algebraic machinery of Section II-C and
+//! Appendix A of the Surf-Deformer paper:
+//!
+//! * [`GeneratorRepresentation`] — the `[n, k, l]` subsystem-code generator
+//!   representation, with the validity conditions of the paper's Theorem 1.
+//! * [`MeasuredCode`] — the operationally measured operator set
+//!   `Meas = Stab ∪ Gauge`, together with the four **atomic gauge
+//!   transformations** `S2G`, `G2S`, `S2S`, `G2G` that Surf-Deformer's
+//!   deformation instructions are compiled into. Every transformation is
+//!   recorded in a [`GaugeTransformLog`] that can be replayed and audited.
+//! * [`Tableau`] — a CHP-style (Aaronson–Gottesman) stabilizer simulator
+//!   able to measure arbitrary Pauli operators. It is used to *prove on
+//!   small instances* that a deformation preserves the logical state
+//!   (paper Definition 2/3 and Theorems 5/6).
+//!
+//! # Example: gauging out a stabilizer and restoring it
+//!
+//! ```
+//! use surf_pauli::PauliString;
+//! use surf_stabilizer::MeasuredCode;
+//!
+//! // Three-qubit repetition code: stabilizers Z0Z1 and Z1Z2.
+//! let mut code = MeasuredCode::new(
+//!     vec![PauliString::zs([0, 1]), PauliString::zs([1, 2])],
+//!     vec![],
+//!     PauliString::xs([0, 1, 2]),
+//!     PauliString::zs([0]),
+//! );
+//! // S2G with new gauge X1: both stabilizers anti-commute and are demoted.
+//! code.s2g(PauliString::xs([1])).unwrap();
+//! assert_eq!(code.stabilizers().len(), 0);
+//! assert_eq!(code.gauges().len(), 3);
+//! // G2S restores Z0Z1 to the stabilizer set (X1 is consumed as the
+//! // measurement correction).
+//! code.g2s(&PauliString::zs([0, 1])).unwrap();
+//! assert_eq!(code.stabilizers().len(), 1);
+//! ```
+
+mod measured;
+mod replay;
+mod representation;
+mod tableau;
+
+pub use measured::{GaugeStep, GaugeTransformLog, MeasuredCode, TransformError};
+pub use replay::{replay_log, ReplayReport};
+pub use representation::{GeneratorRepresentation, RepresentationError};
+pub use tableau::{MeasureResult, Tableau};

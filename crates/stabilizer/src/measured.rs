@@ -1,0 +1,479 @@
+use std::fmt;
+
+use surf_pauli::PauliString;
+
+/// One atomic gauge transformation, as defined in paper Section II-C.
+///
+/// A [`GaugeTransformLog`] of these steps is emitted by every Surf-Deformer
+/// deformation instruction; the log can be replayed against a
+/// [`crate::Tableau`] to verify logical-state preservation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GaugeStep {
+    /// Stabilizer → Gauge: introduce the new gauge operator; every stabilizer
+    /// anti-commuting with it is demoted to a gauge operator.
+    S2G {
+        /// The newly introduced gauge operator.
+        new_gauge: PauliString,
+        /// Stabilizers demoted by this step (recorded for auditability).
+        demoted: Vec<PauliString>,
+    },
+    /// Gauge → Stabilizer: promote a gauge operator to a stabilizer by
+    /// measuring it every round and correcting on outcome `1`.
+    G2S {
+        /// The promoted operator.
+        promoted: PauliString,
+        /// The anti-commuting partner removed from the gauge set; it is also
+        /// the Pauli correction applied when the measurement returns `1`.
+        correction: PauliString,
+    },
+    /// Stabilizer × Stabilizer: replace (or augment) with a product.
+    S2S {
+        /// Factors of the product (indices resolved at execution time).
+        factors: [PauliString; 2],
+        /// The resulting product operator.
+        product: PauliString,
+    },
+    /// Gauge × measured-operator: replace a gauge operator with its product
+    /// with another measured operator.
+    G2G {
+        /// The gauge operator being rewritten.
+        gauge: PauliString,
+        /// The measured operator multiplied in.
+        multiplier: PauliString,
+        /// The resulting gauge operator.
+        product: PauliString,
+    },
+}
+
+/// An ordered record of atomic gauge transformations.
+pub type GaugeTransformLog = Vec<GaugeStep>;
+
+/// An error applying an atomic gauge transformation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// S2G requires the new gauge to anti-commute with at least one
+    /// stabilizer (paper: `Anti ≠ ∅`).
+    NothingToDemote,
+    /// The named operator was not found in the expected set.
+    NotFound(String),
+    /// G2S would promote an operator that anti-commutes with a stabilizer.
+    PromotionAnticommutes,
+    /// The new gauge would anti-commute with a logical operator, which would
+    /// corrupt the encoded qubit.
+    TouchesLogical,
+    /// A G2G product would fall into the stabilizer group (disallowed by the
+    /// appendix: `ĝ·m̂ ∉ ⟨s…⟩`).
+    TrivialGaugeProduct,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NothingToDemote => {
+                write!(f, "new gauge operator commutes with every stabilizer")
+            }
+            TransformError::NotFound(s) => write!(f, "operator {s} not found"),
+            TransformError::PromotionAnticommutes => {
+                write!(f, "promoted operator anti-commutes with a stabilizer")
+            }
+            TransformError::TouchesLogical => {
+                write!(f, "gauge operator anti-commutes with a logical operator")
+            }
+            TransformError::TrivialGaugeProduct => {
+                write!(f, "gauge product collapses into the stabilizer group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// The operationally measured operator set `Meas = Stab ∪ Gauge` of a code
+/// with one logical qubit (paper Appendix A, Definition 4), plus the logical
+/// operator pair.
+///
+/// The four methods [`s2g`](MeasuredCode::s2g), [`g2s`](MeasuredCode::g2s),
+/// [`s2s`](MeasuredCode::s2s) and [`g2g`](MeasuredCode::g2g) implement the
+/// atomic instructions of paper Section II-C, maintaining the invariants:
+///
+/// * stabilizers commute pairwise and with every gauge operator,
+/// * logical operators commute with everything measured,
+/// * every transformation is appended to [`log`](MeasuredCode::log).
+#[derive(Clone, Debug)]
+pub struct MeasuredCode {
+    stab: Vec<PauliString>,
+    gauge: Vec<PauliString>,
+    logical_x: PauliString,
+    logical_z: PauliString,
+    log: GaugeTransformLog,
+}
+
+impl MeasuredCode {
+    /// Creates a measured code from explicit stabilizer and gauge sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the initial sets violate the commutation
+    /// invariants.
+    pub fn new(
+        stab: Vec<PauliString>,
+        gauge: Vec<PauliString>,
+        logical_x: PauliString,
+        logical_z: PauliString,
+    ) -> Self {
+        let code = MeasuredCode {
+            stab,
+            gauge,
+            logical_x,
+            logical_z,
+            log: Vec::new(),
+        };
+        debug_assert!(code.check_invariants().is_ok(), "invalid initial code");
+        code
+    }
+
+    /// The measured stabilizer set.
+    pub fn stabilizers(&self) -> &[PauliString] {
+        &self.stab
+    }
+
+    /// The measured gauge set.
+    pub fn gauges(&self) -> &[PauliString] {
+        &self.gauge
+    }
+
+    /// The logical X operator.
+    pub fn logical_x(&self) -> &PauliString {
+        &self.logical_x
+    }
+
+    /// The logical Z operator.
+    pub fn logical_z(&self) -> &PauliString {
+        &self.logical_z
+    }
+
+    /// The accumulated atomic-transformation log.
+    pub fn log(&self) -> &GaugeTransformLog {
+        &self.log
+    }
+
+    /// Takes ownership of the log, leaving an empty one behind.
+    pub fn take_log(&mut self) -> GaugeTransformLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Replaces the logical operators (used after rerouting them over
+    /// stabilizers; the caller is responsible for multiplying only by
+    /// stabilizer-group elements).
+    pub fn set_logicals(&mut self, logical_x: PauliString, logical_z: PauliString) {
+        self.logical_x = logical_x;
+        self.logical_z = logical_z;
+    }
+
+    /// **S2G** — introduces `new_gauge`; all stabilizers anti-commuting with
+    /// it are demoted to gauge operators.
+    ///
+    /// # Errors
+    ///
+    /// * [`TransformError::TouchesLogical`] if `new_gauge` anti-commutes with
+    ///   a logical operator.
+    /// * [`TransformError::NothingToDemote`] if `new_gauge` commutes with
+    ///   every stabilizer (the operation would be ill-defined per the paper).
+    pub fn s2g(&mut self, new_gauge: PauliString) -> Result<(), TransformError> {
+        if !new_gauge.commutes_with(&self.logical_x) || !new_gauge.commutes_with(&self.logical_z)
+        {
+            return Err(TransformError::TouchesLogical);
+        }
+        let (demoted, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.stab)
+            .into_iter()
+            .partition(|s| !s.commutes_with(&new_gauge));
+        if demoted.is_empty() {
+            self.stab = kept;
+            return Err(TransformError::NothingToDemote);
+        }
+        self.stab = kept;
+        self.gauge.extend(demoted.iter().cloned());
+        self.gauge.push(new_gauge.clone());
+        self.log.push(GaugeStep::S2G { new_gauge, demoted });
+        Ok(())
+    }
+
+    /// **G2S** — promotes the gauge operator `op` to a stabilizer. All gauge
+    /// operators anti-commuting with it are first folded together with G2G
+    /// steps until exactly one remains; that partner is removed (it becomes
+    /// the measurement correction).
+    ///
+    /// # Errors
+    ///
+    /// * [`TransformError::NotFound`] if `op` is not in the gauge set.
+    /// * [`TransformError::PromotionAnticommutes`] if `op` anti-commutes with
+    ///   an existing stabilizer (invalid promotion).
+    pub fn g2s(&mut self, op: &PauliString) -> Result<(), TransformError> {
+        let idx = self
+            .gauge
+            .iter()
+            .position(|g| g == op)
+            .ok_or_else(|| TransformError::NotFound(op.to_string()))?;
+        if self.stab.iter().any(|s| !s.commutes_with(op)) {
+            return Err(TransformError::PromotionAnticommutes);
+        }
+        let promoted = self.gauge.swap_remove(idx);
+        // Collect indices of anti-commuting gauge partners.
+        let mut anti: Vec<usize> = (0..self.gauge.len())
+            .filter(|&i| !self.gauge[i].commutes_with(&promoted))
+            .collect();
+        // Fold extra partners into the first one via G2G (appendix: perform
+        // G2G until |Anti| = 1).
+        if let Some((&first, rest)) = anti.split_first() {
+            let partner = self.gauge[first].clone();
+            for &i in rest {
+                let product = self.gauge[i].product(&partner);
+                self.log.push(GaugeStep::G2G {
+                    gauge: self.gauge[i].clone(),
+                    multiplier: partner.clone(),
+                    product: product.clone(),
+                });
+                self.gauge[i] = product;
+            }
+            anti.truncate(1);
+        }
+        let correction = match anti.first() {
+            Some(&i) => self.gauge.swap_remove(i),
+            // No anti-commuting partner: op is already implied; promotion is
+            // still valid (e.g. promoting a group product). Use identity.
+            None => PauliString::identity(),
+        };
+        self.stab.push(promoted.clone());
+        self.log.push(GaugeStep::G2S {
+            promoted,
+            correction,
+        });
+        Ok(())
+    }
+
+    /// **S2S** — multiplies stabilizer `a` by stabilizer `b`. If `replace`
+    /// is true, `a` is replaced by the product, otherwise the product is
+    /// appended (the paper allows both).
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::NotFound`] if either factor is missing.
+    pub fn s2s(
+        &mut self,
+        a: &PauliString,
+        b: &PauliString,
+        replace: bool,
+    ) -> Result<PauliString, TransformError> {
+        let ia = self
+            .stab
+            .iter()
+            .position(|s| s == a)
+            .ok_or_else(|| TransformError::NotFound(a.to_string()))?;
+        if !self.stab.iter().any(|s| s == b) {
+            return Err(TransformError::NotFound(b.to_string()));
+        }
+        let product = a.product(b);
+        if replace {
+            self.stab[ia] = product.clone();
+        } else {
+            self.stab.push(product.clone());
+        }
+        self.log.push(GaugeStep::S2S {
+            factors: [a.clone(), b.clone()],
+            product: product.clone(),
+        });
+        Ok(product)
+    }
+
+    /// **G2G** — replaces the gauge operator `g` with `g·m`, where `m` is any
+    /// measured operator (stabilizer or gauge).
+    ///
+    /// # Errors
+    ///
+    /// * [`TransformError::NotFound`] if `g` is not a gauge operator or `m`
+    ///   is not measured.
+    /// * [`TransformError::TrivialGaugeProduct`] if `g == m` (the product
+    ///   would be the identity).
+    pub fn g2g(&mut self, g: &PauliString, m: &PauliString) -> Result<PauliString, TransformError> {
+        let ig = self
+            .gauge
+            .iter()
+            .position(|x| x == g)
+            .ok_or_else(|| TransformError::NotFound(g.to_string()))?;
+        if !self.gauge.iter().any(|x| x == m) && !self.stab.iter().any(|x| x == m) {
+            return Err(TransformError::NotFound(m.to_string()));
+        }
+        if g == m {
+            return Err(TransformError::TrivialGaugeProduct);
+        }
+        let product = g.product(m);
+        self.gauge[ig] = product.clone();
+        self.log.push(GaugeStep::G2G {
+            gauge: g.clone(),
+            multiplier: m.clone(),
+            product: product.clone(),
+        });
+        Ok(product)
+    }
+
+    /// Checks the commutation invariants of the measured set:
+    /// stabilizers commute pairwise, with all gauges, and with the logicals;
+    /// the logicals anti-commute with each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, a) in self.stab.iter().enumerate() {
+            for b in self.stab.iter().skip(i + 1) {
+                if !a.commutes_with(b) {
+                    return Err(format!("stabilizers {a} and {b} anti-commute"));
+                }
+            }
+            for g in &self.gauge {
+                if !a.commutes_with(g) {
+                    return Err(format!("stabilizer {a} anti-commutes with gauge {g}"));
+                }
+            }
+            for (name, l) in [("X_L", &self.logical_x), ("Z_L", &self.logical_z)] {
+                if !a.commutes_with(l) {
+                    return Err(format!("stabilizer {a} anti-commutes with {name}"));
+                }
+            }
+        }
+        for g in &self.gauge {
+            for (name, l) in [("X_L", &self.logical_x), ("Z_L", &self.logical_z)] {
+                if !g.commutes_with(l) {
+                    return Err(format!("gauge {g} anti-commutes with {name}"));
+                }
+            }
+        }
+        if self.logical_x.commutes_with(&self.logical_z) {
+            return Err("logical operators commute".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×2 toy surface-code-like patch (paper Fig. 3 flavour):
+    /// qubits 0..4, X-square stabilizer, two Z dominoes.
+    fn toy_code() -> MeasuredCode {
+        MeasuredCode::new(
+            vec![
+                PauliString::xs([0, 1, 2, 3]),
+                PauliString::zs([0, 1]),
+                PauliString::zs([2, 3]),
+            ],
+            vec![],
+            PauliString::xs([0, 1]),
+            PauliString::zs([0, 2]),
+        )
+    }
+
+    #[test]
+    fn s2g_demotes_anticommuting_stabilizers() {
+        let mut code = toy_code();
+        // X on qubit 0 anti-commutes with Z01 (weight-1 overlap).
+        code.s2g(PauliString::xs([0, 1])).unwrap_err(); // commutes with everything -> error
+        code.s2g(PauliString::zs([0])).unwrap_err(); // anti-commutes with X_L? no: Z0 vs X01 -> anti! TouchesLogical
+    }
+
+    #[test]
+    fn s2g_success_path() {
+        let mut code = toy_code();
+        // Z on qubits 1,2: anti-commutes with X0123? overlap 2 -> commutes.
+        // Use X on 0,2: commutes with X stabilizer; vs Z01 overlap 1 -> anti.
+        // But X02 == logical X * stabilizer? X02 vs Z_L=Z02: overlap 2 -> commutes. OK.
+        code.s2g(PauliString::xs([0, 2])).unwrap();
+        assert_eq!(code.stabilizers().len(), 1); // both Z dominoes demoted
+        assert_eq!(code.gauges().len(), 3);
+        assert!(matches!(code.log()[0], GaugeStep::S2G { .. }));
+        code.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn g2s_inverse_of_s2g() {
+        let mut code = toy_code();
+        code.s2g(PauliString::xs([0, 2])).unwrap();
+        // Promote Z01 back: anti-commuting gauges are X02 only.
+        code.g2s(&PauliString::zs([0, 1])).unwrap();
+        code.check_invariants().unwrap();
+        assert!(code.stabilizers().contains(&PauliString::zs([0, 1])));
+        // After folding, Z23 remains a gauge times possibly X02-partner fold.
+        // Promote Z23 as well.
+        code.g2s(&PauliString::zs([2, 3])).unwrap();
+        code.check_invariants().unwrap();
+        assert_eq!(code.stabilizers().len(), 3);
+        assert!(code.gauges().is_empty());
+    }
+
+    #[test]
+    fn s2s_builds_products() {
+        let mut code = toy_code();
+        let product = code
+            .s2s(&PauliString::zs([0, 1]), &PauliString::zs([2, 3]), false)
+            .unwrap();
+        assert_eq!(product, PauliString::zs([0, 1, 2, 3]));
+        assert_eq!(code.stabilizers().len(), 4);
+        code.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn s2s_replace_keeps_count() {
+        let mut code = toy_code();
+        code.s2s(&PauliString::zs([0, 1]), &PauliString::zs([2, 3]), true)
+            .unwrap();
+        assert_eq!(code.stabilizers().len(), 3);
+        assert!(code.stabilizers().contains(&PauliString::zs([0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn g2g_rewrites_gauges() {
+        let mut code = toy_code();
+        code.s2g(PauliString::xs([0, 2])).unwrap();
+        let g = PauliString::zs([0, 1]);
+        let m = PauliString::zs([2, 3]);
+        let product = code.g2g(&g, &m).unwrap();
+        assert_eq!(product, PauliString::zs([0, 1, 2, 3]));
+        code.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn g2g_rejects_identity_product() {
+        let mut code = toy_code();
+        code.s2g(PauliString::xs([0, 2])).unwrap();
+        let g = PauliString::zs([0, 1]);
+        assert_eq!(
+            code.g2g(&g.clone(), &g).unwrap_err(),
+            TransformError::TrivialGaugeProduct
+        );
+    }
+
+    #[test]
+    fn missing_operators_reported() {
+        let mut code = toy_code();
+        assert!(matches!(
+            code.g2s(&PauliString::zs([9])).unwrap_err(),
+            TransformError::NotFound(_)
+        ));
+        assert!(matches!(
+            code.s2s(&PauliString::zs([9]), &PauliString::zs([0, 1]), false)
+                .unwrap_err(),
+            TransformError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn log_records_every_step() {
+        let mut code = toy_code();
+        code.s2g(PauliString::xs([0, 2])).unwrap();
+        code.g2s(&PauliString::zs([0, 1])).unwrap();
+        let log = code.take_log();
+        assert!(log.len() >= 2);
+        assert!(code.log().is_empty());
+    }
+}

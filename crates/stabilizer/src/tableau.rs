@@ -1,0 +1,426 @@
+use rand::Rng;
+
+use surf_pauli::{BitVec, PauliString};
+
+/// The outcome of measuring a Pauli operator on a [`Tableau`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasureResult {
+    /// The measured eigenvalue bit (`false` ↔ `+1`, `true` ↔ `−1`).
+    pub outcome: bool,
+    /// Whether the outcome was random (the operator anti-commuted with the
+    /// stabilizer group) or deterministic.
+    pub random: bool,
+}
+
+/// A CHP-style stabilizer tableau simulator (Aaronson–Gottesman 2004).
+///
+/// Tracks `n` stabilizer and `n` destabilizer rows with sign bits, supports
+/// the Clifford generators and — crucially for code deformation — direct
+/// measurement of **arbitrary Pauli operators** without compiling them to
+/// circuits. This is the reference simulator used to validate that gauge
+/// transformations preserve the logical state (paper Appendix A).
+///
+/// # Example
+///
+/// ```
+/// use surf_stabilizer::Tableau;
+/// use surf_pauli::PauliString;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let qubits: Vec<u64> = vec![0, 1];
+/// let mut t = Tableau::new(2);
+/// // |00> : measuring Z0Z1 is deterministic +1.
+/// let r = t.measure(&PauliString::zs([0, 1]), &qubits, &mut rng);
+/// assert!(!r.outcome);
+/// assert!(!r.random);
+/// // Measuring X0X1 is random, but afterwards it is deterministic.
+/// let r1 = t.measure(&PauliString::xs([0, 1]), &qubits, &mut rng);
+/// assert!(r1.random);
+/// let r2 = t.measure(&PauliString::xs([0, 1]), &qubits, &mut rng);
+/// assert_eq!((r2.outcome, r2.random), (r1.outcome, false));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    n: usize,
+    /// Rows 0..n are destabilizers, rows n..2n are stabilizers.
+    xs: Vec<BitVec>,
+    zs: Vec<BitVec>,
+    signs: BitVec,
+}
+
+impl Tableau {
+    /// Creates the tableau for the state `|0…0⟩` on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        let mut xs = Vec::with_capacity(2 * n);
+        let mut zs = Vec::with_capacity(2 * n);
+        for i in 0..2 * n {
+            let mut x = BitVec::zeros(n);
+            let mut z = BitVec::zeros(n);
+            if i < n {
+                x.set(i, true); // destabilizer X_i
+            } else {
+                z.set(i - n, true); // stabilizer Z_i
+            }
+            xs.push(x);
+            zs.push(z);
+        }
+        Tableau {
+            n,
+            xs,
+            zs,
+            signs: BitVec::zeros(2 * n),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies a Hadamard gate to qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let x = self.xs[i].get(q);
+            let z = self.zs[i].get(q);
+            if x && z {
+                self.signs.toggle(i);
+            }
+            self.xs[i].set(q, z);
+            self.zs[i].set(q, x);
+        }
+    }
+
+    /// Applies a phase gate (S) to qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let x = self.xs[i].get(q);
+            let z = self.zs[i].get(q);
+            if x && z {
+                self.signs.toggle(i);
+            }
+            if x {
+                self.zs[i].set(q, !z);
+            }
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "CNOT control and target must differ");
+        for i in 0..2 * self.n {
+            let xc = self.xs[i].get(c);
+            let zc = self.zs[i].get(c);
+            let xt = self.xs[i].get(t);
+            let zt = self.zs[i].get(t);
+            if xc && zt && (xt == zc) {
+                self.signs.toggle(i);
+            }
+            self.xs[i].set(t, xt ^ xc);
+            self.zs[i].set(c, zc ^ zt);
+        }
+    }
+
+    /// Measures an arbitrary Pauli operator.
+    ///
+    /// `qubits` is the sorted global-id index used to map the sparse
+    /// [`PauliString`] onto tableau columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` acts on a qubit missing from `qubits`.
+    pub fn measure<R: Rng + ?Sized>(
+        &mut self,
+        op: &PauliString,
+        qubits: &[u64],
+        rng: &mut R,
+    ) -> MeasureResult {
+        let (px, pz) = self.densify(op, qubits);
+        self.measure_dense(&px, &pz, rng.gen::<bool>())
+    }
+
+    /// Measures a Pauli operator, forcing the outcome bit when the result is
+    /// random (useful for deterministic tests).
+    pub fn measure_forced(&mut self, op: &PauliString, qubits: &[u64], forced: bool) -> MeasureResult {
+        let (px, pz) = self.densify(op, qubits);
+        self.measure_dense(&px, &pz, forced)
+    }
+
+    /// Returns the deterministic eigenvalue bit of `op`, or `None` if a
+    /// measurement of `op` would be random. Does not modify the state.
+    pub fn expectation(&self, op: &PauliString, qubits: &[u64]) -> Option<bool> {
+        let (px, pz) = self.densify(op, qubits);
+        if (self.n..2 * self.n).any(|i| self.anticommutes(i, &px, &pz)) {
+            return None;
+        }
+        Some(self.deterministic_outcome(&px, &pz))
+    }
+
+    /// Applies the Pauli operator `op` to the state (updating stabilizer
+    /// signs only).
+    pub fn apply_pauli(&mut self, op: &PauliString, qubits: &[u64]) {
+        let (px, pz) = self.densify(op, qubits);
+        for i in 0..2 * self.n {
+            if self.anticommutes(i, &px, &pz) {
+                self.signs.toggle(i);
+            }
+        }
+    }
+
+    fn densify(&self, op: &PauliString, qubits: &[u64]) -> (BitVec, BitVec) {
+        let mut px = BitVec::zeros(self.n);
+        let mut pz = BitVec::zeros(self.n);
+        for (q, p) in op.iter() {
+            let idx = qubits
+                .binary_search(&q)
+                .expect("operator acts on unmapped qubit");
+            let (x, z) = p.xz_bits();
+            if x {
+                px.set(idx, true);
+            }
+            if z {
+                pz.set(idx, true);
+            }
+        }
+        (px, pz)
+    }
+
+    /// Symplectic anti-commutation between row `i` and the dense Pauli.
+    fn anticommutes(&self, i: usize, px: &BitVec, pz: &BitVec) -> bool {
+        self.xs[i].dot_parity(pz) ^ self.zs[i].dot_parity(px)
+    }
+
+    fn measure_dense(&mut self, px: &BitVec, pz: &BitVec, random_outcome: bool) -> MeasureResult {
+        let p = (self.n..2 * self.n).find(|&i| self.anticommutes(i, px, pz));
+        match p {
+            Some(p) => {
+                for i in 0..2 * self.n {
+                    if i != p && self.anticommutes(i, px, pz) {
+                        self.rowsum(i, p);
+                    }
+                }
+                // Destabilizer partner := old stabilizer row p.
+                self.xs[p - self.n] = self.xs[p].clone();
+                self.zs[p - self.n] = self.zs[p].clone();
+                self.signs.set(p - self.n, self.signs.get(p));
+                // Stabilizer row p := ±P.
+                self.xs[p] = px.clone();
+                self.zs[p] = pz.clone();
+                self.signs.set(p, random_outcome);
+                MeasureResult {
+                    outcome: random_outcome,
+                    random: true,
+                }
+            }
+            None => MeasureResult {
+                outcome: self.deterministic_outcome(px, pz),
+                random: false,
+            },
+        }
+    }
+
+    /// Computes the deterministic outcome of measuring `±P` by accumulating
+    /// the product of the stabilizer rows dual to the anti-commuting
+    /// destabilizers, then comparing the phase with `+P`.
+    fn deterministic_outcome(&self, px: &BitVec, pz: &BitVec) -> bool {
+        let mut ax = BitVec::zeros(self.n);
+        let mut az = BitVec::zeros(self.n);
+        let mut phase: i64 = 0; // exponent of i, mod 4
+        for i in 0..self.n {
+            if self.anticommutes(i, px, pz) {
+                let s = i + self.n;
+                phase += 2 * (self.signs.get(s) as i64);
+                phase += Self::phase_g_rows(&self.xs[s], &self.zs[s], &ax, &az);
+                ax.xor_assign(&self.xs[s]);
+                az.xor_assign(&self.zs[s]);
+            }
+        }
+        debug_assert_eq!(&ax, px, "deterministic product must match operator");
+        debug_assert_eq!(&az, pz, "deterministic product must match operator");
+        phase.rem_euclid(4) == 2
+    }
+
+    /// Sum over qubits of the AG `g` function for multiplying the operator
+    /// `(x2,z2)` (accumulator) by `(x1,z1)` (new factor on the left).
+    fn phase_g_rows(x1: &BitVec, z1: &BitVec, x2: &BitVec, z2: &BitVec) -> i64 {
+        let mut total = 0i64;
+        for j in 0..x1.len() {
+            let (a, b) = (x1.get(j), z1.get(j));
+            let (c, d) = (x2.get(j), z2.get(j));
+            total += match (a, b) {
+                (false, false) => 0,
+                (true, true) => (d as i64) - (c as i64),
+                (true, false) => (d as i64) * (2 * (c as i64) - 1),
+                (false, true) => (c as i64) * (1 - 2 * (d as i64)),
+            };
+        }
+        total
+    }
+
+    /// Row `h` *= row `i` (the AG `rowsum`).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let phase = 2 * (self.signs.get(h) as i64)
+            + 2 * (self.signs.get(i) as i64)
+            + Self::phase_g_rows(&self.xs[i], &self.zs[i], &self.xs[h], &self.zs[h]);
+        // Destabilizer rows (h < n) may pick up imaginary phases; their sign
+        // bits are never read, so only stabilizer rows must stay real.
+        debug_assert!(
+            h < self.n || phase.rem_euclid(2) == 0,
+            "stabilizer rowsum phase must be real"
+        );
+        self.signs.set(h, phase.rem_euclid(4) == 2);
+        let (xi, zi) = (self.xs[i].clone(), self.zs[i].clone());
+        self.xs[h].xor_assign(&xi);
+        self.zs[h].xor_assign(&zi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_pauli::Pauli;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    fn ids(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn initial_state_is_all_zero() {
+        let t = Tableau::new(3);
+        let q = ids(3);
+        for i in 0..3u64 {
+            assert_eq!(t.expectation(&PauliString::zs([i]), &q), Some(false));
+            assert_eq!(t.expectation(&PauliString::xs([i]), &q), None);
+        }
+    }
+
+    #[test]
+    fn hadamard_maps_z_to_x() {
+        let mut t = Tableau::new(1);
+        let q = ids(1);
+        t.h(0);
+        assert_eq!(t.expectation(&PauliString::xs([0]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([0]), &q), None);
+    }
+
+    #[test]
+    fn s_gate_maps_x_to_y() {
+        let mut t = Tableau::new(1);
+        let q = ids(1);
+        t.h(0); // |+>
+        t.s(0); // |+i> stabilized by +Y
+        let y = PauliString::from_pairs([(0, Pauli::Y)]);
+        assert_eq!(t.expectation(&y, &q), Some(false));
+        // S twice = Z: |+> -> |->, stabilized by -X.
+        let mut t2 = Tableau::new(1);
+        t2.h(0);
+        t2.s(0);
+        t2.s(0);
+        assert_eq!(t2.expectation(&PauliString::xs([0]), &q), Some(true));
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut t = Tableau::new(2);
+        let q = ids(2);
+        t.h(0);
+        t.cnot(0, 1);
+        assert_eq!(t.expectation(&PauliString::zs([0, 1]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::xs([0, 1]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([0]), &q), None);
+    }
+
+    #[test]
+    fn measurement_collapses_and_repeats() {
+        let mut t = Tableau::new(2);
+        let q = ids(2);
+        let mut r = rng();
+        let xx = PauliString::xs([0, 1]);
+        let first = t.measure(&xx, &q, &mut r);
+        assert!(first.random);
+        let second = t.measure(&xx, &q, &mut r);
+        assert!(!second.random);
+        assert_eq!(second.outcome, first.outcome);
+        // Z0Z1 remains deterministic +1 (it commutes with XX).
+        assert_eq!(t.expectation(&PauliString::zs([0, 1]), &q), Some(false));
+    }
+
+    #[test]
+    fn forced_measurement_controls_outcome() {
+        let mut t = Tableau::new(1);
+        let q = ids(1);
+        let r = t.measure_forced(&PauliString::xs([0]), &q, true);
+        assert!(r.random && r.outcome);
+        assert_eq!(t.expectation(&PauliString::xs([0]), &q), Some(true));
+    }
+
+    #[test]
+    fn apply_pauli_flips_signs() {
+        let mut t = Tableau::new(1);
+        let q = ids(1);
+        t.apply_pauli(&PauliString::xs([0]), &q);
+        assert_eq!(t.expectation(&PauliString::zs([0]), &q), Some(true));
+        t.apply_pauli(&PauliString::xs([0]), &q);
+        assert_eq!(t.expectation(&PauliString::zs([0]), &q), Some(false));
+    }
+
+    #[test]
+    fn ghz_state_parities() {
+        let mut t = Tableau::new(3);
+        let q = ids(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(1, 2);
+        assert_eq!(t.expectation(&PauliString::xs([0, 1, 2]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([0, 1]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([1, 2]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([0]), &q), None);
+    }
+
+    #[test]
+    fn measuring_y_products() {
+        let mut t = Tableau::new(2);
+        let q = ids(2);
+        let mut r = rng();
+        let yy = PauliString::from_pairs([(0, Pauli::Y), (1, Pauli::Y)]);
+        let first = t.measure(&yy, &q, &mut r);
+        assert!(first.random);
+        // |00> has <Z0Z1> = +1; YY measurement commutes with Z0Z1.
+        assert_eq!(t.expectation(&PauliString::zs([0, 1]), &q), Some(false));
+        let again = t.measure(&yy, &q, &mut r);
+        assert_eq!(again.outcome, first.outcome);
+        assert!(!again.random);
+        // XX = -(YY)(ZZ) so <XX> = -outcome(YY).
+        let xx = t.expectation(&PauliString::xs([0, 1]), &q).unwrap();
+        assert_eq!(xx, !first.outcome);
+    }
+
+    #[test]
+    fn deterministic_stabilizer_products() {
+        // Prepare |0000> and measure the plaquette ops of the toy code.
+        let mut t = Tableau::new(4);
+        let q = ids(4);
+        let mut r = rng();
+        let xxxx = PauliString::xs([0, 1, 2, 3]);
+        let m = t.measure(&xxxx, &q, &mut r);
+        assert!(m.random);
+        // Z-pair parities commute with XXXX and stay deterministic +1.
+        assert_eq!(t.expectation(&PauliString::zs([0, 1]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([2, 3]), &q), Some(false));
+        assert_eq!(t.expectation(&PauliString::zs([0, 3]), &q), Some(false));
+        // A single Z anti-commutes with the new stabilizer: random.
+        assert_eq!(t.expectation(&PauliString::zs([0]), &q), None);
+        // XXXX itself is now deterministic and repeats.
+        assert_eq!(t.expectation(&xxxx, &q), Some(m.outcome));
+    }
+}

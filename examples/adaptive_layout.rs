@@ -1,0 +1,74 @@
+//! The adaptive layout generator: solve Eq. 1 for Δd, compare layout
+//! footprints, and measure communication throughput under defects
+//! (the Fig. 10/11c story).
+//!
+//! ```bash
+//! cargo run --release --example adaptive_layout
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::core::interspace::{block_probability, required_interspace, DefectChannelModel};
+use surf_deformer::layout::{Task, ThroughputSim};
+use surf_deformer::prelude::*;
+
+fn main() {
+    // --- Eq. 1: the paper's worked example.
+    let model = DefectChannelModel::paper();
+    let d = 27;
+    println!("defect channel model (paper): λ(d=27) = {:.3}", model.lambda(d));
+    for delta in 0..=8 {
+        println!(
+            "  Δd = {delta}: p_block = {:.4}{}",
+            block_probability(&model, d, delta),
+            if block_probability(&model, d, delta) < 0.01 { "  <- meets α_block = 1%" } else { "" }
+        );
+    }
+    let delta_d = required_interspace(&model, d, 0.01);
+    println!("chosen Δd = {delta_d}\n");
+
+    // --- Footprints for 100 logical qubits.
+    println!("{:<18} {:>6} {:>14}", "layout", "gap", "physical qubits");
+    for (name, params) in [
+        ("lattice surgery", LayoutParams::lattice_surgery(100, d)),
+        ("Q3DE", LayoutParams::q3de(100, d)),
+        ("Q3DE* (2d)", LayoutParams::q3de_revised(100, d)),
+        ("Surf-Deformer", LayoutParams::surf_deformer(100, d, delta_d)),
+    ] {
+        println!("{name:<18} {:>6} {:>14}", params.gap, params.physical_qubits());
+    }
+
+    // --- Throughput under increasing defect pressure (Fig. 11c shape).
+    let mut rng = StdRng::seed_from_u64(5);
+    println!("\nthroughput (gates/step), 5 tasks × 25 CNOTs on 50 of 100 qubits:");
+    println!("{:<10} {:>12} {:>12} {:>12}", "defect µ", "LS (no def)", "Q3DE", "Surf-D");
+    for mu in [0.0, 0.1, 0.25, 0.5, 1.0] {
+        let tasks = Task::paper_set(5, 25, 50, 100, &mut rng);
+        let mut run = |scheme: LayoutScheme| {
+            let params = match scheme {
+                LayoutScheme::LatticeSurgery => LayoutParams::lattice_surgery(100, 9),
+                LayoutScheme::Q3de => LayoutParams::q3de(100, 9),
+                LayoutScheme::Q3deRevised => LayoutParams::q3de_revised(100, 9),
+                LayoutScheme::SurfDeformer => LayoutParams::surf_deformer(100, 9, 4),
+            };
+            let sim = ThroughputSim {
+                params,
+                defect_mu_per_patch: mu,
+                defect_size: 4,
+                step_cap: 5_000,
+            };
+            let mut total = 0.0;
+            let reps = 5;
+            for _ in 0..reps {
+                total += sim.run(&tasks, &mut rng).throughput();
+            }
+            total / reps as f64
+        };
+        println!(
+            "{mu:<10} {:>12.2} {:>12.2} {:>12.2}",
+            run(LayoutScheme::LatticeSurgery),
+            run(LayoutScheme::Q3de),
+            run(LayoutScheme::SurfDeformer),
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Chiplet-yield analysis under static fabrication faults (the Fig. 13b
+//! study): how often can a faulty `l × l` chiplet be deformed into a code
+//! of target distance?
+//!
+//! ```bash
+//! cargo run --release --example chiplet_yield -- [samples]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::core::yield_analysis::yield_comparison;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let mut rng = StdRng::seed_from_u64(17);
+    let (l, target) = (15, 11);
+    println!("deforming l={l} chiplets to distance ≥ {target} ({samples} samples per point)\n");
+    println!("{:>8} {:>14} {:>10}", "#faults", "Surf-Deformer", "ASC-S");
+    for k in [0, 2, 4, 6, 8, 10, 14, 18] {
+        let (surf, asc) = yield_comparison(l, target, k, samples, &mut rng);
+        println!("{k:>8} {surf:>14.2} {asc:>10.2}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Memory-experiment comparison under a cosmic-ray defect: Monte-Carlo
+//! logical error rates for untreated, ASC-S, Q3DE, and Surf-Deformer
+//! mitigation (the Fig. 11a-style measurement).
+//!
+//! ```bash
+//! cargo run --release --example cosmic_ray_memory -- [shots]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::prelude::*;
+use surf_deformer::sim::DecoderKind;
+
+fn main() {
+    let shots: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let mut rng = StdRng::seed_from_u64(7);
+    let d = 9;
+    let rounds = d as u32;
+    let base = Patch::rotated(d);
+    let mut universe = base.data_qubits();
+    universe.extend(base.syndrome_qubits());
+
+    // One cosmic-ray strike near the centre.
+    let model = CosmicRayModel::paper();
+    let defects = DefectMap::from_qubits(
+        model.affected_region(Coord::new(d as i32, d as i32), &universe),
+        model.defect_error_rate,
+    );
+    let detected = DefectDetector::perfect().detect(&defects, &universe, &mut rng);
+    println!("d={d}, {} defective qubits, {shots} shots per basis\n", detected.len());
+    println!("{:<16} {:>10} {:>14} {:>10}", "strategy", "qubits", "p_L/round", "distance");
+
+    let strategies: Vec<(&str, StrategyOutcomeLike)> = vec![
+        ("untreated", run(&Untreated, &base, &detected, DecoderPrior::Nominal)),
+        ("Q3DE", run(&Q3de::default(), &base, &detected, DecoderPrior::Informed)),
+        ("ASC-S", run(&AscS, &base, &detected, DecoderPrior::Informed)),
+        (
+            "Surf-Deformer",
+            run(
+                &SurfDeformerStrategy::with_delta_d(4),
+                &base,
+                &detected,
+                DecoderPrior::Informed,
+            ),
+        ),
+        ("no defects", {
+            let exp = MemoryExperiment {
+                patch: base.clone(),
+                rounds,
+                noise: NoiseParams::paper(),
+                kept_defects: DefectMap::new(),
+                prior: DecoderPrior::Informed,
+                decoder: DecoderKind::Mwpm,
+            };
+            let stats = exp.run(shots, 11);
+            (base.num_physical_qubits(), stats.per_round_rate(rounds), base.distance())
+        }),
+    ];
+    for (name, (qubits, rate, dist)) in strategies {
+        println!("{name:<16} {qubits:>10} {rate:>14.3e} {dist:>10}");
+    }
+}
+
+type StrategyOutcomeLike = (usize, f64, Distances);
+
+fn run(
+    strategy: &dyn MitigationStrategy,
+    base: &Patch,
+    detected: &DefectMap,
+    prior: DecoderPrior,
+) -> StrategyOutcomeLike {
+    let shots: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let outcome = strategy.mitigate(base, detected);
+    let dist = outcome.patch.distance();
+    let rounds = 9;
+    let exp = MemoryExperiment {
+        patch: outcome.patch.clone(),
+        rounds,
+        noise: NoiseParams::paper(),
+        kept_defects: outcome.kept_defects,
+        prior,
+        decoder: DecoderKind::Mwpm,
+    };
+    let stats = exp.run(shots, 13);
+    (
+        outcome.patch.num_physical_qubits(),
+        stats.per_round_rate(rounds),
+        dist,
+    )
+}

@@ -1,0 +1,52 @@
+//! End-to-end retry risk for a quantum program under cosmic-ray defects:
+//! the Table II pipeline on one benchmark.
+//!
+//! ```bash
+//! cargo run --release --example program_retry_risk
+//! ```
+
+use surf_deformer::prelude::*;
+use surf_deformer::programs::{compile_program, paper_benchmarks, retry_risk};
+
+fn main() {
+    let cal = Calibration::default_paper();
+    let rays = CosmicRayModel::paper();
+    let bench = paper_benchmarks()
+        .into_iter()
+        .find(|b| b.program.name == "RCA-225-500")
+        .unwrap();
+    println!(
+        "{} (#CX = {:.2e}, #T = {:.2e}, {} logical qubits)\n",
+        bench.program.name,
+        bench.program.cnot_count as f64,
+        bench.program.t_count as f64,
+        bench.program.logical_qubits,
+    );
+    println!(
+        "{:<6} {:<16} {:>14} {:>12} {:>10}",
+        "d", "strategy", "phys. qubits", "retry risk", "runtime×"
+    );
+    for &d in &bench.distances {
+        for strategy in [
+            StrategyKind::Q3de,
+            StrategyKind::AscS,
+            StrategyKind::SurfDeformer,
+        ] {
+            let compiled = compile_program(&bench.program, strategy.scheme(), d, 4);
+            let out = retry_risk(&compiled, strategy, &rays, &cal);
+            let risk = if out.over_runtime {
+                "OverRuntime".to_string()
+            } else {
+                format!("{:.3}%", 100.0 * out.risk)
+            };
+            println!(
+                "{d:<6} {:<16} {:>14} {:>12} {:>10.2}",
+                strategy.name(),
+                out.physical_qubits,
+                risk,
+                out.runtime_multiplier,
+            );
+        }
+        println!();
+    }
+}

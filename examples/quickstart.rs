@@ -1,0 +1,68 @@
+//! Quickstart: build a surface code, strike it with a cosmic ray, and let
+//! Surf-Deformer repair it.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // 1. A distance-9 rotated surface code.
+    let patch = Patch::rotated(9);
+    println!(
+        "fresh patch: {} data qubits, {} checks, distance {}",
+        patch.num_data(),
+        patch.num_checks(),
+        patch.distance()
+    );
+
+    // 2. A cosmic ray strikes the centre: ~25 qubits jump to ~50% error.
+    let model = CosmicRayModel::paper();
+    let mut universe = patch.data_qubits();
+    universe.extend(patch.syndrome_qubits());
+    let strike = Coord::new(9, 9);
+    let defects = DefectMap::from_qubits(
+        model.affected_region(strike, &universe),
+        model.defect_error_rate,
+    );
+    println!("cosmic ray at {strike}: {} defective qubits", defects.len());
+
+    // 3. The defect detector reports (with 1% FP/FN rates).
+    let detected = DefectDetector::paper_imprecise().detect(&defects, &universe, &mut rng);
+
+    // 4. The code deformation unit removes the defects and adaptively
+    //    enlarges within the layout's Δd = 4 margin.
+    let mut deformer = Deformer::with_budget(Patch::rotated(9), EnlargeBudget::uniform(4));
+    let report = deformer.mitigate(&detected).expect("mitigation");
+    println!(
+        "after Surf-Deformer: removed {} qubits, added layers {:?}, distance {} (restored: {})",
+        report.removed.len(),
+        report.layers_added,
+        report.distance,
+        report.restored,
+    );
+    deformer.patch().verify().expect("deformed patch is a valid code");
+
+    // 5. Compare with the baselines.
+    for (name, outcome) in [
+        ("ASC-S ", AscS.mitigate(&Patch::rotated(9), &detected)),
+        ("Q3DE  ", Q3de::default().mitigate(&Patch::rotated(9), &detected)),
+    ] {
+        println!(
+            "{name}: distance {} with {} physical qubits ({} defects kept)",
+            outcome.patch.distance(),
+            outcome.patch.num_physical_qubits(),
+            outcome.kept_defects.len(),
+        );
+    }
+    println!(
+        "Surf-D: distance {} with {} physical qubits (0 defects kept)",
+        deformer.patch().distance(),
+        deformer.patch().num_physical_qubits(),
+    );
+}

@@ -1,0 +1,132 @@
+//! Property-based tests over the deformation framework: arbitrary defect
+//! patterns must always leave a valid code with sensible distances and a
+//! replayable, logical-state-preserving gauge log.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::core::{Deformer, EnlargeBudget};
+use surf_deformer::lattice::{Coord, Patch};
+use surf_deformer::prelude::{DefectMap, MitigationStrategy, SurfDeformerStrategy};
+
+/// Any subset of qubits of a d=5 patch, removed via Algorithm 1, leaves a
+/// verifiable patch whose distance never exceeds the original.
+fn defect_strategy(d: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..(2 * d * d - 1), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn removal_always_leaves_valid_code(indices in defect_strategy(5)) {
+        let base = Patch::rotated(5);
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let defects = DefectMap::from_qubits(
+            indices.iter().map(|&i| universe[i % universe.len()]),
+            0.5,
+        );
+        let outcome = SurfDeformerStrategy::removal_only().mitigate(&base, &defects);
+        prop_assert!(outcome.patch.verify().is_ok(), "{:?}", outcome.patch.verify());
+        let dx = outcome.patch.try_distance_x();
+        let dz = outcome.patch.try_distance_z();
+        prop_assert!(dx.is_some() && dz.is_some());
+        prop_assert!(dx.unwrap() <= 5 && dz.unwrap() <= 5);
+    }
+
+    #[test]
+    fn mitigation_never_reduces_distance_below_removal(indices in defect_strategy(5)) {
+        let base = Patch::rotated(5);
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let defects = DefectMap::from_qubits(
+            indices.iter().map(|&i| universe[i % universe.len()]),
+            0.5,
+        );
+        let removal = SurfDeformerStrategy::removal_only().mitigate(&base, &defects);
+        let enlarged = SurfDeformerStrategy::with_delta_d(3).mitigate(&base, &defects);
+        prop_assert!(enlarged.patch.verify().is_ok());
+        let dr = removal.patch.distance();
+        let de = enlarged.patch.distance();
+        prop_assert!(
+            de.min() >= dr.min(),
+            "enlargement regressed distance: {} -> {}", dr, de
+        );
+    }
+
+    #[test]
+    fn remitigating_same_defects_never_regresses(indices in defect_strategy(5)) {
+        let base = Patch::rotated(5);
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let defects = DefectMap::from_qubits(
+            indices.iter().map(|&i| universe[i % universe.len()]),
+            0.5,
+        );
+        let mut deformer = Deformer::with_budget(base, EnlargeBudget::uniform(2));
+        let first = deformer.mitigate(&defects).unwrap();
+        let dist_after_first = deformer.patch().distance();
+        // Reporting the same defects again may only *improve* the code
+        // (left-over budget can fund more growth), never regress it.
+        let second = deformer.mitigate(&defects).unwrap();
+        prop_assert!(deformer.patch().verify().is_ok());
+        prop_assert!(
+            deformer.patch().distance().min() >= dist_after_first.min(),
+            "second pass regressed: {} -> {}",
+            dist_after_first,
+            deformer.patch().distance()
+        );
+        prop_assert!(second.removed.len() >= first.removed.len());
+    }
+}
+
+/// Deterministic regression sweep: single-qubit removals everywhere on the
+/// lattice keep the code valid (every site, both kinds).
+#[test]
+fn every_single_site_removal_is_valid() {
+    let base = Patch::rotated(5);
+    let mut universe = base.data_qubits();
+    universe.extend(base.syndrome_qubits());
+    for q in universe {
+        let defects = DefectMap::from_qubits([q], 0.5);
+        let outcome = SurfDeformerStrategy::removal_only().mitigate(&base, &defects);
+        outcome
+            .patch
+            .verify()
+            .unwrap_or_else(|e| panic!("site {q}: {e}"));
+        assert!(
+            outcome.patch.distance().min() >= 3,
+            "site {q}: distance {} too low for one defect",
+            outcome.patch.distance()
+        );
+    }
+}
+
+/// Cosmic-ray clusters at every interior centre restore to full distance
+/// with a generous budget... or at least reach a positive distance and a
+/// valid patch (central 25-qubit blobs can exceed Δd=4's capacity).
+#[test]
+fn cluster_mitigation_sweep() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let _ = &mut rng;
+    let base = Patch::rotated(9);
+    let mut universe = base.data_qubits();
+    universe.extend(base.syndrome_qubits());
+    let model = surf_deformer::defects::CosmicRayModel::paper();
+    for center in [Coord::new(5, 5), Coord::new(9, 9), Coord::new(13, 13), Coord::new(1, 9)] {
+        let region = model.affected_region(center, &universe);
+        let defects = DefectMap::from_qubits(region, 0.5);
+        let mut deformer = Deformer::with_budget(base.clone(), EnlargeBudget::uniform(4));
+        let report = deformer.mitigate(&defects).unwrap();
+        deformer
+            .patch()
+            .verify()
+            .unwrap_or_else(|e| panic!("center {center}: {e}"));
+        assert!(
+            report.distance.min() >= 4,
+            "center {center}: {}",
+            report.distance
+        );
+    }
+}

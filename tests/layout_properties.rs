@@ -1,0 +1,68 @@
+//! Property and regression tests for the layout/routing subsystem.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use surf_deformer::layout::{LayoutParams, LayoutScheme, RoutingGrid, Task, ThroughputSim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any two distinct patches on an unblocked grid can route a CNOT.
+    #[test]
+    fn unblocked_grid_routes_everything(side in 2usize..6, a in 0usize..36, b in 0usize..36) {
+        let n = side * side;
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let grid = RoutingGrid::new(side);
+        let path = grid.route(a, b, &HashSet::new());
+        prop_assert!(path.is_some(), "no route {a}->{b} on {side}x{side}");
+        // Paths touch only channel cells and are duplicate-free.
+        let p = path.unwrap();
+        let set: HashSet<_> = p.iter().collect();
+        prop_assert_eq!(set.len(), p.len());
+    }
+
+    /// Throughput never exceeds the per-step issue bound and completes all
+    /// gates on an unblocked layout.
+    #[test]
+    fn throughput_completes_without_defects(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = Task::paper_set(4, 10, 32, 64, &mut rng);
+        let sim = ThroughputSim {
+            params: LayoutParams::lattice_surgery(64, 9),
+            defect_mu_per_patch: 0.0,
+            defect_size: 4,
+            step_cap: 2_000,
+        };
+        let r = sim.run(&tasks, &mut rng);
+        prop_assert!(r.finished(), "stranded {}", r.stranded);
+        prop_assert!(r.throughput() <= 40.0);
+    }
+
+    /// The physical-qubit formula is monotone in every argument.
+    #[test]
+    fn qubit_accounting_monotone(n in 1usize..500, d in 3usize..40, delta in 0usize..10) {
+        let base = LayoutParams::surf_deformer(n, d, delta);
+        prop_assert!(base.physical_qubits() >= LayoutParams::surf_deformer(n, d, 0).physical_qubits());
+        prop_assert!(LayoutParams::surf_deformer(n + 1, d, delta).physical_qubits() > base.physical_qubits());
+        prop_assert!(LayoutParams::surf_deformer(n, d + 2, delta).physical_qubits() > base.physical_qubits());
+        prop_assert_eq!(base.scheme, LayoutScheme::SurfDeformer);
+    }
+}
+
+/// Q3DE doubling blocks exactly the three ring cells; clearing restores
+/// routability.
+#[test]
+fn doubling_block_and_clear() {
+    let mut grid = RoutingGrid::new(3);
+    for patch in 0..9 {
+        grid.block_doubling(patch);
+    }
+    // Fully doubled grid: centre patch cannot route anywhere.
+    assert!(grid.route(4, 0, &HashSet::new()).is_none());
+    grid.clear_blocks();
+    assert!(grid.route(4, 0, &HashSet::new()).is_some());
+}

@@ -1,0 +1,198 @@
+//! End-to-end verification of the paper's Appendix-A claim: every
+//! deformation instruction preserves the logical state.
+//!
+//! For each instruction we prepare logical eigenstates on the exact (CHP)
+//! tableau simulator, *execute* the instruction's gauge-transformation log
+//! (measuring the new gauge/stabilizer operators and applying the recorded
+//! corrections), and check that the deformed patch's logical operator still
+//! reports the prepared eigenvalue deterministically.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::core::{data_q_rm, patch_q_add, patch_q_rm, syndrome_q_rm};
+use surf_deformer::lattice::{Basis, BoundarySide, Coord, Patch};
+use surf_deformer::stabilizer::{replay_log, Tableau};
+use surf_pauli::PauliString;
+
+/// Builds a tableau over `keys` holding the code state of `patch` with all
+/// stabilizers forced to +1 and the logical of `basis` set to `bit`.
+fn prepare(patch: &Patch, keys: &[u64], basis: Basis, bit: bool) -> Tableau {
+    let code = patch.to_measured_code();
+    let mut t = Tableau::new(keys.len());
+    for s in code.stabilizers() {
+        let r = t.measure_forced(s, keys, false);
+        assert!(!r.outcome, "stabilizer preparation must give +1");
+    }
+    let (logical, flipper) = match basis {
+        Basis::Z => (code.logical_z().clone(), code.logical_x().clone()),
+        Basis::X => (code.logical_x().clone(), code.logical_z().clone()),
+    };
+    let r = t.measure_forced(&logical, keys, bit);
+    if r.outcome != bit {
+        t.apply_pauli(&flipper, keys);
+    }
+    assert_eq!(t.expectation(&logical, keys), Some(bit));
+    t
+}
+
+/// Checks that the patch's logical of `basis` deterministically equals
+/// `bit` on the tableau.
+fn assert_logical(patch: &Patch, t: &Tableau, keys: &[u64], basis: Basis, bit: bool, what: &str) {
+    let code = patch.to_measured_code();
+    let logical = match basis {
+        Basis::Z => code.logical_z().clone(),
+        Basis::X => code.logical_x().clone(),
+    };
+    assert_eq!(
+        t.expectation(&logical, keys),
+        Some(bit),
+        "{what}: logical {basis} eigenvalue must stay {bit}"
+    );
+}
+
+/// Runs prepare → deform → replay → verify for a deformation closure.
+fn roundtrip<F>(d: usize, deform: F, what: &str)
+where
+    F: Fn(&mut Patch) -> surf_deformer::stabilizer::GaugeTransformLog,
+{
+    let mut rng = StdRng::seed_from_u64(0xD15EA5E);
+    for basis in [Basis::Z, Basis::X] {
+        for bit in [false, true] {
+            let original = Patch::rotated(d);
+            let mut deformed = original.clone();
+            let log = deform(&mut deformed);
+            deformed.verify().unwrap();
+            // Tableau over the union of both patches' data qubits.
+            let mut keys = original.data_keys();
+            keys.extend(deformed.data_keys());
+            keys.sort_unstable();
+            keys.dedup();
+            let mut t = prepare(&original, &keys, basis, bit);
+            replay_log(&mut t, &keys, &log, &mut rng);
+            assert_logical(&deformed, &t, &keys, basis, bit, what);
+        }
+    }
+}
+
+#[test]
+fn data_q_rm_preserves_logical_state() {
+    roundtrip(
+        3,
+        |p| data_q_rm(p, Coord::new(3, 3)).unwrap(),
+        "DataQ_RM centre of d=3",
+    );
+    roundtrip(
+        5,
+        |p| data_q_rm(p, Coord::new(5, 5)).unwrap(),
+        "DataQ_RM centre of d=5",
+    );
+}
+
+#[test]
+fn two_data_q_rm_preserve_logical_state() {
+    roundtrip(
+        5,
+        |p| {
+            let mut log = data_q_rm(p, Coord::new(3, 3)).unwrap();
+            log.extend(data_q_rm(p, Coord::new(7, 7)).unwrap());
+            log
+        },
+        "two DataQ_RM on d=5",
+    );
+}
+
+#[test]
+fn syndrome_q_rm_preserves_logical_state() {
+    roundtrip(
+        5,
+        |p| syndrome_q_rm(p, Coord::new(4, 4)).unwrap(),
+        "SyndromeQ_RM of a Z plaquette on d=5",
+    );
+    roundtrip(
+        5,
+        |p| syndrome_q_rm(p, Coord::new(6, 4)).unwrap(),
+        "SyndromeQ_RM of an X plaquette on d=5",
+    );
+}
+
+#[test]
+fn patch_q_rm_preserves_logical_state() {
+    for fix in [Basis::X, Basis::Z] {
+        roundtrip(
+            5,
+            move |p| patch_q_rm(p, Coord::new(5, 1), Some(fix)).unwrap().0,
+            "PatchQ_RM north-edge qubit",
+        );
+        roundtrip(
+            5,
+            move |p| patch_q_rm(p, Coord::new(9, 1), Some(fix)).unwrap().0,
+            "PatchQ_RM corner qubit",
+        );
+    }
+}
+
+#[test]
+fn patch_q_rm_boundary_syndrome_preserves_logical_state() {
+    // Retire a boundary half-check's ancilla.
+    let original = Patch::rotated(5);
+    let anc = original
+        .checks()
+        .find(|(_, c)| c.support.len() == 2)
+        .and_then(|(_, c)| c.ancilla)
+        .unwrap();
+    roundtrip(
+        5,
+        move |p| patch_q_rm(p, anc, None).unwrap().0,
+        "PatchQ_RM boundary syndrome",
+    );
+}
+
+#[test]
+fn patch_q_add_preserves_logical_state() {
+    for side in BoundarySide::ALL {
+        roundtrip(
+            3,
+            move |p| patch_q_add(p, side).unwrap(),
+            "PatchQ_ADD one layer",
+        );
+    }
+}
+
+#[test]
+fn deformation_then_measurement_round_is_consistent() {
+    // After a deformation, measuring every new check once more must give
+    // deterministic +1 for stabilizer-group products.
+    let mut rng = StdRng::seed_from_u64(99);
+    let original = Patch::rotated(5);
+    let mut deformed = original.clone();
+    let log = data_q_rm(&mut deformed, Coord::new(5, 5)).unwrap();
+    let keys = original.data_keys();
+    let mut t = prepare(&original, &keys, Basis::Z, false);
+    replay_log(&mut t, &keys, &log, &mut rng);
+    for g in deformed.stabilizer_group_ids() {
+        let basis = deformed.group_basis(g).unwrap();
+        let product = deformed.group_product(g);
+        let op = surf_deformer::lattice::check_string(basis, &product);
+        let e = t.expectation(&op, &keys);
+        assert!(
+            e.is_some(),
+            "stabilizer product {op} must be deterministic after deformation"
+        );
+    }
+    // Gauge-pair anti-commutation: measuring one side randomises the other.
+    let gauge_groups: Vec<_> = deformed
+        .group_ids()
+        .into_iter()
+        .filter(|&g| deformed.group_members(g).len() == 2)
+        .collect();
+    assert_eq!(gauge_groups.len(), 2);
+    let members = deformed.group_members(gauge_groups[0]).to_vec();
+    let c = deformed.check(members[0]).unwrap();
+    let member_op = check_op(c.basis, c.support.iter());
+    // An individual gauge check need not be deterministic.
+    let _ = t.expectation(&member_op, &keys);
+}
+
+fn check_op<'a, I: Iterator<Item = &'a Coord>>(basis: Basis, support: I) -> PauliString {
+    surf_deformer::lattice::check_string(basis, support)
+}

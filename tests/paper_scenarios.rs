@@ -1,0 +1,170 @@
+//! Integration tests pinning the paper's worked examples and claims.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::core::interspace::{block_probability, required_interspace, DefectChannelModel};
+use surf_deformer::core::{data_q_rm, patch_q_rm, syndrome_q_rm};
+use surf_deformer::prelude::*;
+
+/// Paper Fig. 7(a): removing a syndrome qubit. ASC-S (four `DataQ_RM`)
+/// flattens both distances; `SyndromeQ_RM` keeps the full distance in the
+/// unaffected basis direction and never does worse.
+#[test]
+fn fig7_syndrome_removal_comparison() {
+    let mut ours = Patch::rotated(5);
+    syndrome_q_rm(&mut ours, Coord::new(4, 4)).unwrap();
+    let d_ours = ours.distance();
+    assert_eq!(d_ours.x, 3);
+
+    let mut asc = Patch::rotated(5);
+    for q in Coord::new(4, 4).diagonal_neighbors() {
+        data_q_rm(&mut asc, q).unwrap();
+    }
+    let d_asc = asc.distance();
+    assert!(d_ours.x + d_ours.z >= d_asc.x + d_asc.z);
+    // ASC-S destroys four healthy data qubits.
+    assert_eq!(asc.num_data() + 4, ours.num_data());
+}
+
+/// Paper Fig. 8: the corner-qubit fix-basis choice creates a design space
+/// and balancing picks the better option.
+#[test]
+fn fig8_corner_balancing() {
+    let mut results = Vec::new();
+    for basis in [Basis::X, Basis::Z] {
+        let mut p = Patch::rotated(5);
+        patch_q_rm(&mut p, Coord::new(9, 1), Some(basis)).unwrap();
+        results.push(p.distance());
+    }
+    assert_ne!(results[0], results[1], "the choice must matter");
+    let mut balanced = Patch::rotated(5);
+    patch_q_rm(&mut balanced, Coord::new(9, 1), None).unwrap();
+    let best = results.iter().map(|d| d.min()).max().unwrap();
+    assert_eq!(balanced.distance().min(), best);
+}
+
+/// Paper Section VI worked example: λ ≈ 0.14 for d = 27 and Δd = 4 gives
+/// p_block ≈ 0.0089 < 0.01.
+#[test]
+fn eq1_worked_example() {
+    let model = DefectChannelModel::paper();
+    assert!((model.lambda(27) - 0.14).abs() < 0.01);
+    let p = block_probability(&model, 27, 4);
+    assert!((p - 0.0089).abs() < 1e-3);
+    assert_eq!(required_interspace(&model, 27, 0.01), 4);
+}
+
+/// Paper Section V: removal instructions commute — any processing order of
+/// a defect set yields the same code.
+#[test]
+fn removal_order_invariance() {
+    let defect_sets: Vec<Vec<Coord>> = vec![
+        vec![Coord::new(5, 5), Coord::new(9, 9)],
+        vec![Coord::new(4, 4), Coord::new(8, 8)],
+        vec![Coord::new(5, 5), Coord::new(8, 8)],
+    ];
+    for set in defect_sets {
+        let run = |order: &[Coord]| {
+            let mut p = Patch::rotated(7);
+            for &q in order {
+                if q.is_data_site() {
+                    data_q_rm(&mut p, q).unwrap();
+                } else {
+                    syndrome_q_rm(&mut p, q).unwrap();
+                }
+            }
+            p.verify().unwrap();
+            p.distance()
+        };
+        let forward = run(&set);
+        let mut rev = set.clone();
+        rev.reverse();
+        let backward = run(&rev);
+        assert_eq!(forward, backward, "order must not matter for {set:?}");
+    }
+}
+
+/// A full cosmic-ray pipeline: detect (imperfectly), mitigate, verify the
+/// patch, and confirm the deformed code still decodes well.
+#[test]
+fn cosmic_ray_pipeline() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let patch = Patch::rotated(9);
+    let mut universe = patch.data_qubits();
+    universe.extend(patch.syndrome_qubits());
+    let model = CosmicRayModel::paper();
+    // Force one strike at the patch centre.
+    let truth = DefectMap::from_qubits(
+        model.affected_region(Coord::new(9, 9), &universe),
+        model.defect_error_rate,
+    );
+    assert_eq!(truth.len(), 25);
+    let detected = DefectDetector::paper_imprecise().detect(&truth, &universe, &mut rng);
+    let outcome = SurfDeformerStrategy::removal_only().mitigate(&patch, &detected);
+    outcome.patch.verify().unwrap();
+    // The deformed patch keeps a usable distance.
+    let d = outcome.patch.distance();
+    assert!(d.min() >= 3, "{d}");
+    // And its memory error rate at p=1e-3 stays moderate.
+    let exp = MemoryExperiment {
+        patch: outcome.patch,
+        rounds: 5,
+        noise: NoiseParams::paper(),
+        kept_defects: outcome.kept_defects,
+        prior: DecoderPrior::Informed,
+        decoder: surf_deformer::sim::DecoderKind::Mwpm,
+    };
+    let stats = exp.run(150, 3);
+    assert!(stats.p_fail_z() < 0.2, "{}", stats.p_fail_z());
+}
+
+/// Adaptive enlargement uses fewer qubits than Q3DE's doubling for the
+/// same restored distance (paper Fig. 1(d) vs 1(c)).
+#[test]
+fn adaptive_enlargement_saves_qubits() {
+    let defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+    let base = Patch::rotated(5);
+    let surf = SurfDeformerStrategy::with_delta_d(4).mitigate(&base, &defects);
+    let q3de = Q3de::default().mitigate(&base, &defects);
+    assert!(surf.patch.distance().min() >= 5, "distance restored");
+    assert!(
+        surf.patch.num_physical_qubits() < q3de.patch.num_physical_qubits(),
+        "adaptive {} vs doubled {}",
+        surf.patch.num_physical_qubits(),
+        q3de.patch.num_physical_qubits()
+    );
+}
+
+/// The Table II pipeline end-to-end: every row produces Surf-Deformer
+/// risks far below ASC-S and Q3DE reads OverRuntime.
+#[test]
+fn table2_shape() {
+    use surf_deformer::programs::{compile_program, paper_benchmarks, retry_risk};
+    let cal = Calibration::default_paper();
+    let rays = CosmicRayModel::paper();
+    for b in paper_benchmarks() {
+        for &d in &b.distances {
+            let surf = {
+                let c = compile_program(&b.program, StrategyKind::SurfDeformer.scheme(), d, 4);
+                retry_risk(&c, StrategyKind::SurfDeformer, &rays, &cal)
+            };
+            let asc = {
+                let c = compile_program(&b.program, StrategyKind::AscS.scheme(), d, 0);
+                retry_risk(&c, StrategyKind::AscS, &rays, &cal)
+            };
+            let q3de = {
+                let c = compile_program(&b.program, StrategyKind::Q3de.scheme(), d, 0);
+                retry_risk(&c, StrategyKind::Q3de, &rays, &cal)
+            };
+            assert!(q3de.over_runtime, "{}", b.program.name);
+            assert!(!surf.over_runtime, "{}", b.program.name);
+            assert!(
+                surf.risk < asc.risk,
+                "{} d={d}: surf {} vs asc {}",
+                b.program.name,
+                surf.risk,
+                asc.risk
+            );
+        }
+    }
+}
