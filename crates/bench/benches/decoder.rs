@@ -21,8 +21,7 @@ fn bench_mwpm_decode(c: &mut Criterion) {
         let decoder = MwpmDecoder::new(model.graph.clone());
         let mut rng = StdRng::seed_from_u64(1);
         // Pre-sample syndromes so the benchmark measures decoding only.
-        let syndromes: Vec<Vec<usize>> =
-            (0..64).map(|_| model.sample(&mut rng).0).collect();
+        let syndromes: Vec<Vec<usize>> = (0..64).map(|_| model.sample(&mut rng).0).collect();
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             let mut i = 0;
             b.iter(|| {
@@ -41,8 +40,7 @@ fn bench_union_find_decode(c: &mut Criterion) {
         let model = decoding_model(d);
         let decoder = UnionFindDecoder::new(model.graph.clone());
         let mut rng = StdRng::seed_from_u64(2);
-        let syndromes: Vec<Vec<usize>> =
-            (0..64).map(|_| model.sample(&mut rng).0).collect();
+        let syndromes: Vec<Vec<usize>> = (0..64).map(|_| model.sample(&mut rng).0).collect();
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             let mut i = 0;
             b.iter(|| {

@@ -67,5 +67,10 @@ fn bench_full_mitigation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_instructions, bench_distance, bench_full_mitigation);
+criterion_group!(
+    benches,
+    bench_instructions,
+    bench_distance,
+    bench_full_mitigation
+);
 criterion_main!(benches);

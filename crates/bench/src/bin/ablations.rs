@@ -31,7 +31,12 @@ fn main() {
 fn ablation_syndrome_rm() {
     let mut table = ResultsTable::new(
         "ablation_syndrome_rm",
-        &["d", "SyndromeQ_RM dist", "4x DataQ_RM dist", "data qubits kept"],
+        &[
+            "d",
+            "SyndromeQ_RM dist",
+            "4x DataQ_RM dist",
+            "data qubits kept",
+        ],
     );
     for d in [5usize, 7, 9, 11] {
         let center = Coord::new(d as i32 - 1, d as i32 - 1);
@@ -86,7 +91,13 @@ fn ablation_enlargement() {
     let mut rng = StdRng::seed_from_u64(31);
     let mut table = ResultsTable::new(
         "ablation_enlargement",
-        &["#defects", "adaptive qubits", "doubled qubits", "adaptive dist", "doubled dist"],
+        &[
+            "#defects",
+            "adaptive qubits",
+            "doubled qubits",
+            "adaptive dist",
+            "doubled dist",
+        ],
     );
     let d = 9;
     let base = Patch::rotated(d);
@@ -111,10 +122,7 @@ fn ablation_enlargement() {
 /// 4: MWPM vs union-find on a deformed patch.
 fn ablation_decoder() {
     let shots = env_u64("SHOTS", 400);
-    let mut table = ResultsTable::new(
-        "ablation_decoder",
-        &["patch", "MWPM p_L", "union-find p_L"],
-    );
+    let mut table = ResultsTable::new("ablation_decoder", &["patch", "MWPM p_L", "union-find p_L"]);
     let mut deformed = Patch::rotated(7);
     data_q_rm(&mut deformed, Coord::new(7, 7)).unwrap();
     syndrome_q_rm(&mut deformed, Coord::new(4, 4)).unwrap();

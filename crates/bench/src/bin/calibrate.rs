@@ -44,7 +44,10 @@ fn main() {
     table.finish();
     if clean_points.len() >= 2 {
         let clean = LogicalRateModel::fit(&clean_points);
-        println!("\nclean fit: A = {:.3e}, Λ = {:.2}\n", clean.a, clean.lambda);
+        println!(
+            "\nclean fit: A = {:.3e}, Λ = {:.2}\n",
+            clean.a, clean.lambda
+        );
     } else {
         println!("\nclean fit: not enough non-zero points; raise SHOTS\n");
     }
@@ -57,7 +60,8 @@ fn main() {
         let patch = Patch::rotated(d);
         let mut universe = patch.data_qubits();
         universe.extend(patch.syndrome_qubits());
-        let defects = sample_clustered_defects(&universe, 25.min(universe.len() / 2), 3, 0.5, &mut rng);
+        let defects =
+            sample_clustered_defects(&universe, 25.min(universe.len() / 2), 3, 0.5, &mut rng);
         let rate = logical_rate(
             patch,
             defects,
@@ -81,10 +85,7 @@ fn main() {
     }
 
     // --- Distance losses for cosmic-ray clusters.
-    let mut table = ResultsTable::new(
-        "calibration_losses",
-        &["d", "Surf-D loss", "ASC-S loss"],
-    );
+    let mut table = ResultsTable::new("calibration_losses", &["d", "Surf-D loss", "ASC-S loss"]);
     for &d in &[9usize, 13, 17] {
         let patch = Patch::rotated(d);
         let mut universe = patch.data_qubits();

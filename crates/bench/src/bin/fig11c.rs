@@ -23,7 +23,13 @@ fn main() {
     ];
     let mut table = ResultsTable::new(
         "fig11c",
-        &["task set", "defect µ", "LS baseline", "Q3DE", "Surf-Deformer"],
+        &[
+            "task set",
+            "defect µ",
+            "LS baseline",
+            "Q3DE",
+            "Surf-Deformer",
+        ],
     );
     for (name, tasks) in &task_sets {
         // Defect pressure: mean defect events per patch over the window.

@@ -19,10 +19,7 @@ fn main() {
         StrategyKind::AscS,
         StrategyKind::SurfDeformer,
     ];
-    let mut table = ResultsTable::new(
-        "fig12",
-        &["benchmark", "strategy", "d", "physical qubits"],
-    );
+    let mut table = ResultsTable::new("fig12", &["benchmark", "strategy", "d", "physical qubits"]);
     let mut ratios: Vec<(String, f64)> = Vec::new();
     for name in names {
         let b = paper_benchmarks()
@@ -32,7 +29,11 @@ fn main() {
         let mut surf_qubits = None;
         let mut per_strategy = Vec::new();
         for s in strategies {
-            let delta = if s == StrategyKind::SurfDeformer { 4 } else { 0 };
+            let delta = if s == StrategyKind::SurfDeformer {
+                4
+            } else {
+                0
+            };
             match distance_for_target(&b.program, s, delta, &rays, &cal, 0.01) {
                 Some((d, o)) => {
                     if s == StrategyKind::SurfDeformer {

@@ -22,7 +22,11 @@ fn main() {
     );
     for d in (15..=31).step_by(2) {
         for s in [StrategyKind::AscS, StrategyKind::SurfDeformer] {
-            let delta = if s == StrategyKind::SurfDeformer { 4 } else { 0 };
+            let delta = if s == StrategyKind::SurfDeformer {
+                4
+            } else {
+                0
+            };
             let c = compile_program(&b.program, s.scheme(), d, delta);
             let o = retry_risk(&c, s, &rays, &cal);
             table.row(vec![

@@ -18,10 +18,7 @@ fn main() {
     let target = env_u64("TARGET", 19) as usize;
     let samples = env_u64("SAMPLES", 25) as usize;
     let mut rng = StdRng::seed_from_u64(13);
-    let mut table = ResultsTable::new(
-        "fig13b",
-        &["#faults", "Surf-Deformer yield", "ASC-S yield"],
-    );
+    let mut table = ResultsTable::new("fig13b", &["#faults", "Surf-Deformer yield", "ASC-S yield"]);
     println!("deforming l={l} patches to distance >= {target}, {samples} samples/point\n");
     for k in [0usize, 5, 10, 15, 20, 25, 30, 35, 40] {
         let (surf, asc) = yield_comparison(l, target, k, samples, &mut rng);

@@ -25,7 +25,12 @@ fn main() {
     universe.extend(base.syndrome_qubits());
     let mut table = ResultsTable::new(
         "fig14b",
-        &["#defects", "untreated", "precise Surf-D", "imprecise Surf-D"],
+        &[
+            "#defects",
+            "untreated",
+            "precise Surf-D",
+            "imprecise Surf-D",
+        ],
     );
     for k in [5usize, 10, 20, 30, 40] {
         let mut unt = 0.0;

@@ -71,7 +71,10 @@ impl ResultsTable {
                 .join("  ")
         };
         println!("{}", line(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

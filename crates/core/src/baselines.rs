@@ -179,10 +179,7 @@ impl MitigationStrategy for Q3de {
         let (patch, layers) = if affected && self.can_double {
             // Fixed-size enlargement: double both dimensions (grow east and
             // south into the inter-space).
-            (
-                Patch::rectangle_at(cx, cy, 2 * w, 2 * h),
-                [0, h, 0, w],
-            )
+            (Patch::rectangle_at(cx, cy, 2 * w, 2 * h), [0, h, 0, w])
         } else {
             (base.clone(), [0; 4])
         };

@@ -108,10 +108,7 @@ pub fn data_q_rm(patch: &mut Patch, q: Coord) -> Result<GaugeTransformLog, Defor
         }
         log.insert(
             log.len() - demoted.len(),
-            GaugeStep::S2G {
-                new_gauge,
-                demoted,
-            },
+            GaugeStep::S2G { new_gauge, demoted },
         );
     }
     patch.remove_data(q);
@@ -285,10 +282,7 @@ fn balance_fix_basis(patch: &Patch, q: Coord) -> Result<Basis, DeformError> {
             Ok(_) => {
                 let d = trial.distance();
                 let key = (d.min(), d.x + d.z);
-                if best
-                    .map(|(_, m, s)| key > (m, s))
-                    .unwrap_or(true)
-                {
+                if best.map(|(_, m, s)| key > (m, s)).unwrap_or(true) {
                     best = Some((basis, key.0, key.1));
                 }
             }
@@ -361,7 +355,10 @@ fn patch_q_rm_fixed(
 /// # Errors
 ///
 /// [`DeformError::NotRectangular`] if the patch has holes or ragged edges.
-pub fn patch_q_add(patch: &mut Patch, side: BoundarySide) -> Result<GaugeTransformLog, DeformError> {
+pub fn patch_q_add(
+    patch: &mut Patch,
+    side: BoundarySide,
+) -> Result<GaugeTransformLog, DeformError> {
     let (min, max) = patch.bounding_box();
     let (cx, cy) = ((min.x - 1) / 2, (min.y - 1) / 2);
     let w = ((max.x - min.x) / 2 + 1) as usize;
@@ -384,11 +381,7 @@ pub fn patch_q_add(patch: &mut Patch, side: BoundarySide) -> Result<GaugeTransfo
     // Build the log: init stabilizers for new qubits, then promote the new
     // or widened checks.
     let mut log = GaugeTransformLog::new();
-    let init_basis = match side.logical_basis() {
-        // Growing an X side extends the X logical: new qubits in |+⟩.
-        Basis::X => Basis::X,
-        Basis::Z => Basis::Z,
-    };
+    let init_basis = side.logical_basis();
     for q in grown.data_qubits() {
         if !old_data.contains(&q) {
             log.push(GaugeStep::G2S {
@@ -506,10 +499,7 @@ mod tests {
         let mut p = Patch::rotated(5);
         let anc = Coord::new(4, 4); // interior Z plaquette
         assert!(p.is_interior_syndrome(anc));
-        let basis = p
-            .check(p.check_at_ancilla(anc).unwrap())
-            .unwrap()
-            .basis;
+        let basis = p.check(p.check_at_ancilla(anc).unwrap()).unwrap().basis;
         assert_eq!(basis, Basis::Z);
         syndrome_q_rm(&mut p, anc).unwrap();
         p.verify().unwrap();

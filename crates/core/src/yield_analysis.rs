@@ -135,6 +135,6 @@ mod tests {
     fn harvested_distance_drops_with_faults() {
         let faults = DefectMap::from_qubits([surf_lattice::Coord::new(5, 5)], 1.0);
         let d = harvested_distance(7, &faults, &SurfDeformerStrategy::removal_only()).unwrap();
-        assert!(d < 7 && d >= 5, "distance {d}");
+        assert!((5..7).contains(&d), "distance {d}");
     }
 }

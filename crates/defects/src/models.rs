@@ -156,7 +156,11 @@ pub fn sample_uniform_defects<R: Rng + ?Sized>(
     error_rate: f64,
     rng: &mut R,
 ) -> DefectMap {
-    assert!(k <= universe.len(), "cannot sample {k} defects from {}", universe.len());
+    assert!(
+        k <= universe.len(),
+        "cannot sample {k} defects from {}",
+        universe.len()
+    );
     // Partial Fisher–Yates over an index vector.
     let mut idx: Vec<usize> = (0..universe.len()).collect();
     for i in 0..k {
@@ -300,8 +304,16 @@ mod tests {
         let m = CosmicRayModel::paper();
         let u = universe();
         let events = vec![
-            CosmicRayEvent { center: Coord::new(3, 3), start_round: 0, duration_rounds: 100 },
-            CosmicRayEvent { center: Coord::new(15, 15), start_round: 50, duration_rounds: 100 },
+            CosmicRayEvent {
+                center: Coord::new(3, 3),
+                start_round: 0,
+                duration_rounds: 100,
+            },
+            CosmicRayEvent {
+                center: Coord::new(15, 15),
+                start_round: 50,
+                duration_rounds: 100,
+            },
         ];
         let early = m.defect_map_at(&events, &u, 10);
         let late = m.defect_map_at(&events, &u, 75);

@@ -13,7 +13,10 @@ use surf_stabilizer::MeasuredCode;
 use crate::{Basis, Coord, Patch};
 
 /// Builds a [`PauliString`] for an all-`basis` operator on a qubit set.
-pub fn check_string<'a, I: IntoIterator<Item = &'a Coord>>(basis: Basis, support: I) -> PauliString {
+pub fn check_string<'a, I: IntoIterator<Item = &'a Coord>>(
+    basis: Basis,
+    support: I,
+) -> PauliString {
     let p = match basis {
         Basis::X => Pauli::X,
         Basis::Z => Pauli::Z,
@@ -103,7 +106,9 @@ mod tests {
     fn check_string_builds_expected_operator() {
         let s = check_string(
             Basis::Z,
-            &[Coord::new(1, 1), Coord::new(3, 1)].into_iter().collect::<Vec<_>>(),
+            &[Coord::new(1, 1), Coord::new(3, 1)]
+                .into_iter()
+                .collect::<Vec<_>>(),
         );
         assert_eq!(s.weight(), 2);
         assert!(s.is_z_type());

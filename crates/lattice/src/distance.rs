@@ -212,8 +212,8 @@ impl Patch {
             let d = dist[&state];
             for &(next, obs, q) in adj.get(&node).into_iter().flatten() {
                 let nstate = (next, parity ^ obs);
-                if !dist.contains_key(&nstate) {
-                    dist.insert(nstate, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nstate) {
+                    e.insert(d + 1);
                     back.insert(nstate, (state, q));
                     queue.push_back(nstate);
                 }

@@ -43,7 +43,10 @@ impl Patch {
     /// [`RerouteError`] if a logical cannot be vacated — this means the
     /// removal would sever the patch's logical qubit (e.g. a defect line
     /// cutting the patch in two).
-    pub fn reroute_logicals_avoiding(&mut self, avoid: &BTreeSet<Coord>) -> Result<(), RerouteError> {
+    pub fn reroute_logicals_avoiding(
+        &mut self,
+        avoid: &BTreeSet<Coord>,
+    ) -> Result<(), RerouteError> {
         let new_x = self.reroute_one(Basis::X, self.logical_x().clone(), avoid)?;
         let new_z = self.reroute_one(Basis::Z, self.logical_z().clone(), avoid)?;
         self.set_logicals(new_x, new_z);
@@ -189,10 +192,7 @@ mod tests {
         // SyndromeQ_RM needs the logicals off all four data qubits of the
         // removed plaquette.
         let mut p = Patch::rotated(5);
-        let avoid: BTreeSet<Coord> = Coord::new(4, 4)
-            .diagonal_neighbors()
-            .into_iter()
-            .collect();
+        let avoid: BTreeSet<Coord> = Coord::new(4, 4).diagonal_neighbors().into_iter().collect();
         p.reroute_logicals_avoiding(&avoid).unwrap();
         assert_eq!(p.logical_x().intersection(&avoid).count(), 0);
         assert_eq!(p.logical_z().intersection(&avoid).count(), 0);

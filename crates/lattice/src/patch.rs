@@ -105,7 +105,9 @@ impl Patch {
         };
         for c in 0..w {
             for r in 0..h {
-                patch.data.insert(Coord::new(2 * (cx + c) + 1, 2 * (cy + r) + 1));
+                patch
+                    .data
+                    .insert(Coord::new(2 * (cx + c) + 1, 2 * (cy + r) + 1));
             }
         }
         // Plaquettes at (2i, 2j) for i in cx..=cx+w, j in cy..=cy+h.
@@ -522,9 +524,7 @@ impl Patch {
         for i in 0..n {
             for j in i + 1..n {
                 let (a, b) = (&self.checks[&ids[i]], &self.checks[&ids[j]]);
-                if a.basis != b.basis
-                    && a.support.intersection(&b.support).count() % 2 == 1
-                {
+                if a.basis != b.basis && a.support.intersection(&b.support).count() % 2 == 1 {
                     let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
                     if ra != rb {
                         parent[ra] = rb;
@@ -557,10 +557,9 @@ impl Patch {
             .filter(|&g| {
                 let product = self.group_product(g);
                 let basis = self.group_basis(g).unwrap();
-                self.checks.values().any(|c| {
-                    c.basis != basis
-                        && c.support.intersection(&product).count() % 2 == 1
-                })
+                self.checks
+                    .values()
+                    .any(|c| c.basis != basis && c.support.intersection(&product).count() % 2 == 1)
             })
             .collect();
         self.gauge_only.extend(flagged);
@@ -644,8 +643,7 @@ impl Patch {
             .collect();
         for (g, basis, product) in &products {
             let conflict = self.checks.iter().find(|(_, check)| {
-                check.basis != *basis
-                    && check.support.intersection(product).count() % 2 != 0
+                check.basis != *basis && check.support.intersection(product).count() % 2 != 0
             });
             match (self.gauge_only.contains(g), conflict) {
                 (false, Some((id, _))) => {
@@ -744,14 +742,8 @@ mod tests {
     #[test]
     fn balanced_check_types() {
         let p = Patch::rotated(5);
-        let x = p
-            .checks()
-            .filter(|(_, c)| c.basis == Basis::X)
-            .count();
-        let z = p
-            .checks()
-            .filter(|(_, c)| c.basis == Basis::Z)
-            .count();
+        let x = p.checks().filter(|(_, c)| c.basis == Basis::X).count();
+        let z = p.checks().filter(|(_, c)| c.basis == Basis::Z).count();
         assert_eq!(x, 12);
         assert_eq!(z, 12);
     }
@@ -853,8 +845,8 @@ mod tests {
         assert_eq!(p.checks_on_data(center, Basis::X).len(), 2);
         assert_eq!(p.checks_on_data(center, Basis::Z).len(), 2);
         let corner = Coord::new(1, 1);
-        let total = p.checks_on_data(corner, Basis::X).len()
-            + p.checks_on_data(corner, Basis::Z).len();
+        let total =
+            p.checks_on_data(corner, Basis::X).len() + p.checks_on_data(corner, Basis::Z).len();
         assert_eq!(total, 2); // corner qubit sits in exactly 2 checks
     }
 

@@ -26,7 +26,10 @@ pub struct Cadence {
 
 impl Cadence {
     /// Every round.
-    pub const EVERY_ROUND: Cadence = Cadence { period: 1, phase: 0 };
+    pub const EVERY_ROUND: Cadence = Cadence {
+        period: 1,
+        phase: 0,
+    };
 
     /// Returns `true` if the group is measured in round `r`.
     pub fn measures_at(self, round: u32) -> bool {
@@ -68,8 +71,14 @@ impl MeasurementSchedule {
             });
             let cadence = if conflicted {
                 match patch.group_basis(g).unwrap() {
-                    Basis::X => Cadence { period: 2, phase: 0 },
-                    Basis::Z => Cadence { period: 2, phase: 1 },
+                    Basis::X => Cadence {
+                        period: 2,
+                        phase: 0,
+                    },
+                    Basis::Z => Cadence {
+                        period: 2,
+                        phase: 1,
+                    },
                 }
             } else {
                 Cadence::EVERY_ROUND
@@ -96,9 +105,7 @@ impl MeasurementSchedule {
     /// Returns `true` if every group is measured every round (no
     /// super-stabilizer alternation anywhere).
     pub fn is_uniform(&self) -> bool {
-        self.cadences
-            .values()
-            .all(|c| *c == Cadence::EVERY_ROUND)
+        self.cadences.values().all(|c| *c == Cadence::EVERY_ROUND)
     }
 }
 
@@ -119,7 +126,10 @@ mod tests {
 
     #[test]
     fn cadence_round_iteration() {
-        let c = Cadence { period: 2, phase: 1 };
+        let c = Cadence {
+            period: 2,
+            phase: 1,
+        };
         let rounds: Vec<u32> = c.rounds_up_to(7).collect();
         assert_eq!(rounds, vec![1, 3, 5]);
         assert!(!c.measures_at(0));
@@ -151,8 +161,20 @@ mod tests {
         let zg = p.merge_groups(&zg);
         let s = MeasurementSchedule::for_patch(&p);
         assert!(!s.is_uniform());
-        assert_eq!(s.cadence(xg), Cadence { period: 2, phase: 0 });
-        assert_eq!(s.cadence(zg), Cadence { period: 2, phase: 1 });
+        assert_eq!(
+            s.cadence(xg),
+            Cadence {
+                period: 2,
+                phase: 0
+            }
+        );
+        assert_eq!(
+            s.cadence(zg),
+            Cadence {
+                period: 2,
+                phase: 1
+            }
+        );
         // Unrelated stabilizers stay at period 1... (d=3: all checks touch
         // the centre, so just assert the two gauge groups alternate).
         let mut conflict_free = 0;

@@ -11,9 +11,9 @@ use std::collections::HashSet;
 
 use rand::Rng;
 
-use surf_defects::sample_poisson;
 use crate::params::{LayoutParams, LayoutScheme};
 use crate::routing::RoutingGrid;
+use surf_defects::sample_poisson;
 
 /// A quantum task: an ordered list of CNOTs on logical qubit indices.
 #[derive(Clone, Debug)]
@@ -223,7 +223,9 @@ mod tests {
         let trials = 10;
         for _ in 0..trials {
             let tasks = paper_tasks(&mut rng);
-            q3 += sim(LayoutScheme::Q3de, 0.5).run(&tasks, &mut rng).throughput();
+            q3 += sim(LayoutScheme::Q3de, 0.5)
+                .run(&tasks, &mut rng)
+                .throughput();
             surf += sim(LayoutScheme::SurfDeformer, 0.5)
                 .run(&tasks, &mut rng)
                 .throughput();

@@ -45,8 +45,14 @@ pub fn max_weight_matching(
 ///
 /// Panics if no perfect matching exists among the given edges (odd vertex
 /// count or disconnected structure).
-pub fn min_weight_perfect_matching(num_vertices: usize, edges: &[(usize, usize, i64)]) -> Vec<usize> {
-    assert!(num_vertices % 2 == 0, "perfect matching needs even vertex count");
+pub fn min_weight_perfect_matching(
+    num_vertices: usize,
+    edges: &[(usize, usize, i64)],
+) -> Vec<usize> {
+    assert!(
+        num_vertices.is_multiple_of(2),
+        "perfect matching needs even vertex count"
+    );
     if num_vertices == 0 {
         return Vec::new();
     }
@@ -129,15 +135,14 @@ impl Matcher {
             blossomparent: vec![NONE; 2 * nvertex],
             blossomchilds: vec![Vec::new(); 2 * nvertex],
             blossombase: (0..nvertex as i32)
-                .chain(std::iter::repeat(NONE).take(nvertex))
+                .chain(std::iter::repeat_n(NONE, nvertex))
                 .collect(),
             blossomendps: vec![Vec::new(); 2 * nvertex],
             bestedge: vec![NONE; 2 * nvertex],
             blossombestedges: vec![Vec::new(); 2 * nvertex],
             unusedblossoms: (nvertex as i32..2 * nvertex as i32).collect(),
-            dualvar: std::iter::repeat(maxweight)
-                .take(nvertex)
-                .chain(std::iter::repeat(0).take(nvertex))
+            dualvar: std::iter::repeat_n(maxweight, nvertex)
+                .chain(std::iter::repeat_n(0, nvertex))
                 .collect(),
             allowedge: vec![false; nedge],
             queue: Vec::new(),
@@ -339,8 +344,8 @@ impl Matcher {
             }
         }
         if !endstage && self.label[b as usize] == 2 {
-            let entrychild = self.inblossom
-                [self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
+            let entrychild =
+                self.inblossom[self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
             let childs = self.blossomchilds[b as usize].clone();
             let endps = self.blossomendps[b as usize].clone();
             let len = childs.len() as i32;
@@ -441,8 +446,16 @@ impl Matcher {
             self.mate[self.endpoint[(p ^ 1) as usize] as usize] = p;
         }
         let i = i as usize;
-        let rotated_childs: Vec<i32> = childs[i..].iter().chain(childs[..i].iter()).copied().collect();
-        let rotated_endps: Vec<i32> = endps[i..].iter().chain(endps[..i].iter()).copied().collect();
+        let rotated_childs: Vec<i32> = childs[i..]
+            .iter()
+            .chain(childs[..i].iter())
+            .copied()
+            .collect();
+        let rotated_endps: Vec<i32> = endps[i..]
+            .iter()
+            .chain(endps[..i].iter())
+            .copied()
+            .collect();
         self.blossomchilds[b as usize] = rotated_childs;
         self.blossomendps[b as usize] = rotated_endps;
         self.blossombase[b as usize] = self.blossombase[self.blossomchilds[b as usize][0] as usize];
@@ -790,50 +803,112 @@ mod tests {
         let mate = max_weight_matching(4, &edges, false);
         assert_eq!(mate, vec![1, 0, 3, 2]);
         // with extra pendant edges
-        let edges = [(0, 1, 8), (0, 2, 9), (1, 2, 10), (2, 3, 7), (0, 5, 5), (3, 4, 7)];
+        let edges = [
+            (0, 1, 8),
+            (0, 2, 9),
+            (1, 2, 10),
+            (2, 3, 7),
+            (0, 5, 5),
+            (3, 4, 7),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(mate, vec![5, 2, 1, 4, 3, 0]);
         // create nested S-blossom, use for augmentation
         let edges = [
-            (0, 1, 9), (0, 2, 9), (1, 2, 10), (1, 3, 8), (2, 4, 8), (3, 4, 10), (4, 5, 6),
+            (0, 1, 9),
+            (0, 2, 9),
+            (1, 2, 10),
+            (1, 3, 8),
+            (2, 4, 8),
+            (3, 4, 10),
+            (4, 5, 6),
         ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(mate, vec![2, 3, 0, 1, 5, 4]);
         // create S-blossom, relabel as T-blossom, use for augmentation
-        let edges = [(0, 1, 9), (0, 2, 8), (1, 2, 10), (0, 3, 5), (3, 4, 4), (0, 5, 3)];
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 8),
+            (1, 2, 10),
+            (0, 3, 5),
+            (3, 4, 4),
+            (0, 5, 3),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(mate, vec![5, 2, 1, 4, 3, 0]);
-        let edges = [(0, 1, 9), (0, 2, 8), (1, 2, 10), (0, 3, 5), (3, 4, 3), (0, 5, 4)];
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 8),
+            (1, 2, 10),
+            (0, 3, 5),
+            (3, 4, 3),
+            (0, 5, 4),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(mate, vec![5, 2, 1, 4, 3, 0]);
-        let edges = [(0, 1, 9), (0, 2, 8), (1, 2, 10), (0, 3, 5), (3, 4, 3), (2, 5, 4)];
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 8),
+            (1, 2, 10),
+            (0, 3, 5),
+            (3, 4, 3),
+            (2, 5, 4),
+        ];
         let mate = max_weight_matching(6, &edges, false);
         assert_eq!(mate, vec![1, 0, 5, 4, 3, 2]);
         // create nested S-blossom, augment, expand recursively
         let edges = [
-            (0, 1, 8), (0, 2, 8), (1, 2, 10), (1, 3, 12), (2, 4, 12), (3, 4, 14), (3, 5, 12),
-            (4, 6, 12), (5, 6, 14), (6, 7, 12),
+            (0, 1, 8),
+            (0, 2, 8),
+            (1, 2, 10),
+            (1, 3, 12),
+            (2, 4, 12),
+            (3, 4, 14),
+            (3, 5, 12),
+            (4, 6, 12),
+            (5, 6, 14),
+            (6, 7, 12),
         ];
         let mate = max_weight_matching(8, &edges, false);
         assert_eq!(mate, vec![1, 0, 4, 5, 2, 3, 7, 6]);
         // create S-blossom, relabel as S, include in nested S-blossom
         let edges = [
-            (0, 1, 10), (0, 6, 10), (1, 2, 12), (2, 3, 20), (2, 4, 20), (3, 4, 25), (4, 5, 10),
-            (5, 6, 10), (6, 7, 8),
+            (0, 1, 10),
+            (0, 6, 10),
+            (1, 2, 12),
+            (2, 3, 20),
+            (2, 4, 20),
+            (3, 4, 25),
+            (4, 5, 10),
+            (5, 6, 10),
+            (6, 7, 8),
         ];
         let mate = max_weight_matching(8, &edges, false);
         assert_eq!(mate, vec![1, 0, 3, 2, 5, 4, 7, 6]);
         // create nested S-blossom, relabel as T, expand
         let edges = [
-            (0, 1, 23), (0, 4, 22), (0, 5, 15), (1, 2, 25), (2, 3, 22), (3, 4, 25), (3, 7, 14),
+            (0, 1, 23),
+            (0, 4, 22),
+            (0, 5, 15),
+            (1, 2, 25),
+            (2, 3, 22),
+            (3, 4, 25),
+            (3, 7, 14),
             (4, 6, 13),
         ];
         let mate = max_weight_matching(8, &edges, false);
         assert_eq!(mate, vec![5, 2, 1, 7, 6, 0, 4, 3]);
         // create nested S-blossom, relabel as S, expand
         let edges = [
-            (0, 1, 19), (0, 2, 20), (0, 7, 8), (1, 2, 25), (1, 4, 18), (2, 3, 18), (3, 4, 13),
-            (3, 6, 7), (4, 5, 7),
+            (0, 1, 19),
+            (0, 2, 20),
+            (0, 7, 8),
+            (1, 2, 25),
+            (1, 4, 18),
+            (2, 3, 18),
+            (3, 4, 13),
+            (3, 6, 7),
+            (4, 5, 7),
         ];
         let mate = max_weight_matching(8, &edges, false);
         assert_eq!(mate, vec![7, 2, 1, 6, 5, 4, 3, 0]);
@@ -908,11 +983,7 @@ mod tests {
                 .map(|&(_, _, w)| w)
                 .sum();
             // Brute force minimum perfect matching.
-            fn brute(
-                edges: &[(usize, usize, i64)],
-                used: &mut Vec<bool>,
-                n: usize,
-            ) -> i64 {
+            fn brute(edges: &[(usize, usize, i64)], used: &mut Vec<bool>, n: usize) -> i64 {
                 let first = (0..n).find(|&v| !used[v]);
                 let Some(u) = first else { return 0 };
                 used[u] = true;

@@ -99,8 +99,8 @@ impl DecodingGraph {
         // Merge with an existing identical mechanism if present.
         let existing = self.adjacency[a].iter().copied().find(|&e| {
             let edge = &self.edges[e];
-            let same_endpoints = (edge.a == a && edge.b == b)
-                || (b == Some(edge.a) && edge.b == Some(a));
+            let same_endpoints =
+                (edge.a == a && edge.b == b) || (b == Some(edge.a) && edge.b == Some(a));
             edge.observables == observables && same_endpoints
         });
         match existing {

@@ -78,11 +78,8 @@ impl MwpmDecoder {
         }
         let m = flagged.len();
         // Dijkstra from each flagged detector.
-        let targets: std::collections::HashMap<usize, usize> = flagged
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i))
-            .collect();
+        let targets: std::collections::HashMap<usize, usize> =
+            flagged.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut pair_info: Vec<Vec<Option<(f64, u64)>>> = vec![vec![None; m]; m];
         let mut boundary_info: Vec<Option<(f64, u64)>> = vec![None; m];
         for (i, &src) in flagged.iter().enumerate() {
@@ -132,11 +129,15 @@ impl MwpmDecoder {
             let partner = mate[i];
             if partner < m {
                 if i < partner {
-                    obs ^= pair_info[i][partner].expect("matched pair must be reachable").1;
+                    obs ^= pair_info[i][partner]
+                        .expect("matched pair must be reachable")
+                        .1;
                 }
             } else {
                 debug_assert_eq!(partner, m + i, "node may only use its own twin");
-                obs ^= boundary_info[i].expect("matched boundary must be reachable").1;
+                obs ^= boundary_info[i]
+                    .expect("matched boundary must be reachable")
+                    .1;
             }
         }
         obs
@@ -189,7 +190,7 @@ impl MwpmDecoder {
                     }
                     None => {
                         let nd = d + w;
-                        if to_boundary.map_or(true, |(bd, _)| nd < bd) {
+                        if to_boundary.is_none_or(|(bd, _)| nd < bd) {
                             to_boundary = Some((nd, obs[v] ^ eobs));
                         }
                     }

@@ -97,9 +97,11 @@ impl UnionFindDecoder {
                     }
                 }
             }
-            if newly_grown.is_empty() && active.iter().all(|&v| {
-                self.graph.incident(v).iter().all(|&e| grown[e])
-            }) {
+            if newly_grown.is_empty()
+                && active
+                    .iter()
+                    .all(|&v| self.graph.incident(v).iter().all(|&e| grown[e]))
+            {
                 // No way to grow further (isolated odd cluster): give up on
                 // it to guarantee termination.
                 break;
@@ -315,13 +317,20 @@ mod tests {
                 vec![a]
             } else {
                 let b = (a + 1).min(14);
-                if b == a { vec![a] } else { vec![a, b] }
+                if b == a {
+                    vec![a]
+                } else {
+                    vec![a, b]
+                }
             };
             if uf.decode(&syndrome) == mw.decode(&syndrome) {
                 agree += 1;
             }
         }
         // UF and MWPM coincide on near-trivial syndromes.
-        assert!(agree as f64 / trials as f64 > 0.95, "agreement {agree}/{trials}");
+        assert!(
+            agree as f64 / trials as f64 > 0.95,
+            "agreement {agree}/{trials}"
+        );
     }
 }

@@ -40,7 +40,10 @@ pub struct Mat {
 impl Mat {
     /// Creates a matrix with `cols` columns and no rows.
     pub fn new(cols: usize) -> Self {
-        Mat { cols, rows: Vec::new() }
+        Mat {
+            cols,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a matrix from explicit rows.
@@ -207,10 +210,7 @@ mod tests {
 
     #[test]
     fn rank_basic() {
-        let m = Mat::from_rows(
-            3,
-            vec![bv(&[1, 0, 0]), bv(&[0, 1, 0]), bv(&[1, 1, 0])],
-        );
+        let m = Mat::from_rows(3, vec![bv(&[1, 0, 0]), bv(&[0, 1, 0]), bv(&[1, 1, 0])]);
         assert_eq!(m.rank(), 2);
     }
 
@@ -252,10 +252,7 @@ mod tests {
 
     #[test]
     fn row_nullspace_detects_dependency() {
-        let m = Mat::from_rows(
-            3,
-            vec![bv(&[1, 1, 0]), bv(&[0, 1, 1]), bv(&[1, 0, 1])],
-        );
+        let m = Mat::from_rows(3, vec![bv(&[1, 1, 0]), bv(&[0, 1, 1]), bv(&[1, 0, 1])]);
         let null = m.row_nullspace();
         assert_eq!(null.len(), 1);
         // The dependency is rows {0,1,2}.

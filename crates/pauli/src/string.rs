@@ -130,7 +130,7 @@ impl PauliString {
                 anti += 1;
             }
         }
-        anti % 2 == 0
+        anti.is_multiple_of(2)
     }
 
     /// Restricts the string to the given predicate over qubits, returning the
@@ -256,7 +256,7 @@ mod tests {
     fn filter_and_erase() {
         let s = PauliString::from_pairs([(0, Pauli::X), (5, Pauli::Z), (10, Pauli::Y)]);
         let evens = s.filter(|q| q % 2 == 0);
-        assert_eq!(evens.weight(), 3 - 1 + 0); // qubits 0 and 10 survive
+        assert_eq!(evens.weight(), (3 - 1)); // qubits 0 and 10 survive
         let mut t = s.clone();
         assert_eq!(t.erase(5), Pauli::Z);
         assert_eq!(t.erase(5), Pauli::I);

@@ -14,8 +14,7 @@ fn arb_pauli() -> impl Strategy<Value = Pauli> {
 }
 
 fn arb_string(max_qubits: u64) -> impl Strategy<Value = PauliString> {
-    prop::collection::vec((0..max_qubits, arb_pauli()), 0..12)
-        .prop_map(PauliString::from_pairs)
+    prop::collection::vec((0..max_qubits, arb_pauli()), 0..12).prop_map(PauliString::from_pairs)
 }
 
 proptest! {

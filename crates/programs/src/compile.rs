@@ -42,7 +42,12 @@ pub struct CompiledProgram {
 
 /// Compiles a program onto a layout scheme at code distance `d`
 /// (`delta_d` only applies to the Surf-Deformer scheme).
-pub fn compile(program: &Program, scheme: LayoutScheme, d: usize, delta_d: usize) -> CompiledProgram {
+pub fn compile(
+    program: &Program,
+    scheme: LayoutScheme,
+    d: usize,
+    delta_d: usize,
+) -> CompiledProgram {
     let n = program.logical_qubits;
     let layout = match scheme {
         LayoutScheme::LatticeSurgery => LayoutParams::lattice_surgery(n, d),

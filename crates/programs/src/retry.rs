@@ -126,8 +126,7 @@ pub fn retry_risk(
     let patches = compiled.layout.logical_qubits as f64 + 11.0 * compiled.t_factories as f64;
     let qubits_per_patch = 2.0 * (d * d) as f64;
     // Expected defect episodes over the whole run.
-    let episodes =
-        patches * qubits_per_patch * defects.event_rate_per_qubit_round * rounds as f64;
+    let episodes = patches * qubits_per_patch * defects.event_rate_per_qubit_round * rounds as f64;
     let t_dur = defects.duration_rounds as f64;
     let latency = cal.detection_latency_rounds as f64;
     // Baseline intensity: clean logical rate everywhere.
@@ -251,7 +250,11 @@ mod tests {
         // Paper Table II: every Q3DE cell reads OverRuntime.
         for name in ["Simon-400-1000", "QFT-100-20", "Grover-16-2"] {
             let out = setup(name, StrategyKind::Q3de, 21);
-            assert!(out.over_runtime, "{name}: multiplier {}", out.runtime_multiplier);
+            assert!(
+                out.over_runtime,
+                "{name}: multiplier {}",
+                out.runtime_multiplier
+            );
         }
     }
 

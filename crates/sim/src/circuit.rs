@@ -96,15 +96,13 @@ pub struct MemoryCircuit {
 /// Panics if the patch has multi-check gauge groups (use the
 /// phenomenological [`crate::DetectorModel`] for deformed patches) or if
 /// `rounds == 0`.
-pub fn memory_circuit(
-    patch: &Patch,
-    memory_basis: Basis,
-    rounds: u32,
-    p: f64,
-) -> MemoryCircuit {
+pub fn memory_circuit(patch: &Patch, memory_basis: Basis, rounds: u32, p: f64) -> MemoryCircuit {
     assert!(rounds > 0);
     assert!(
-        patch.group_ids().iter().all(|&g| patch.group_members(g).len() == 1),
+        patch
+            .group_ids()
+            .iter()
+            .all(|&g| patch.group_members(g).len() == 1),
         "circuit-level generation requires a fresh patch"
     );
     // Dense indexing: data qubits then ancillas.
@@ -165,8 +163,12 @@ pub fn memory_circuit(
             .filter(|(_, b, _)| *b == Basis::Z)
             .map(|(a, _, _)| *a)
             .collect();
-        circuit.instructions.push(Instruction::ResetX(x_anc.clone()));
-        circuit.instructions.push(Instruction::ResetZ(z_anc.clone()));
+        circuit
+            .instructions
+            .push(Instruction::ResetX(x_anc.clone()));
+        circuit
+            .instructions
+            .push(Instruction::ResetZ(z_anc.clone()));
         if p > 0.0 {
             let all: Vec<usize> = (0..n).collect();
             circuit.instructions.push(Instruction::Depolarize1(all, p));
@@ -196,22 +198,26 @@ pub fn memory_circuit(
             flips.extend(&z_anc);
             circuit.instructions.push(Instruction::MeasFlip(flips, p));
         }
-        circuit.instructions.push(Instruction::MeasureX(x_anc.clone()));
+        circuit
+            .instructions
+            .push(Instruction::MeasureX(x_anc.clone()));
         for (k, &a) in x_anc.iter().enumerate() {
             let rec = record_count + k;
             let basis_matches = memory_basis == Basis::X;
             let before = detectors.len();
             push_detector(&mut detectors, &mut last_meas, a, rec, round, basis_matches);
-            detector_basis.extend(std::iter::repeat(Basis::X).take(detectors.len() - before));
+            detector_basis.extend(std::iter::repeat_n(Basis::X, detectors.len() - before));
         }
         record_count += x_anc.len();
-        circuit.instructions.push(Instruction::MeasureZ(z_anc.clone()));
+        circuit
+            .instructions
+            .push(Instruction::MeasureZ(z_anc.clone()));
         for (k, &a) in z_anc.iter().enumerate() {
             let rec = record_count + k;
             let basis_matches = memory_basis == Basis::Z;
             let before = detectors.len();
             push_detector(&mut detectors, &mut last_meas, a, rec, round, basis_matches);
-            detector_basis.extend(std::iter::repeat(Basis::Z).take(detectors.len() - before));
+            detector_basis.extend(std::iter::repeat_n(Basis::Z, detectors.len() - before));
         }
         record_count += z_anc.len();
     }
@@ -272,9 +278,7 @@ fn push_detector(
         Some(&prev) => detectors.push(Detector {
             records: vec![prev, rec],
         }),
-        None if round == 0 && basis_matches_init => {
-            detectors.push(Detector { records: vec![rec] })
-        }
+        None if round == 0 && basis_matches_init => detectors.push(Detector { records: vec![rec] }),
         None => {}
     }
     last_meas.insert(a, rec);

@@ -79,8 +79,7 @@ mod tests {
             a: 0.08,
             lambda: 9.0,
         };
-        let points: Vec<(usize, f64)> =
-            [3, 5, 7, 9].iter().map(|&d| (d, truth.rate(d))).collect();
+        let points: Vec<(usize, f64)> = [3, 5, 7, 9].iter().map(|&d| (d, truth.rate(d))).collect();
         let fit = LogicalRateModel::fit(&points);
         assert!((fit.a - truth.a).abs() / truth.a < 1e-6);
         assert!((fit.lambda - truth.lambda).abs() / truth.lambda < 1e-6);
@@ -88,14 +87,20 @@ mod tests {
 
     #[test]
     fn rate_decreases_with_distance() {
-        let m = LogicalRateModel { a: 0.1, lambda: 5.0 };
+        let m = LogicalRateModel {
+            a: 0.1,
+            lambda: 5.0,
+        };
         assert!(m.rate(9) < m.rate(5));
         assert!(m.rate(27) < 1e-8);
     }
 
     #[test]
     fn window_failure_accumulates() {
-        let m = LogicalRateModel { a: 0.1, lambda: 5.0 };
+        let m = LogicalRateModel {
+            a: 0.1,
+            lambda: 5.0,
+        };
         let one = m.window_failure(9, 1);
         let many = m.window_failure(9, 1000);
         assert!(many > one);
@@ -104,7 +109,10 @@ mod tests {
 
     #[test]
     fn distance_for_rate_monotone() {
-        let m = LogicalRateModel { a: 0.1, lambda: 8.0 };
+        let m = LogicalRateModel {
+            a: 0.1,
+            lambda: 8.0,
+        };
         let d1 = m.distance_for_rate(1e-6);
         let d2 = m.distance_for_rate(1e-12);
         assert!(d2 > d1);

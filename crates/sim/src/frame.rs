@@ -33,7 +33,7 @@ impl Frame {
 /// Applies one noiseless instruction to the frame, appending measurement
 /// flips to `record`. `flip_next_meas` carries pending classical
 /// measurement flips (from `MeasFlip` or injected errors).
-fn step(frame: &mut Frame, inst: &Instruction, record: &mut Vec<bool>, pending_flip: &mut Vec<bool>) {
+fn step(frame: &mut Frame, inst: &Instruction, record: &mut Vec<bool>, pending_flip: &mut [bool]) {
     match inst {
         Instruction::ResetZ(qs) | Instruction::ResetX(qs) => {
             for &q in qs {
@@ -66,7 +66,8 @@ fn step(frame: &mut Frame, inst: &Instruction, record: &mut Vec<bool>, pending_f
         }
         // Noise instructions are inert in the deterministic stepper; the
         // sampler and the DEM extractor interpret them.
-        Instruction::Depolarize1(..) | Instruction::Depolarize2(..) | Instruction::MeasFlip(..) => {}
+        Instruction::Depolarize1(..) | Instruction::Depolarize2(..) | Instruction::MeasFlip(..) => {
+        }
     }
 }
 
@@ -139,10 +140,7 @@ fn finish(mc: &MemoryCircuit, record: &[bool]) -> (Vec<usize>, bool) {
         .filter(|(_, d)| d.records.iter().fold(false, |acc, &r| acc ^ record[r]))
         .map(|(i, _)| i)
         .collect();
-    let obs = mc
-        .observable
-        .iter()
-        .fold(false, |acc, &r| acc ^ record[r]);
+    let obs = mc.observable.iter().fold(false, |acc, &r| acc ^ record[r]);
     (detectors, obs)
 }
 
@@ -171,7 +169,7 @@ fn propagate(
     let mut record = Vec::new();
     for inst in &mc.circuit.instructions[..at] {
         if let Instruction::MeasureZ(qs) | Instruction::MeasureX(qs) = inst {
-            record.extend(std::iter::repeat(false).take(qs.len()));
+            record.extend(std::iter::repeat_n(false, qs.len()));
         }
     }
     for inst in &mc.circuit.instructions[at..] {
@@ -203,8 +201,14 @@ pub fn extract_dem(mc: &MemoryCircuit) -> DecodingGraph {
             let m = if first { mask } else { 0 };
             match part.as_slice() {
                 [] => {}
-                [a] => { graph.add_edge(*a, None, p, m); first = false; }
-                [a, b] => { graph.add_edge(*a, Some(*b), p, m); first = false; }
+                [a] => {
+                    graph.add_edge(*a, None, p, m);
+                    first = false;
+                }
+                [a, b] => {
+                    graph.add_edge(*a, Some(*b), p, m);
+                    first = false;
+                }
                 more => {
                     graph.add_edge(more[0], Some(more[1]), p, m);
                     first = false;
@@ -361,54 +365,66 @@ mod tests {
         use surf_pauli::PauliString;
         use surf_stabilizer::Tableau;
         for d in [3usize, 5] {
-        let patch = Patch::rotated(d);
-        let mc = memory_circuit(&patch, Basis::Z, 2, 0.0);
-        let n = mc.circuit.num_qubits;
-        let keys: Vec<u64> = (0..n as u64).collect();
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut outcomes: Vec<bool> = Vec::new();
-        let mut t = Tableau::new(n);
-        for inst in &mc.circuit.instructions {
-            match inst {
-                Instruction::ResetZ(_) => {} // fresh tableau is |0..0>
-                Instruction::ResetX(qs) => {
-                    for &q in qs {
-                        // Reset to |+>: measure X and correct.
-                        let r = t.measure(&PauliString::xs([q as u64]), &keys, &mut rng);
-                        if r.outcome {
-                            t.apply_pauli(&PauliString::zs([q as u64]), &keys);
+            let patch = Patch::rotated(d);
+            let mc = memory_circuit(&patch, Basis::Z, 2, 0.0);
+            let n = mc.circuit.num_qubits;
+            let keys: Vec<u64> = (0..n as u64).collect();
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut outcomes: Vec<bool> = Vec::new();
+            let mut t = Tableau::new(n);
+            for inst in &mc.circuit.instructions {
+                match inst {
+                    Instruction::ResetZ(_) => {} // fresh tableau is |0..0>
+                    Instruction::ResetX(qs) => {
+                        for &q in qs {
+                            // Reset to |+>: measure X and correct.
+                            let r = t.measure(&PauliString::xs([q as u64]), &keys, &mut rng);
+                            if r.outcome {
+                                t.apply_pauli(&PauliString::zs([q as u64]), &keys);
+                            }
                         }
                     }
-                }
-                Instruction::H(qs) => {
-                    for &q in qs {
-                        t.h(q);
+                    Instruction::H(qs) => {
+                        for &q in qs {
+                            t.h(q);
+                        }
                     }
-                }
-                Instruction::Cx(pairs) => {
-                    for &(c, tq) in pairs {
-                        t.cnot(c, tq);
+                    Instruction::Cx(pairs) => {
+                        for &(c, tq) in pairs {
+                            t.cnot(c, tq);
+                        }
                     }
-                }
-                Instruction::MeasureZ(qs) => {
-                    for &q in qs {
-                        outcomes.push(t.measure(&PauliString::zs([q as u64]), &keys, &mut rng).outcome);
+                    Instruction::MeasureZ(qs) => {
+                        for &q in qs {
+                            outcomes.push(
+                                t.measure(&PauliString::zs([q as u64]), &keys, &mut rng)
+                                    .outcome,
+                            );
+                        }
                     }
-                }
-                Instruction::MeasureX(qs) => {
-                    for &q in qs {
-                        outcomes.push(t.measure(&PauliString::xs([q as u64]), &keys, &mut rng).outcome);
+                    Instruction::MeasureX(qs) => {
+                        for &q in qs {
+                            outcomes.push(
+                                t.measure(&PauliString::xs([q as u64]), &keys, &mut rng)
+                                    .outcome,
+                            );
+                        }
                     }
+                    _ => {}
                 }
-                _ => {}
             }
-        }
-        for (i, det) in mc.detectors.iter().enumerate() {
-            let parity = det.records.iter().fold(false, |acc, &r| acc ^ outcomes[r]);
-            assert!(!parity, "d={d}: detector {i} fired on the noiseless circuit");
-        }
-        let obs = mc.observable.iter().fold(false, |acc, &r| acc ^ outcomes[r]);
-        assert!(!obs, "d={d}: observable flipped on the noiseless circuit");
+            for (i, det) in mc.detectors.iter().enumerate() {
+                let parity = det.records.iter().fold(false, |acc, &r| acc ^ outcomes[r]);
+                assert!(
+                    !parity,
+                    "d={d}: detector {i} fired on the noiseless circuit"
+                );
+            }
+            let obs = mc
+                .observable
+                .iter()
+                .fold(false, |acc, &r| acc ^ outcomes[r]);
+            assert!(!obs, "d={d}: observable flipped on the noiseless circuit");
         }
     }
 }

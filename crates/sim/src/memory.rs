@@ -107,13 +107,8 @@ impl MemoryExperiment {
     /// Runs one basis and returns the failure count.
     pub fn run_basis(&self, memory_basis: Basis, shots: u64, seed: u64) -> u64 {
         let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
-        let model = DetectorModel::build(
-            &self.patch,
-            memory_basis,
-            self.rounds,
-            &noise,
-            self.prior,
-        );
+        let model =
+            DetectorModel::build(&self.patch, memory_basis, self.rounds, &noise, self.prior);
         let mwpm = match self.decoder {
             DecoderKind::Mwpm => Some(MwpmDecoder::new(model.graph.clone())),
             DecoderKind::UnionFind => None,
@@ -252,10 +247,8 @@ mod tests {
         use surf_deformer_core::{MitigationStrategy, SurfDeformerStrategy, Untreated};
         use surf_lattice::Coord;
         let base = Patch::rotated(5);
-        let defects = DefectMap::from_qubits(
-            [Coord::new(5, 5), Coord::new(4, 4), Coord::new(5, 3)],
-            0.5,
-        );
+        let defects =
+            DefectMap::from_qubits([Coord::new(5, 5), Coord::new(4, 4), Coord::new(5, 3)], 0.5);
         let rate = |strategy: &dyn MitigationStrategy, prior| {
             let out = strategy.mitigate(&base, &defects);
             let exp = MemoryExperiment {
@@ -269,7 +262,10 @@ mod tests {
             exp.run(400, 23).per_round_rate(5)
         };
         let untreated = rate(&Untreated, DecoderPrior::Nominal);
-        let removed = rate(&SurfDeformerStrategy::removal_only(), DecoderPrior::Informed);
+        let removed = rate(
+            &SurfDeformerStrategy::removal_only(),
+            DecoderPrior::Informed,
+        );
         assert!(
             removed < untreated,
             "removal {removed} must beat untreated {untreated}"

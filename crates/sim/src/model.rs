@@ -367,7 +367,11 @@ impl GroupInfo {
             (Some(k), Some(k + 1))
         } else {
             let a = k.checked_sub(1);
-            let b = if k + 1 < self.times.len() { Some(k) } else { None };
+            let b = if k + 1 < self.times.len() {
+                Some(k)
+            } else {
+                None
+            };
             (a, b)
         }
     }
@@ -468,10 +472,8 @@ mod tests {
         let q = Coord::new(3, 3);
         let defects = DefectMap::from_qubits([q], 0.5);
         let noise = QubitNoise::new(NoiseParams::paper(), defects);
-        let informed =
-            DetectorModel::build(&patch, Basis::Z, 3, &noise, DecoderPrior::Informed);
-        let nominal =
-            DetectorModel::build(&patch, Basis::Z, 3, &noise, DecoderPrior::Nominal);
+        let informed = DetectorModel::build(&patch, Basis::Z, 3, &noise, DecoderPrior::Informed);
+        let nominal = DetectorModel::build(&patch, Basis::Z, 3, &noise, DecoderPrior::Nominal);
         // True probabilities agree; prior probabilities differ.
         let truesum: f64 = informed.channels.iter().map(|c| c.p_true).sum();
         let truesum2: f64 = nominal.channels.iter().map(|c| c.p_true).sum();
@@ -484,10 +486,7 @@ mod tests {
     #[test]
     fn correlated_channels_appear() {
         let patch = Patch::rotated(3);
-        let noise = QubitNoise::new(
-            NoiseParams::paper().with_correlated(4e-3),
-            DefectMap::new(),
-        );
+        let noise = QubitNoise::new(NoiseParams::paper().with_correlated(4e-3), DefectMap::new());
         let with = DetectorModel::build(&patch, Basis::Z, 2, &noise, DecoderPrior::Informed);
         let without = model(3, 2);
         assert!(with.channels.len() > without.channels.len());

@@ -180,8 +180,7 @@ impl MeasuredCode {
     /// * [`TransformError::NothingToDemote`] if `new_gauge` commutes with
     ///   every stabilizer (the operation would be ill-defined per the paper).
     pub fn s2g(&mut self, new_gauge: PauliString) -> Result<(), TransformError> {
-        if !new_gauge.commutes_with(&self.logical_x) || !new_gauge.commutes_with(&self.logical_z)
-        {
+        if !new_gauge.commutes_with(&self.logical_x) || !new_gauge.commutes_with(&self.logical_z) {
             return Err(TransformError::TouchesLogical);
         }
         let (demoted, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.stab)

@@ -145,7 +145,12 @@ impl Tableau {
 
     /// Measures a Pauli operator, forcing the outcome bit when the result is
     /// random (useful for deterministic tests).
-    pub fn measure_forced(&mut self, op: &PauliString, qubits: &[u64], forced: bool) -> MeasureResult {
+    pub fn measure_forced(
+        &mut self,
+        op: &PauliString,
+        qubits: &[u64],
+        forced: bool,
+    ) -> MeasureResult {
         let (px, pz) = self.densify(op, qubits);
         self.measure_dense(&px, &pz, forced)
     }

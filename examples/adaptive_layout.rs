@@ -16,12 +16,19 @@ fn main() {
     // --- Eq. 1: the paper's worked example.
     let model = DefectChannelModel::paper();
     let d = 27;
-    println!("defect channel model (paper): λ(d=27) = {:.3}", model.lambda(d));
+    println!(
+        "defect channel model (paper): λ(d=27) = {:.3}",
+        model.lambda(d)
+    );
     for delta in 0..=8 {
         println!(
             "  Δd = {delta}: p_block = {:.4}{}",
             block_probability(&model, d, delta),
-            if block_probability(&model, d, delta) < 0.01 { "  <- meets α_block = 1%" } else { "" }
+            if block_probability(&model, d, delta) < 0.01 {
+                "  <- meets α_block = 1%"
+            } else {
+                ""
+            }
         );
     }
     let delta_d = required_interspace(&model, d, 0.01);
@@ -33,15 +40,25 @@ fn main() {
         ("lattice surgery", LayoutParams::lattice_surgery(100, d)),
         ("Q3DE", LayoutParams::q3de(100, d)),
         ("Q3DE* (2d)", LayoutParams::q3de_revised(100, d)),
-        ("Surf-Deformer", LayoutParams::surf_deformer(100, d, delta_d)),
+        (
+            "Surf-Deformer",
+            LayoutParams::surf_deformer(100, d, delta_d),
+        ),
     ] {
-        println!("{name:<18} {:>6} {:>14}", params.gap, params.physical_qubits());
+        println!(
+            "{name:<18} {:>6} {:>14}",
+            params.gap,
+            params.physical_qubits()
+        );
     }
 
     // --- Throughput under increasing defect pressure (Fig. 11c shape).
     let mut rng = StdRng::seed_from_u64(5);
     println!("\nthroughput (gates/step), 5 tasks × 25 CNOTs on 50 of 100 qubits:");
-    println!("{:<10} {:>12} {:>12} {:>12}", "defect µ", "LS (no def)", "Q3DE", "Surf-D");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "defect µ", "LS (no def)", "Q3DE", "Surf-D"
+    );
     for mu in [0.0, 0.1, 0.25, 0.5, 1.0] {
         let tasks = Task::paper_set(5, 25, 50, 100, &mut rng);
         let mut run = |scheme: LayoutScheme| {

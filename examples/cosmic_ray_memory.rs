@@ -30,13 +30,28 @@ fn main() {
         model.defect_error_rate,
     );
     let detected = DefectDetector::perfect().detect(&defects, &universe, &mut rng);
-    println!("d={d}, {} defective qubits, {shots} shots per basis\n", detected.len());
-    println!("{:<16} {:>10} {:>14} {:>10}", "strategy", "qubits", "p_L/round", "distance");
+    println!(
+        "d={d}, {} defective qubits, {shots} shots per basis\n",
+        detected.len()
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>10}",
+        "strategy", "qubits", "p_L/round", "distance"
+    );
 
     let strategies: Vec<(&str, StrategyOutcomeLike)> = vec![
-        ("untreated", run(&Untreated, &base, &detected, DecoderPrior::Nominal)),
-        ("Q3DE", run(&Q3de::default(), &base, &detected, DecoderPrior::Informed)),
-        ("ASC-S", run(&AscS, &base, &detected, DecoderPrior::Informed)),
+        (
+            "untreated",
+            run(&Untreated, &base, &detected, DecoderPrior::Nominal),
+        ),
+        (
+            "Q3DE",
+            run(&Q3de::default(), &base, &detected, DecoderPrior::Informed),
+        ),
+        (
+            "ASC-S",
+            run(&AscS, &base, &detected, DecoderPrior::Informed),
+        ),
         (
             "Surf-Deformer",
             run(
@@ -56,7 +71,11 @@ fn main() {
                 decoder: DecoderKind::Mwpm,
             };
             let stats = exp.run(shots, 11);
-            (base.num_physical_qubits(), stats.per_round_rate(rounds), base.distance())
+            (
+                base.num_physical_qubits(),
+                stats.per_round_rate(rounds),
+                base.distance(),
+            )
         }),
     ];
     for (name, (qubits, rate, dist)) in strategies {

@@ -46,12 +46,18 @@ fn main() {
         report.distance,
         report.restored,
     );
-    deformer.patch().verify().expect("deformed patch is a valid code");
+    deformer
+        .patch()
+        .verify()
+        .expect("deformed patch is a valid code");
 
     // 5. Compare with the baselines.
     for (name, outcome) in [
         ("ASC-S ", AscS.mitigate(&Patch::rotated(9), &detected)),
-        ("Q3DE  ", Q3de::default().mitigate(&Patch::rotated(9), &detected)),
+        (
+            "Q3DE  ",
+            Q3de::default().mitigate(&Patch::rotated(9), &detected),
+        ),
     ] {
         println!(
             "{name}: distance {} with {} physical qubits ({} defects kept)",

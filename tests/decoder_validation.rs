@@ -1,11 +1,11 @@
 //! Decoder validation: exhaustive single-error correction and Monte-Carlo
 //! sanity on fresh and deformed codes.
 
+use surf_defects::DefectMap;
 use surf_deformer::core::{data_q_rm, syndrome_q_rm};
 use surf_deformer::lattice::{Basis, Coord, Patch};
 use surf_deformer::matching::{MwpmDecoder, UnionFindDecoder};
 use surf_deformer::sim::{DecoderPrior, DetectorModel, NoiseParams, QubitNoise};
-use surf_defects::DefectMap;
 
 fn model(patch: &Patch, rounds: u32) -> DetectorModel {
     let noise = QubitNoise::new(NoiseParams::paper(), DefectMap::new());

@@ -114,7 +114,12 @@ fn cluster_mitigation_sweep() {
     let mut universe = base.data_qubits();
     universe.extend(base.syndrome_qubits());
     let model = surf_deformer::defects::CosmicRayModel::paper();
-    for center in [Coord::new(5, 5), Coord::new(9, 9), Coord::new(13, 13), Coord::new(1, 9)] {
+    for center in [
+        Coord::new(5, 5),
+        Coord::new(9, 9),
+        Coord::new(13, 13),
+        Coord::new(1, 9),
+    ] {
         let region = model.affected_region(center, &universe);
         let defects = DefectMap::from_qubits(region, 0.5);
         let mut deformer = Deformer::with_budget(base.clone(), EnlargeBudget::uniform(4));

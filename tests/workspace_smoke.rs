@@ -1,0 +1,38 @@
+//! Workspace-level smoke test: the facade crate's `prelude` must cover the
+//! README/doc quickstart path end-to-end, so re-export regressions are
+//! caught by an integration test rather than only by doctests.
+
+use surf_deformer::prelude::*;
+
+#[test]
+fn prelude_quickstart_restores_distance() {
+    // Build a distance-5 rotated surface code.
+    let patch = Patch::rotated(5);
+    assert_eq!(patch.distance(), Distances { x: 5, z: 5 });
+
+    // Strike it with a defect and let Surf-Deformer repair it.
+    let defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+    let mut deformer = Deformer::with_budget(patch, EnlargeBudget::uniform(2));
+    let report = deformer.mitigate(&defects).expect("mitigation failed");
+
+    assert!(report.restored, "budgeted mitigation should restore d=5");
+    assert!(deformer.patch().verify().is_ok());
+    let d = deformer.patch().distance();
+    assert!(d.min() >= 5, "distance not restored: {d}");
+    assert!(report.removed.contains(&Coord::new(5, 5)));
+}
+
+#[test]
+fn prelude_strategies_are_usable() {
+    // The strategy objects re-exported through the prelude must agree with
+    // the deformer on the same single-defect scenario.
+    let base = Patch::rotated(5);
+    let defects = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+
+    let untreated = Untreated.mitigate(&base, &defects);
+    assert_eq!(untreated.patch.distance(), Distances { x: 5, z: 5 });
+
+    let surf = SurfDeformerStrategy::removal_only().mitigate(&base, &defects);
+    assert!(surf.patch.verify().is_ok());
+    assert!(surf.patch.distance().min() >= 4);
+}
