@@ -92,12 +92,14 @@ impl ResultsTable {
     }
 }
 
-/// Runs a memory experiment and returns the combined per-round logical
-/// error rate.
-pub fn logical_rate(
+/// Runs a memory experiment through the batched sampling–decoding pipeline
+/// with the given decoder backend and returns the combined per-round
+/// logical error rate.
+pub fn logical_rate_with(
     patch: Patch,
     kept_defects: DefectMap,
     prior: DecoderPrior,
+    decoder: DecoderKind,
     rounds: u32,
     shots: u64,
     seed: u64,
@@ -108,9 +110,30 @@ pub fn logical_rate(
         noise: NoiseParams::paper(),
         kept_defects,
         prior,
-        decoder: DecoderKind::Mwpm,
+        decoder,
     };
     exp.run(shots, seed).per_round_rate(rounds)
+}
+
+/// [`logical_rate_with`] using the default MWPM backend (the paper's
+/// configuration for every figure).
+pub fn logical_rate(
+    patch: Patch,
+    kept_defects: DefectMap,
+    prior: DecoderPrior,
+    rounds: u32,
+    shots: u64,
+    seed: u64,
+) -> f64 {
+    logical_rate_with(
+        patch,
+        kept_defects,
+        prior,
+        DecoderKind::Mwpm,
+        rounds,
+        shots,
+        seed,
+    )
 }
 
 /// Formats a rate in scientific notation (or a detection floor when no

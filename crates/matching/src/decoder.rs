@@ -1,0 +1,136 @@
+//! The first-class decoder abstraction shared by the sim → matching
+//! pipeline.
+//!
+//! Every syndrome decoder in the workspace implements [`Decoder`]:
+//! a scalar [`decode`](Decoder::decode) over a sparse syndrome, and a
+//! [`decode_batch`](Decoder::decode_batch) over a 64-lane [`BitBatch`]
+//! whose implementations reuse their scratch allocations across shots.
+//! Monte-Carlo drivers (`surf_sim::MemoryExperiment`) hold a
+//! `Box<dyn Decoder>` and never match on the concrete backend.
+//!
+//! # Plugging in a new decoder
+//!
+//! Implement [`Decoder`] for your type (it must be `Send + Sync`, since
+//! experiment drivers share one instance across worker threads). The
+//! default `decode_batch` extracts each lane and calls `decode`; override
+//! it when your decoder can hoist per-shot allocations into a reusable
+//! workspace, as [`MwpmDecoder`](crate::MwpmDecoder) and
+//! [`UnionFindDecoder`](crate::UnionFindDecoder) do.
+
+use surf_pauli::BitBatch;
+
+use crate::graph::DecodingGraph;
+
+/// A syndrome decoder over a [`DecodingGraph`].
+///
+/// # Example
+///
+/// ```
+/// use surf_matching::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+///
+/// let mut g = DecodingGraph::new(2);
+/// g.add_edge(0, None, 1e-2, 1);
+/// g.add_edge(0, Some(1), 1e-2, 0);
+/// g.add_edge(1, None, 1e-2, 0);
+/// let decoders: Vec<Box<dyn Decoder>> = vec![
+///     Box::new(MwpmDecoder::new(g.clone())),
+///     Box::new(UnionFindDecoder::new(g)),
+/// ];
+/// for d in &decoders {
+///     assert_eq!(d.decode(&[0]), 1);
+///     assert_eq!(d.decode(&[0, 1]), 0);
+/// }
+/// ```
+pub trait Decoder: Send + Sync {
+    /// The decoding graph this decoder operates on.
+    fn graph(&self) -> &DecodingGraph;
+
+    /// Decodes one syndrome (flagged detector indices; duplicates cancel
+    /// pairwise) into the predicted observable-flip mask.
+    fn decode(&self, syndrome: &[usize]) -> u64;
+
+    /// Decodes all active lanes of `batch` (one detector row per graph
+    /// node), pushing one observable-flip mask per shot into `predictions`
+    /// (cleared first).
+    ///
+    /// The default implementation extracts each lane and calls
+    /// [`decode`](Decoder::decode); backends override it to reuse scratch
+    /// allocations across the batch so the per-shot path is
+    /// allocation-free.
+    fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        predictions.clear();
+        let mut syndrome = Vec::new();
+        for lane in 0..batch.lanes() {
+            batch.lane_ones_into(lane, &mut syndrome);
+            predictions.push(self.decode(&syndrome));
+        }
+    }
+}
+
+impl<D: Decoder + ?Sized> Decoder for &D {
+    fn graph(&self) -> &DecodingGraph {
+        (**self).graph()
+    }
+
+    fn decode(&self, syndrome: &[usize]) -> u64 {
+        (**self).decode(syndrome)
+    }
+
+    fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        (**self).decode_batch(batch, predictions)
+    }
+}
+
+impl<D: Decoder + ?Sized> Decoder for Box<D> {
+    fn graph(&self) -> &DecodingGraph {
+        (**self).graph()
+    }
+
+    fn decode(&self, syndrome: &[usize]) -> u64 {
+        (**self).decode(syndrome)
+    }
+
+    fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        (**self).decode_batch(batch, predictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A decoder that predicts a flip iff the syndrome is non-empty; used
+    /// to exercise the default `decode_batch`.
+    struct ParityStub(DecodingGraph);
+
+    impl Decoder for ParityStub {
+        fn graph(&self) -> &DecodingGraph {
+            &self.0
+        }
+
+        fn decode(&self, syndrome: &[usize]) -> u64 {
+            u64::from(!syndrome.is_empty())
+        }
+    }
+
+    #[test]
+    fn default_batch_path_matches_scalar() {
+        let stub = ParityStub(DecodingGraph::new(3));
+        let mut batch = BitBatch::with_lanes(3, 5);
+        batch.xor_word(1, 0b10010);
+        batch.xor_word(2, 0b00010);
+        let mut preds = vec![99]; // must be cleared
+        stub.decode_batch(&batch, &mut preds);
+        assert_eq!(preds, vec![0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn trait_objects_and_references_delegate() {
+        let stub = ParityStub(DecodingGraph::new(1));
+        let by_ref: &dyn Decoder = &stub;
+        assert_eq!(by_ref.decode(&[0]), 1);
+        let boxed: Box<dyn Decoder> = Box::new(stub);
+        assert_eq!(boxed.decode(&[]), 0);
+        assert_eq!(boxed.graph().num_nodes(), 1);
+    }
+}

@@ -7,49 +7,39 @@
 //!   brute force.
 //! * [`DecodingGraph`] — weighted detector graphs with an implicit boundary
 //!   and per-edge observable masks.
+//! * [`Decoder`] — the trait every decoder implements: scalar
+//!   [`decode`](Decoder::decode) plus a batch path
+//!   ([`decode_batch`](Decoder::decode_batch)) over 64-lane
+//!   [`surf_pauli::BitBatch`]es that reuses scratch allocations across
+//!   shots.
 //! * [`MwpmDecoder`] — the full minimum-weight perfect-matching decoder
-//!   (local Dijkstra + boundary twins + blossom).
+//!   (local Dijkstra + boundary twins + blossom), with a reusable
+//!   [`MwpmScratch`] workspace.
 //! * [`UnionFindDecoder`] — the Delfosse–Nickerson union-find decoder, used
-//!   for ablations and for dense 50 %-noise syndromes.
+//!   for ablations and for dense 50 %-noise syndromes, with a reusable
+//!   [`UfScratch`] workspace.
 //!
 //! # Example
 //!
 //! ```
-//! use surf_matching::{DecodingGraph, MwpmDecoder};
+//! use surf_matching::{Decoder, DecodingGraph, MwpmDecoder};
 //!
 //! let mut g = DecodingGraph::new(2);
 //! g.add_edge(0, None, 1e-3, 1);
 //! g.add_edge(0, Some(1), 1e-3, 0);
 //! g.add_edge(1, None, 1e-3, 0);
-//! let decoder = MwpmDecoder::new(g);
+//! let decoder: Box<dyn Decoder> = Box::new(MwpmDecoder::new(g));
 //! assert_eq!(decoder.decode(&[0, 1]), 0);
 //! ```
 
 mod blossom;
+mod decoder;
 mod graph;
 mod mwpm;
 mod unionfind;
 
 pub use blossom::{max_weight_matching, min_weight_perfect_matching};
+pub use decoder::Decoder;
 pub use graph::{DecodingGraph, Edge};
-pub use mwpm::MwpmDecoder;
-pub use unionfind::UnionFindDecoder;
-
-/// Shared helper: keep detectors flagged an odd number of times.
-pub(crate) fn mwpm_dedup_parity(syndrome: &[usize]) -> Vec<usize> {
-    let mut sorted = syndrome.to_vec();
-    sorted.sort_unstable();
-    let mut out = Vec::with_capacity(sorted.len());
-    let mut i = 0;
-    while i < sorted.len() {
-        let mut j = i;
-        while j < sorted.len() && sorted[j] == sorted[i] {
-            j += 1;
-        }
-        if (j - i) % 2 == 1 {
-            out.push(sorted[i]);
-        }
-        i = j;
-    }
-    out
-}
+pub use mwpm::{MwpmDecoder, MwpmScratch};
+pub use unionfind::{UfScratch, UnionFindDecoder};

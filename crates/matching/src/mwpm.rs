@@ -10,11 +10,19 @@
 //!    cost), optionally keeping only each node's nearest neighbours.
 //! 3. Solve exactly with the blossom algorithm; XOR the observable parities
 //!    of the matched paths.
+//!
+//! All per-call allocations (Dijkstra distance/visited arrays, the heap,
+//! and the matching-instance buffers) live in a reusable [`MwpmScratch`];
+//! the batch path ([`Decoder::decode_batch`]) carries one scratch across
+//! the whole batch so the per-shot decode is allocation-free.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use surf_pauli::BitBatch;
+
 use crate::blossom::min_weight_perfect_matching;
+use crate::decoder::Decoder;
 use crate::graph::DecodingGraph;
 
 /// Exact MWPM decoder over a [`DecodingGraph`].
@@ -49,6 +57,56 @@ pub struct MwpmDecoder {
 /// resolution for the exact integer blossom solver.
 const WEIGHT_SCALE: f64 = 1024.0;
 
+/// Reusable MWPM decode workspace: Dijkstra state sized to the decoding
+/// graph (reset via a touched-node list, so sparse syndromes pay only for
+/// the region they explore) plus matching-instance buffers.
+///
+/// One scratch serves any number of sequential decodes, including against
+/// different graphs (buffers grow on demand).
+#[derive(Clone, Debug, Default)]
+pub struct MwpmScratch {
+    /// Parity-deduplicated flagged detectors of the current syndrome.
+    flagged: Vec<usize>,
+    /// Sort buffer for the dedup.
+    sort_buf: Vec<usize>,
+    /// Detector → index in `flagged` (`usize::MAX` = not flagged).
+    target_idx: Vec<usize>,
+    // --- Dijkstra state, reset via `touched`.
+    dist: Vec<f64>,
+    obs: Vec<u64>,
+    settled: Vec<bool>,
+    touched: Vec<usize>,
+    heap: BinaryHeap<(Reverse<OrderedF64>, usize)>,
+    // --- Matching instance.
+    pair_info: Vec<Option<(f64, u64)>>,
+    boundary_info: Vec<Option<(f64, u64)>>,
+    edges: Vec<(usize, usize, i64)>,
+    neigh: Vec<(usize, f64)>,
+}
+
+impl MwpmScratch {
+    /// Grows the graph-sized arrays to `n` nodes.
+    fn ensure(&mut self, n: usize) {
+        if self.target_idx.len() < n {
+            self.target_idx.resize(n, usize::MAX);
+            self.dist.resize(n, f64::INFINITY);
+            self.obs.resize(n, 0);
+            self.settled.resize(n, false);
+        }
+    }
+
+    /// Resets the Dijkstra arrays touched by the previous source.
+    fn reset_touched(&mut self) {
+        for &v in &self.touched {
+            self.dist[v] = f64::INFINITY;
+            self.obs[v] = 0;
+            self.settled[v] = false;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
 impl MwpmDecoder {
     /// Creates a decoder that owns its graph.
     pub fn new(graph: DecodingGraph) -> Self {
@@ -71,71 +129,83 @@ impl MwpmDecoder {
 
     /// Decodes a syndrome (list of flagged detector indices; duplicates
     /// cancel pairwise) and returns the predicted observable-flip mask.
+    ///
+    /// Allocates a fresh workspace; hot loops should hold an
+    /// [`MwpmScratch`] and call [`decode_with`](Self::decode_with), or go
+    /// through [`Decoder::decode_batch`].
     pub fn decode(&self, syndrome: &[usize]) -> u64 {
-        let flagged = dedup_parity(syndrome);
-        if flagged.is_empty() {
+        self.decode_with(syndrome, &mut MwpmScratch::default())
+    }
+
+    /// Decodes a syndrome reusing `scratch` for every internal allocation.
+    pub fn decode_with(&self, syndrome: &[usize], scratch: &mut MwpmScratch) -> u64 {
+        dedup_parity_into(syndrome, &mut scratch.sort_buf, &mut scratch.flagged);
+        if scratch.flagged.is_empty() {
             return 0;
         }
-        let m = flagged.len();
+        scratch.ensure(self.graph.num_nodes());
+        let m = scratch.flagged.len();
+        for (i, &d) in scratch.flagged.iter().enumerate() {
+            scratch.target_idx[d] = i;
+        }
         // Dijkstra from each flagged detector.
-        let targets: std::collections::HashMap<usize, usize> =
-            flagged.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-        let mut pair_info: Vec<Vec<Option<(f64, u64)>>> = vec![vec![None; m]; m];
-        let mut boundary_info: Vec<Option<(f64, u64)>> = vec![None; m];
-        for (i, &src) in flagged.iter().enumerate() {
-            let reach = self.dijkstra(src, &targets);
-            for (j, info) in reach.to_flagged.into_iter().enumerate() {
-                if let Some(x) = info {
-                    pair_info[i][j] = Some(x);
-                }
-            }
-            boundary_info[i] = reach.to_boundary;
+        scratch.pair_info.clear();
+        scratch.pair_info.resize(m * m, None);
+        scratch.boundary_info.clear();
+        scratch.boundary_info.resize(m, None);
+        for i in 0..m {
+            self.dijkstra(i, m, scratch);
+        }
+        // Flagged registry is no longer needed; clean it for the next call.
+        for &d in &scratch.flagged {
+            scratch.target_idx[d] = usize::MAX;
         }
         // Assemble the blossom instance: nodes 0..m flagged, m..2m twins.
-        let mut edges: Vec<(usize, usize, i64)> = Vec::new();
+        scratch.edges.clear();
         for i in 0..m {
             // Candidate neighbours sorted by distance.
-            let mut neigh: Vec<(usize, f64)> = (0..m)
-                .filter(|&j| j != i)
-                .filter_map(|j| pair_info[i][j].map(|(d, _)| (j, d)))
-                .collect();
-            neigh.sort_by(|a, b| a.1.total_cmp(&b.1));
+            scratch.neigh.clear();
+            scratch.neigh.extend(
+                (0..m)
+                    .filter(|&j| j != i)
+                    .filter_map(|j| scratch.pair_info[i * m + j].map(|(d, _)| (j, d))),
+            );
+            scratch.neigh.sort_by(|a, b| a.1.total_cmp(&b.1));
             if self.max_neighbors > 0 {
-                neigh.truncate(self.max_neighbors);
+                scratch.neigh.truncate(self.max_neighbors);
             }
-            for (j, d) in neigh {
+            for &(j, d) in &scratch.neigh {
                 if i < j {
-                    edges.push((i, j, scale(d)));
+                    scratch.edges.push((i, j, scale(d)));
                 } else {
                     // Ensure the pair appears even if j pruned it.
-                    edges.push((j, i, scale(d)));
+                    scratch.edges.push((j, i, scale(d)));
                 }
             }
-            if let Some((d, _)) = boundary_info[i] {
-                edges.push((i, m + i, scale(d)));
+            if let Some((d, _)) = scratch.boundary_info[i] {
+                scratch.edges.push((i, m + i, scale(d)));
             }
         }
-        edges.sort_unstable();
-        edges.dedup_by_key(|e| (e.0, e.1));
+        scratch.edges.sort_unstable();
+        scratch.edges.dedup_by_key(|e| (e.0, e.1));
         // Twins are pairwise matchable at no cost.
         for i in 0..m {
             for j in i + 1..m {
-                edges.push((m + i, m + j, 0));
+                scratch.edges.push((m + i, m + j, 0));
             }
         }
-        let mate = min_weight_perfect_matching(2 * m, &edges);
+        let mate = min_weight_perfect_matching(2 * m, &scratch.edges);
         let mut obs = 0u64;
-        for i in 0..m {
-            let partner = mate[i];
+        for (i, &partner) in mate.iter().enumerate().take(m) {
             if partner < m {
                 if i < partner {
-                    obs ^= pair_info[i][partner]
+                    obs ^= scratch.pair_info[i * m + partner]
                         .expect("matched pair must be reachable")
                         .1;
                 }
             } else {
                 debug_assert_eq!(partner, m + i, "node may only use its own twin");
-                obs ^= boundary_info[i]
+                obs ^= scratch.boundary_info[i]
                     .expect("matched boundary must be reachable")
                     .1;
             }
@@ -143,27 +213,26 @@ impl MwpmDecoder {
         obs
     }
 
-    /// Dijkstra from `src`, recording the best (distance, path-observables)
-    /// to each flagged target and to the boundary. Terminates once all
+    /// Dijkstra from flagged node `src_idx`, recording the best (distance,
+    /// path-observables) to each flagged target and to the boundary in
+    /// `scratch.pair_info` / `scratch.boundary_info`. Terminates once all
     /// targets and the boundary are settled.
-    fn dijkstra(&self, src: usize, targets: &std::collections::HashMap<usize, usize>) -> Reach {
-        let n = self.graph.num_nodes();
-        let mut dist: Vec<f64> = vec![f64::INFINITY; n];
-        let mut obs: Vec<u64> = vec![0; n];
-        let mut settled = vec![false; n];
-        let mut heap: BinaryHeap<(Reverse<OrderedF64>, usize)> = BinaryHeap::new();
-        let mut to_flagged: Vec<Option<(f64, u64)>> = vec![None; targets.len()];
+    fn dijkstra(&self, src_idx: usize, m: usize, scratch: &mut MwpmScratch) {
+        scratch.reset_touched();
+        let src = scratch.flagged[src_idx];
         let mut to_boundary: Option<(f64, u64)> = None;
-        let mut remaining = targets.len();
-        dist[src] = 0.0;
-        heap.push((Reverse(OrderedF64(0.0)), src));
-        while let Some((Reverse(OrderedF64(d)), v)) = heap.pop() {
-            if settled[v] {
+        let mut remaining = m;
+        scratch.dist[src] = 0.0;
+        scratch.touched.push(src);
+        scratch.heap.push((Reverse(OrderedF64(0.0)), src));
+        while let Some((Reverse(OrderedF64(d)), v)) = scratch.heap.pop() {
+            if scratch.settled[v] {
                 continue;
             }
-            settled[v] = true;
-            if let Some(&idx) = targets.get(&v) {
-                to_flagged[idx] = Some((d, obs[v]));
+            scratch.settled[v] = true;
+            let idx = scratch.target_idx[v];
+            if idx != usize::MAX {
+                scratch.pair_info[src_idx * m + idx] = Some((d, scratch.obs[v]));
                 remaining -= 1;
             }
             // Safe to stop once all targets are settled and the best known
@@ -182,31 +251,47 @@ impl MwpmDecoder {
                 match next {
                     Some(u) => {
                         let nd = d + w;
-                        if nd < dist[u] {
-                            dist[u] = nd;
-                            obs[u] = obs[v] ^ eobs;
-                            heap.push((Reverse(OrderedF64(nd)), u));
+                        if nd < scratch.dist[u] {
+                            if scratch.dist[u].is_infinite() {
+                                scratch.touched.push(u);
+                            }
+                            scratch.dist[u] = nd;
+                            scratch.obs[u] = scratch.obs[v] ^ eobs;
+                            scratch.heap.push((Reverse(OrderedF64(nd)), u));
                         }
                     }
                     None => {
                         let nd = d + w;
                         if to_boundary.is_none_or(|(bd, _)| nd < bd) {
-                            to_boundary = Some((nd, obs[v] ^ eobs));
+                            to_boundary = Some((nd, scratch.obs[v] ^ eobs));
                         }
                     }
                 }
             }
         }
-        Reach {
-            to_flagged,
-            to_boundary,
-        }
+        scratch.boundary_info[src_idx] = to_boundary;
     }
 }
 
-struct Reach {
-    to_flagged: Vec<Option<(f64, u64)>>,
-    to_boundary: Option<(f64, u64)>,
+impl Decoder for MwpmDecoder {
+    fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+
+    fn decode(&self, syndrome: &[usize]) -> u64 {
+        MwpmDecoder::decode(self, syndrome)
+    }
+
+    fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        debug_assert_eq!(batch.num_bits(), self.graph.num_nodes());
+        let mut scratch = MwpmScratch::default();
+        let mut syndrome = Vec::new();
+        predictions.clear();
+        for lane in 0..batch.lanes() {
+            batch.lane_ones_into(lane, &mut syndrome);
+            predictions.push(self.decode_with(&syndrome, &mut scratch));
+        }
+    }
 }
 
 fn scale(w: f64) -> i64 {
@@ -214,26 +299,39 @@ fn scale(w: f64) -> i64 {
 }
 
 /// Keeps detectors flagged an odd number of times, sorted.
+#[cfg(test)]
 fn dedup_parity(syndrome: &[usize]) -> Vec<usize> {
-    let mut sorted = syndrome.to_vec();
-    sorted.sort_unstable();
-    let mut out = Vec::with_capacity(sorted.len());
-    let mut i = 0;
-    while i < sorted.len() {
-        let mut j = i;
-        while j < sorted.len() && sorted[j] == sorted[i] {
-            j += 1;
-        }
-        if (j - i) % 2 == 1 {
-            out.push(sorted[i]);
-        }
-        i = j;
-    }
+    let mut sort_buf = Vec::new();
+    let mut out = Vec::new();
+    dedup_parity_into(syndrome, &mut sort_buf, &mut out);
     out
 }
 
+/// Allocation-free variant of [`dedup_parity`] writing into `out`.
+pub(crate) fn dedup_parity_into(
+    syndrome: &[usize],
+    sort_buf: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) {
+    sort_buf.clear();
+    sort_buf.extend_from_slice(syndrome);
+    sort_buf.sort_unstable();
+    out.clear();
+    let mut i = 0;
+    while i < sort_buf.len() {
+        let mut j = i;
+        while j < sort_buf.len() && sort_buf[j] == sort_buf[i] {
+            j += 1;
+        }
+        if (j - i) % 2 == 1 {
+            out.push(sort_buf[i]);
+        }
+        i = j;
+    }
+}
+
 /// Total-order wrapper for f64 heap keys (no NaNs by construction).
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 struct OrderedF64(f64);
 
 impl Eq for OrderedF64 {}
@@ -344,5 +442,39 @@ mod tests {
     fn dedup_parity_works() {
         assert_eq!(dedup_parity(&[3, 1, 3, 2, 2, 2]), vec![1, 2]);
         assert!(dedup_parity(&[5, 5]).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // A shared scratch across wildly different syndromes must give the
+        // same answers as fresh decodes.
+        let d = MwpmDecoder::new(strip(9, 1e-3));
+        let mut scratch = MwpmScratch::default();
+        let syndromes: Vec<Vec<usize>> = vec![
+            vec![0, 3, 4],
+            vec![],
+            vec![8],
+            vec![0, 8],
+            vec![1, 2, 5, 6],
+            vec![0],
+        ];
+        for s in &syndromes {
+            assert_eq!(
+                d.decode_with(s, &mut scratch),
+                d.decode(s),
+                "scratch decode diverged on {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_survives_graph_changes() {
+        // The same scratch object reused against graphs of different size.
+        let small = MwpmDecoder::new(strip(3, 1e-2));
+        let large = MwpmDecoder::new(strip(20, 1e-2));
+        let mut scratch = MwpmScratch::default();
+        assert_eq!(small.decode_with(&[0], &mut scratch), 1);
+        assert_eq!(large.decode_with(&[19], &mut scratch), 0);
+        assert_eq!(small.decode_with(&[0, 1], &mut scratch), 0);
     }
 }

@@ -6,10 +6,19 @@
 //! *peeled* (leaf-first spanning-forest traversal) to produce a correction.
 //! Edge weights participate as integer growth lengths, so informed
 //! re-weighting (e.g. 50 % defect edges) still steers the decoder.
+//!
+//! The cluster tables (union-find arrays, growth counters, peeling forest)
+//! live in a reusable [`UfScratch`]; the batch path
+//! ([`Decoder::decode_batch`]) carries one scratch across the whole batch
+//! so the per-shot decode is allocation-free.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
+use surf_pauli::BitBatch;
+
+use crate::decoder::Decoder;
 use crate::graph::DecodingGraph;
+use crate::mwpm::dedup_parity_into;
 
 /// The union-find decoder.
 ///
@@ -32,6 +41,110 @@ pub struct UnionFindDecoder {
     graph: DecodingGraph,
     /// Integer growth length per edge (≥ 1), derived from weights.
     lengths: Vec<u32>,
+}
+
+/// Reusable union-find decode workspace: the weighted-union cluster tables,
+/// per-edge growth state, and the peeling forest, all sized to the decoding
+/// graph and reset in O(n + e) without reallocating.
+#[derive(Clone, Debug, Default)]
+pub struct UfScratch {
+    /// Parity-deduplicated flagged detectors of the current syndrome.
+    flagged: Vec<usize>,
+    /// Sort buffer for the dedup.
+    sort_buf: Vec<usize>,
+    // --- Cluster tables.
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    parity: Vec<bool>,
+    boundary: Vec<bool>,
+    boundary_edge: Vec<Option<usize>>,
+    // --- Growth state.
+    growth: Vec<u32>,
+    grown: Vec<bool>,
+    active: Vec<usize>,
+    newly_grown: Vec<usize>,
+    // --- Peeling forest.
+    flag: Vec<bool>,
+    parent_edge: Vec<Option<usize>>,
+    visited: Vec<bool>,
+    order: Vec<usize>,
+    queue: VecDeque<usize>,
+    /// Cluster root → peel root vertex (dense, `usize::MAX` = unset).
+    peel_root: Vec<usize>,
+}
+
+impl UfScratch {
+    /// Resets every table for a graph with `n` nodes and `e` edges.
+    fn reset(&mut self, n: usize, e: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.parity.clear();
+        self.parity.resize(n, false);
+        self.boundary.clear();
+        self.boundary.resize(n, false);
+        self.boundary_edge.clear();
+        self.boundary_edge.resize(n, None);
+        self.growth.clear();
+        self.growth.resize(e, 0);
+        self.grown.clear();
+        self.grown.resize(e, false);
+        self.flag.clear();
+        self.flag.resize(n, false);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, None);
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.peel_root.clear();
+        self.peel_root.resize(n, usize::MAX);
+        self.order.clear();
+        self.queue.clear();
+    }
+}
+
+/// Iterative find with path compression over the scratch's parent table.
+fn find(parent: &mut [usize], v: usize) -> usize {
+    let mut root = v;
+    while parent[root] != root {
+        root = parent[root];
+    }
+    let mut cur = v;
+    while parent[cur] != root {
+        let next = parent[cur];
+        parent[cur] = root;
+        cur = next;
+    }
+    root
+}
+
+/// Weighted union merging parity, boundary contact, and boundary edges.
+#[allow(clippy::too_many_arguments)]
+fn union(
+    parent: &mut [usize],
+    rank: &mut [u32],
+    parity: &mut [bool],
+    boundary: &mut [bool],
+    boundary_edge: &mut [Option<usize>],
+    a: usize,
+    b: usize,
+) {
+    let (mut ra, mut rb) = (find(parent, a), find(parent, b));
+    if ra == rb {
+        return;
+    }
+    if rank[ra] < rank[rb] {
+        std::mem::swap(&mut ra, &mut rb);
+    }
+    parent[rb] = ra;
+    if rank[ra] == rank[rb] {
+        rank[ra] += 1;
+    }
+    parity[ra] ^= parity[rb];
+    boundary[ra] |= boundary[rb];
+    if boundary_edge[ra].is_none() {
+        boundary_edge[ra] = boundary_edge[rb];
+    }
 }
 
 impl UnionFindDecoder {
@@ -61,138 +174,159 @@ impl UnionFindDecoder {
     }
 
     /// Decodes a syndrome, returning the predicted observable-flip mask.
+    ///
+    /// Allocates a fresh workspace; hot loops should hold a [`UfScratch`]
+    /// and call [`decode_with`](Self::decode_with), or go through
+    /// [`Decoder::decode_batch`].
     pub fn decode(&self, syndrome: &[usize]) -> u64 {
+        self.decode_with(syndrome, &mut UfScratch::default())
+    }
+
+    /// Decodes a syndrome reusing `scratch` for every internal allocation.
+    pub fn decode_with(&self, syndrome: &[usize], scratch: &mut UfScratch) -> u64 {
         let n = self.graph.num_nodes();
-        let flagged = crate::mwpm_dedup_parity(syndrome);
-        if flagged.is_empty() {
+        dedup_parity_into(syndrome, &mut scratch.sort_buf, &mut scratch.flagged);
+        if scratch.flagged.is_empty() {
             return 0;
         }
-        let mut state = Uf::new(n, &flagged);
+        scratch.reset(n, self.graph.num_edges());
+        for &f in &scratch.flagged {
+            scratch.parity[f] = !scratch.parity[f];
+        }
         // Growth stage: grow every odd, non-boundary cluster by one
         // half-unit per step.
-        let mut growth: Vec<u32> = vec![0; self.graph.num_edges()];
-        let mut grown: Vec<bool> = vec![false; self.graph.num_edges()];
         loop {
-            let mut active: Vec<usize> = (0..n)
-                .filter(|&v| {
-                    let r = state.find(v);
-                    state.parity[r] && !state.boundary[r]
-                })
-                .collect();
-            if active.is_empty() {
+            scratch.active.clear();
+            for v in 0..n {
+                let r = find(&mut scratch.parent, v);
+                if scratch.parity[r] && !scratch.boundary[r] {
+                    scratch.active.push(v);
+                }
+            }
+            if scratch.active.is_empty() {
                 break;
             }
             // Grow all edges on the boundary of active clusters.
-            active.sort_unstable();
-            let mut newly_grown = Vec::new();
-            for &v in &active {
+            scratch.newly_grown.clear();
+            for &v in &scratch.active {
                 for &e in self.graph.incident(v) {
-                    if grown[e] {
+                    if scratch.grown[e] {
                         continue;
                     }
-                    growth[e] += 1;
-                    if growth[e] >= 2 * self.lengths[e] {
-                        grown[e] = true;
-                        newly_grown.push(e);
+                    scratch.growth[e] += 1;
+                    if scratch.growth[e] >= 2 * self.lengths[e] {
+                        scratch.grown[e] = true;
+                        scratch.newly_grown.push(e);
                     }
                 }
             }
-            if newly_grown.is_empty()
-                && active
+            if scratch.newly_grown.is_empty()
+                && scratch
+                    .active
                     .iter()
-                    .all(|&v| self.graph.incident(v).iter().all(|&e| grown[e]))
+                    .all(|&v| self.graph.incident(v).iter().all(|&e| scratch.grown[e]))
             {
                 // No way to grow further (isolated odd cluster): give up on
                 // it to guarantee termination.
                 break;
             }
-            for e in newly_grown {
+            for i in 0..scratch.newly_grown.len() {
+                let e = scratch.newly_grown[i];
                 let edge = &self.graph.edges()[e];
                 match edge.b {
-                    Some(b) => state.union(edge.a, b),
+                    Some(b) => union(
+                        &mut scratch.parent,
+                        &mut scratch.rank,
+                        &mut scratch.parity,
+                        &mut scratch.boundary,
+                        &mut scratch.boundary_edge,
+                        edge.a,
+                        b,
+                    ),
                     None => {
-                        let r = state.find(edge.a);
-                        state.boundary[r] = true;
-                        state.boundary_edge[r] = Some(e);
+                        let r = find(&mut scratch.parent, edge.a);
+                        scratch.boundary[r] = true;
+                        scratch.boundary_edge[r] = Some(e);
                     }
                 }
             }
         }
         // Peeling stage: spanning forest over grown edges, leaves first.
-        self.peel(&flagged, &grown, &mut state)
+        self.peel(scratch)
     }
 
-    fn peel(&self, flagged: &[usize], grown: &[bool], state: &mut Uf) -> u64 {
+    fn peel(&self, scratch: &mut UfScratch) -> u64 {
         let n = self.graph.num_nodes();
-        let mut flag = vec![false; n];
-        for &f in flagged {
-            flag[f] = true;
+        for &f in &scratch.flagged {
+            scratch.flag[f] = true;
         }
         // Build spanning forests per cluster over grown edges, rooted at a
         // boundary-edge endpoint when available.
-        let mut parent_edge: Vec<Option<usize>> = vec![None; n];
-        let mut visited = vec![false; n];
-        let mut order: Vec<usize> = Vec::new();
-        // Roots: prefer vertices whose cluster has a boundary edge at them.
-        let mut roots: HashMap<usize, usize> = HashMap::new();
         for v in 0..n {
-            let r = state.find(v);
-            if state.boundary[r] {
-                if let Some(e) = state.boundary_edge[r] {
+            let r = find(&mut scratch.parent, v);
+            if scratch.boundary[r] {
+                if let Some(e) = scratch.boundary_edge[r] {
                     if self.graph.edges()[e].a == v {
-                        roots.insert(r, v);
+                        scratch.peel_root[r] = v;
                     }
                 }
             }
         }
         for v in 0..n {
-            let r = state.find(v);
-            let root = *roots.entry(r).or_insert(v);
-            if visited[root] {
+            let r = find(&mut scratch.parent, v);
+            if scratch.peel_root[r] == usize::MAX {
+                scratch.peel_root[r] = v;
+            }
+            let root = scratch.peel_root[r];
+            if scratch.visited[root] {
                 continue;
             }
             // BFS from root over grown edges within the cluster.
-            visited[root] = true;
-            let mut queue = std::collections::VecDeque::from([root]);
-            while let Some(u) = queue.pop_front() {
-                order.push(u);
+            scratch.visited[root] = true;
+            scratch.queue.clear();
+            scratch.queue.push_back(root);
+            while let Some(u) = scratch.queue.pop_front() {
+                scratch.order.push(u);
                 for &e in self.graph.incident(u) {
-                    if !grown[e] {
+                    if !scratch.grown[e] {
                         continue;
                     }
                     let edge = &self.graph.edges()[e];
                     let Some(w) = (if edge.a == u { edge.b } else { Some(edge.a) }) else {
                         continue;
                     };
-                    if !visited[w] && state.find(w) == state.find(u) {
-                        visited[w] = true;
-                        parent_edge[w] = Some(e);
-                        queue.push_back(w);
+                    if !scratch.visited[w]
+                        && find(&mut scratch.parent, w) == find(&mut scratch.parent, u)
+                    {
+                        scratch.visited[w] = true;
+                        scratch.parent_edge[w] = Some(e);
+                        scratch.queue.push_back(w);
                     }
                 }
             }
         }
         // Peel in reverse BFS order (leaves towards roots).
         let mut obs = 0u64;
-        for &v in order.iter().rev() {
-            if !flag[v] {
+        for i in (0..scratch.order.len()).rev() {
+            let v = scratch.order[i];
+            if !scratch.flag[v] {
                 continue;
             }
-            match parent_edge[v] {
+            match scratch.parent_edge[v] {
                 Some(e) => {
                     let edge = &self.graph.edges()[e];
                     obs ^= edge.observables;
                     let parent = if edge.a == v { edge.b.unwrap() } else { edge.a };
-                    flag[v] = false;
-                    flag[parent] = !flag[parent];
+                    scratch.flag[v] = false;
+                    scratch.flag[parent] = !scratch.flag[parent];
                 }
                 None => {
                     // Root carries a residual flag: discharge through the
                     // cluster's boundary edge if it has one.
-                    let r = state.find(v);
-                    if let Some(e) = state.boundary_edge[r] {
+                    let r = find(&mut scratch.parent, v);
+                    if let Some(e) = scratch.boundary_edge[r] {
                         obs ^= self.graph.edges()[e].observables;
-                        flag[v] = false;
+                        scratch.flag[v] = false;
                     }
                     // Otherwise the cluster was stuck; leave it (decoder
                     // failure, counted by the caller through the observable
@@ -204,55 +338,23 @@ impl UnionFindDecoder {
     }
 }
 
-/// Weighted-union DSU tracking flag parity and boundary contact.
-#[derive(Clone, Debug)]
-struct Uf {
-    parent: Vec<usize>,
-    rank: Vec<u32>,
-    parity: Vec<bool>,
-    boundary: Vec<bool>,
-    boundary_edge: Vec<Option<usize>>,
-}
-
-impl Uf {
-    fn new(n: usize, flagged: &[usize]) -> Self {
-        let mut parity = vec![false; n];
-        for &f in flagged {
-            parity[f] = !parity[f];
-        }
-        Uf {
-            parent: (0..n).collect(),
-            rank: vec![0; n],
-            parity,
-            boundary: vec![false; n],
-            boundary_edge: vec![None; n],
-        }
+impl Decoder for UnionFindDecoder {
+    fn graph(&self) -> &DecodingGraph {
+        &self.graph
     }
 
-    fn find(&mut self, v: usize) -> usize {
-        if self.parent[v] != v {
-            let root = self.find(self.parent[v]);
-            self.parent[v] = root;
-        }
-        self.parent[v]
+    fn decode(&self, syndrome: &[usize]) -> u64 {
+        UnionFindDecoder::decode(self, syndrome)
     }
 
-    fn union(&mut self, a: usize, b: usize) {
-        let (mut ra, mut rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return;
-        }
-        if self.rank[ra] < self.rank[rb] {
-            std::mem::swap(&mut ra, &mut rb);
-        }
-        self.parent[rb] = ra;
-        if self.rank[ra] == self.rank[rb] {
-            self.rank[ra] += 1;
-        }
-        self.parity[ra] ^= self.parity[rb];
-        self.boundary[ra] |= self.boundary[rb];
-        if self.boundary_edge[ra].is_none() {
-            self.boundary_edge[ra] = self.boundary_edge[rb];
+    fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        debug_assert_eq!(batch.num_bits(), self.graph.num_nodes());
+        let mut scratch = UfScratch::default();
+        let mut syndrome = Vec::new();
+        predictions.clear();
+        for lane in 0..batch.lanes() {
+            batch.lane_ones_into(lane, &mut syndrome);
+            predictions.push(self.decode_with(&syndrome, &mut scratch));
         }
     }
 }
@@ -332,5 +434,26 @@ mod tests {
             agree as f64 / trials as f64 > 0.95,
             "agreement {agree}/{trials}"
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let d = UnionFindDecoder::new(strip(9, 1e-3));
+        let mut scratch = UfScratch::default();
+        let syndromes: Vec<Vec<usize>> = vec![
+            vec![0, 3, 4],
+            vec![],
+            vec![8],
+            vec![0, 8],
+            vec![1, 2, 5, 6],
+            vec![0],
+        ];
+        for s in &syndromes {
+            assert_eq!(
+                d.decode_with(s, &mut scratch),
+                d.decode(s),
+                "scratch decode diverged on {s:?}"
+            );
+        }
     }
 }

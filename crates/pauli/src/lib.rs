@@ -9,6 +9,9 @@
 //!   queries sufficient for stabilizer bookkeeping.
 //! * [`BitVec`] — a bit-packed boolean vector used by the dense tableau
 //!   simulator in `surf-stabilizer`.
+//! * [`BitBatch`] — the transposed batch layout (one `u64` word = 64 shots
+//!   per qubit/detector) shared by the batch sampler in `surf-sim` and the
+//!   `decode_batch` path in `surf-matching`.
 //! * [`gf2`] — Gaussian elimination, rank, solving, and span membership over
 //!   GF(2), used for logical-operator rerouting and code validity checks.
 //!
@@ -24,11 +27,13 @@
 //! assert!(!zz.commutes_with(&x0));
 //! ```
 
+mod bitbatch;
 mod bitvec;
 pub mod gf2;
 mod pauli;
 mod string;
 
+pub use bitbatch::BitBatch;
 pub use bitvec::BitVec;
 pub use pauli::Pauli;
 pub use string::PauliString;

@@ -99,6 +99,39 @@ impl Calibration {
             enlargement_latency_rounds: 2,
         }
     }
+
+    /// Re-fits the clean scaling model live by running batched memory
+    /// experiments (through the shared `Decoder` trait backend chosen by
+    /// `decoder`) at small distances, keeping every other constant from
+    /// [`default_paper`](Self::default_paper). Distances whose failure
+    /// count is zero at the given shot budget are skipped; if fewer than
+    /// two points survive, the default model is kept.
+    pub fn refit_clean(decoder: surf_sim::DecoderKind, shots_per_distance: u64, seed: u64) -> Self {
+        use surf_lattice::Patch;
+        use surf_sim::{DecoderPrior, MemoryExperiment, NoiseParams};
+        let mut points = Vec::new();
+        for (i, d) in [3usize, 5].into_iter().enumerate() {
+            let exp = MemoryExperiment {
+                patch: Patch::rotated(d),
+                rounds: d as u32,
+                noise: NoiseParams::paper(),
+                kept_defects: Default::default(),
+                prior: DecoderPrior::Informed,
+                decoder,
+            };
+            // Larger distances need proportionally more statistics.
+            let shots = shots_per_distance << (4 * i);
+            let rate = exp.run(shots, seed + d as u64).per_round_rate(d as u32);
+            if rate > 0.0 {
+                points.push((d, rate));
+            }
+        }
+        let mut cal = Self::default_paper();
+        if points.len() >= 2 {
+            cal.clean = LogicalRateModel::fit(&points);
+        }
+        cal
+    }
 }
 
 /// The end-to-end outcome for one (program, strategy, distance) cell.
@@ -221,6 +254,18 @@ mod tests {
             &CosmicRayModel::paper(),
             &Calibration::default_paper(),
         )
+    }
+
+    #[test]
+    fn refit_clean_keeps_a_suppressing_model() {
+        // Small shot budget: zero-failure distances are skipped and the
+        // default fit kept; with enough statistics the live fit replaces
+        // it. Either way the model must suppress errors with distance.
+        let cal = Calibration::refit_clean(surf_sim::DecoderKind::Mwpm, 200, 5);
+        assert!(cal.clean.lambda > 1.0, "Λ = {}", cal.clean.lambda);
+        assert!(cal.clean.a > 0.0);
+        // Untouched constants come from the defaults.
+        assert_eq!(cal.loss_asc, Calibration::default_paper().loss_asc);
     }
 
     #[test]

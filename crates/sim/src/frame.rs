@@ -4,15 +4,19 @@
 //! The frame simulator tracks an X/Z error frame through the Clifford
 //! circuit (the noiseless reference outcomes are all-zero by detector
 //! construction, so measurement-record *flips* are the full story — the
-//! same trick Stim uses). [`extract_dem`] propagates every elementary
-//! noise component through the remaining circuit to its detector/observable
-//! signature, producing a [`surf_matching::DecodingGraph`] for MWPM.
+//! same trick Stim uses). [`sample_shot`] runs one shot; [`sample_batch`]
+//! runs 64 bit-packed shots per instruction walk, with one frame word per
+//! qubit. [`extract_dem`] propagates every elementary noise component
+//! through the remaining circuit to its detector/observable signature,
+//! producing a [`surf_matching::DecodingGraph`] for MWPM.
 
 use rand::Rng;
 
 use surf_matching::DecodingGraph;
+use surf_pauli::BitBatch;
 
 use crate::circuit::{Instruction, MemoryCircuit};
+use crate::sampler::{bernoulli_mask, geometric_fires, GEOMETRIC_THRESHOLD};
 
 /// An X/Z error frame over the circuit's qubits.
 #[derive(Clone, Debug)]
@@ -116,19 +120,146 @@ pub fn sample_shot<R: Rng + ?Sized>(mc: &MemoryCircuit, rng: &mut R) -> (Vec<usi
     finish(mc, &record)
 }
 
-fn apply_two_qubit_pauli(frame: &mut Frame, a: usize, b: usize, k: usize) {
-    let pa = k / 4; // 0=I 1=X 2=Y 3=Z on a
-    let pb = k % 4;
-    for (q, p) in [(a, pa), (b, pb)] {
-        match p {
-            1 => frame.x[q] ^= true,
-            2 => {
-                frame.x[q] ^= true;
-                frame.z[q] ^= true;
+/// Samples one full 64-shot batch of noisy executions, walking the
+/// instruction list once: the X/Z frame holds one `u64` word per qubit
+/// (lane `b` = shot `b`), gates act word-at-a-time, and noise sites draw
+/// per-word Bernoulli masks ([`bernoulli_mask`]) or geometric skips for
+/// rare channels. Returns the detector batch and the observable-flip word.
+pub fn sample_batch<R: Rng + ?Sized>(mc: &MemoryCircuit, rng: &mut R) -> (BitBatch, u64) {
+    sample_batch_lanes(mc, rng, BitBatch::LANES)
+}
+
+/// [`sample_batch`] with only the first `lanes` shots active (tail
+/// batches).
+pub fn sample_batch_lanes<R: Rng + ?Sized>(
+    mc: &MemoryCircuit,
+    rng: &mut R,
+    lanes: usize,
+) -> (BitBatch, u64) {
+    let n = mc.circuit.num_qubits;
+    // Construct the result batch up front: validates `lanes` before any
+    // simulation work and is the single source of the lane mask.
+    let mut batch = BitBatch::with_lanes(mc.detectors.len(), lanes);
+    let lane_mask = batch.lane_mask();
+    let mut x = vec![0u64; n];
+    let mut z = vec![0u64; n];
+    let mut pending = vec![0u64; n];
+    let mut record: Vec<u64> = Vec::with_capacity(mc.circuit.num_measurements());
+    for inst in &mc.circuit.instructions {
+        match inst {
+            Instruction::ResetZ(qs) | Instruction::ResetX(qs) => {
+                for &q in qs {
+                    x[q] = 0;
+                    z[q] = 0;
+                }
             }
-            3 => frame.z[q] ^= true,
-            _ => {}
+            Instruction::H(qs) => {
+                for &q in qs {
+                    std::mem::swap(&mut x[q], &mut z[q]);
+                }
+            }
+            Instruction::Cx(pairs) => {
+                for &(c, t) in pairs {
+                    x[t] ^= x[c];
+                    z[c] ^= z[t];
+                }
+            }
+            Instruction::MeasureZ(qs) => {
+                for &q in qs {
+                    record.push(x[q] ^ pending[q]);
+                    pending[q] = 0;
+                }
+            }
+            Instruction::MeasureX(qs) => {
+                for &q in qs {
+                    record.push(z[q] ^ pending[q]);
+                    pending[q] = 0;
+                }
+            }
+            Instruction::Depolarize1(qs, p) => {
+                for_each_fire(rng, qs.len(), lanes, lane_mask, *p, |rng, site, bit| {
+                    let q = qs[site];
+                    match rng.gen_range(0..3) {
+                        0 => x[q] ^= bit,
+                        1 => z[q] ^= bit,
+                        _ => {
+                            x[q] ^= bit;
+                            z[q] ^= bit;
+                        }
+                    }
+                })
+            }
+            Instruction::Depolarize2(pairs, p) => {
+                for_each_fire(rng, pairs.len(), lanes, lane_mask, *p, |rng, site, bit| {
+                    let (a, b) = pairs[site];
+                    // Uniform non-identity two-qubit Pauli (15 cases).
+                    let k = rng.gen_range(1..16usize);
+                    for ((fx, fz), q) in two_qubit_pauli_xz(k).into_iter().zip([a, b]) {
+                        if fx {
+                            x[q] ^= bit;
+                        }
+                        if fz {
+                            z[q] ^= bit;
+                        }
+                    }
+                })
+            }
+            Instruction::MeasFlip(qs, p) => {
+                for_each_fire(rng, qs.len(), lanes, lane_mask, *p, |_, site, bit| {
+                    pending[qs[site]] ^= bit;
+                })
+            }
         }
+    }
+    for (i, det) in mc.detectors.iter().enumerate() {
+        let w = det.records.iter().fold(0u64, |acc, &r| acc ^ record[r]);
+        batch.set_word(i, w);
+    }
+    let obs = mc.observable.iter().fold(0u64, |acc, &r| acc ^ record[r]) & lane_mask;
+    (batch, obs)
+}
+
+/// Enumerates Bernoulli(`p`) successes over the `sites × lanes` grid,
+/// calling `fire(rng, site, lane_bit)` for each: geometric skipping for
+/// rare channels, per-word masks otherwise.
+fn for_each_fire<R: Rng + ?Sized>(
+    rng: &mut R,
+    sites: usize,
+    lanes: usize,
+    lane_mask: u64,
+    p: f64,
+    mut fire: impl FnMut(&mut R, usize, u64),
+) {
+    if p <= 0.0 || sites == 0 {
+        return;
+    }
+    if p < GEOMETRIC_THRESHOLD {
+        geometric_fires(rng, sites, lanes, 1.0 / (-p).ln_1p(), fire);
+    } else {
+        for site in 0..sites {
+            let mut mask = bernoulli_mask(rng, p) & lane_mask;
+            while mask != 0 {
+                let bit = mask & mask.wrapping_neg();
+                fire(rng, site, bit);
+                mask ^= bit;
+            }
+        }
+    }
+}
+
+/// Splits a two-qubit Pauli index `k` in `1..16` into per-qubit
+/// `(x, z)` frame components (`0=I 1=X 2=Y 3=Z` per side) — the single
+/// source of the mapping shared by the scalar sampler, the batch sampler,
+/// and the DEM extractor.
+fn two_qubit_pauli_xz(k: usize) -> [(bool, bool); 2] {
+    let xz = |pp: usize| (pp == 1 || pp == 2, pp == 3 || pp == 2);
+    [xz(k / 4), xz(k % 4)]
+}
+
+fn apply_two_qubit_pauli(frame: &mut Frame, a: usize, b: usize, k: usize) {
+    for ((fx, fz), q) in two_qubit_pauli_xz(k).into_iter().zip([a, b]) {
+        frame.x[q] ^= fx;
+        frame.z[q] ^= fz;
     }
 }
 
@@ -236,14 +367,13 @@ pub fn extract_dem(mc: &MemoryCircuit) -> DecodingGraph {
             Instruction::Depolarize2(pairs, p) => {
                 for &(a, b) in pairs {
                     for k in 1..16usize {
-                        let (pa, pb) = (k / 4, k % 4);
                         let mut sx = Vec::new();
                         let mut sz = Vec::new();
-                        for (q, pp) in [(a, pa), (b, pb)] {
-                            if pp == 1 || pp == 2 {
+                        for ((fx, fz), q) in two_qubit_pauli_xz(k).into_iter().zip([a, b]) {
+                            if fx {
                                 sx.push(q);
                             }
-                            if pp == 3 || pp == 2 {
+                            if fz {
                                 sz.push(q);
                             }
                         }

@@ -6,7 +6,9 @@
 //!   patch produced by the Surf-Deformer instructions, including
 //!   super-stabilizer gauge groups with period-2 measurement cadences;
 //! * [`MemoryExperiment`] — samples X-/Z-basis memory experiments in
-//!   parallel and decodes them with MWPM or union-find;
+//!   parallel, 64 bit-packed shots at a time ([`BatchSampler`]), and
+//!   decodes them through the shared [`Decoder`] trait (MWPM or
+//!   union-find);
 //! * [`LogicalRateModel`] — the `p_L = A·Λ^{-(d+1)/2}` scaling fit used to
 //!   project large-distance points (the paper uses the same methodology);
 //! * [`NoiseParams`]/[`QubitNoise`] — phenomenological noise with defect
@@ -29,10 +31,17 @@ pub mod frame;
 mod memory;
 mod model;
 mod noise;
+mod sampler;
 
 pub use circuit::{memory_circuit, Circuit, Detector, Instruction, MemoryCircuit};
 pub use fit::LogicalRateModel;
-pub use frame::{extract_dem, sample_shot};
+pub use frame::{extract_dem, sample_batch, sample_batch_lanes, sample_shot};
 pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats};
 pub use model::{Channel, DecoderPrior, DetectorModel};
 pub use noise::{NoiseParams, QubitNoise};
+pub use sampler::{bernoulli_mask, BatchSampler, GEOMETRIC_THRESHOLD};
+
+// Re-exported so downstream pipeline code can name the shared batch and
+// decoder abstractions without extra dependency lines.
+pub use surf_matching::Decoder;
+pub use surf_pauli::BitBatch;

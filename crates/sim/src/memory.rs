@@ -11,7 +11,8 @@ use rand::SeedableRng;
 
 use surf_defects::DefectMap;
 use surf_lattice::{Basis, Patch};
-use surf_matching::{MwpmDecoder, UnionFindDecoder};
+use surf_matching::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use surf_pauli::BitBatch;
 
 use crate::model::{DecoderPrior, DetectorModel};
 use crate::noise::{NoiseParams, QubitNoise};
@@ -24,6 +25,28 @@ pub enum DecoderKind {
     Mwpm,
     /// The union-find decoder (ablation/speed).
     UnionFind,
+}
+
+impl DecoderKind {
+    /// Builds the corresponding decoder backend over `graph` as a trait
+    /// object — the single dispatch point of the sim → matching pipeline.
+    pub fn build(self, graph: DecodingGraph) -> Box<dyn Decoder> {
+        match self {
+            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(graph)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
+        }
+    }
+}
+
+/// The `i`-th output of the SplitMix64 stream seeded at `seed`: γ-spaced
+/// states passed through the full avalanche mix. Used to derive
+/// decorrelated per-thread RNG seeds (a plain `(seed + C) * (t + 1)`
+/// collides across `(seed, thread)` pairs and leaves streams γ-aligned).
+fn splitmix64_stream(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Configuration of a memory experiment on one patch.
@@ -105,18 +128,19 @@ impl MemoryExperiment {
     }
 
     /// Runs one basis and returns the failure count.
+    ///
+    /// Shots are processed in 64-lane bit-packed batches: each worker
+    /// thread samples a [`BitBatch`] through the model's
+    /// [`BatchSampler`](crate::BatchSampler), decodes it through the shared
+    /// [`Decoder`] trait object (whose `decode_batch` reuses its scratch
+    /// across the batch), and counts prediction/observable mismatches
+    /// word-at-a-time.
     pub fn run_basis(&self, memory_basis: Basis, shots: u64, seed: u64) -> u64 {
         let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
         let model =
             DetectorModel::build(&self.patch, memory_basis, self.rounds, &noise, self.prior);
-        let mwpm = match self.decoder {
-            DecoderKind::Mwpm => Some(MwpmDecoder::new(model.graph.clone())),
-            DecoderKind::UnionFind => None,
-        };
-        let uf = match self.decoder {
-            DecoderKind::UnionFind => Some(UnionFindDecoder::new(model.graph.clone())),
-            DecoderKind::Mwpm => None,
-        };
+        let decoder = self.decoder.build(model.graph.clone());
+        let sampler = model.batch_sampler();
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -127,26 +151,28 @@ impl MemoryExperiment {
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let model = &model;
-                let mwpm = mwpm.as_ref();
-                let uf = uf.as_ref();
+                let sampler = &sampler;
+                let decoder = decoder.as_ref();
                 let counter = &counter;
                 let my_shots = per_thread + u64::from((t as u64) < remainder);
-                let my_seed = seed
-                    .wrapping_add(0xA076_1D64_78BD_642F)
-                    .wrapping_mul(t as u64 + 1);
+                let my_seed = splitmix64_stream(seed, t as u64);
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(my_seed);
+                    let mut batch = BitBatch::zeros(model.num_detectors);
+                    let mut predictions = Vec::with_capacity(BitBatch::LANES);
                     let mut local = 0u64;
-                    for _ in 0..my_shots {
-                        let (syndrome, true_obs) = model.sample(&mut rng);
-                        let predicted = match (mwpm, uf) {
-                            (Some(d), _) => d.decode(&syndrome) & 1 == 1,
-                            (_, Some(d)) => d.decode(&syndrome) & 1 == 1,
-                            _ => unreachable!(),
-                        };
-                        if predicted != true_obs {
-                            local += 1;
+                    let mut remaining = my_shots;
+                    while remaining > 0 {
+                        let lanes = remaining.min(BitBatch::LANES as u64) as usize;
+                        batch.set_lanes(lanes);
+                        let true_obs = sampler.sample_into(&mut rng, &mut batch);
+                        decoder.decode_batch(&batch, &mut predictions);
+                        let mut predicted = 0u64;
+                        for (lane, &p) in predictions.iter().enumerate() {
+                            predicted |= (p & 1) << lane;
                         }
+                        local += ((predicted ^ true_obs) & batch.lane_mask()).count_ones() as u64;
+                        remaining -= lanes as u64;
                     }
                     counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
                 });

@@ -20,8 +20,10 @@ use std::collections::HashMap;
 
 use surf_lattice::{Basis, Cadence, Coord, GroupId, MeasurementSchedule, Patch};
 use surf_matching::DecodingGraph;
+use surf_pauli::BitBatch;
 
 use crate::noise::QubitNoise;
+use crate::sampler::BatchSampler;
 
 /// What the decoder knows about the defects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -276,6 +278,25 @@ impl DetectorModel {
             channels,
             num_detectors,
         }
+    }
+
+    /// Builds a reusable 64-shot batch sampler over this model's channels
+    /// (the word-parallel fast path of the Monte-Carlo pipeline).
+    pub fn batch_sampler(&self) -> BatchSampler {
+        BatchSampler::new(&self.channels, self.num_detectors)
+    }
+
+    /// Samples one 64-shot batch: returns the detector batch (one row per
+    /// detector, one lane per shot) and the observable-flip word.
+    ///
+    /// Convenience wrapper; hot loops should build one
+    /// [`batch_sampler`](Self::batch_sampler) and call
+    /// [`BatchSampler::sample_into`] to amortise the channel grouping.
+    pub fn sample_batch<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> (BitBatch, u64) {
+        let sampler = self.batch_sampler();
+        let mut batch = BitBatch::zeros(self.num_detectors);
+        let obs = sampler.sample_into(rng, &mut batch);
+        (batch, obs)
     }
 
     /// Samples one shot: returns flagged detectors and the true observable

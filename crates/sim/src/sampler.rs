@@ -1,0 +1,308 @@
+//! Word-level bit-packed batch sampling of detector-error models.
+//!
+//! The scalar [`DetectorModel::sample`](crate::DetectorModel::sample) draws
+//! one `f64` per error channel per shot. The [`BatchSampler`] instead fills
+//! a [`BitBatch`] with up to 64 shots at once, walking the channel list a
+//! single time per batch and choosing, per channel-probability group, the
+//! cheaper of two exact Bernoulli strategies:
+//!
+//! * **Geometric skipping** (rare channels, `p <` [`GEOMETRIC_THRESHOLD`]):
+//!   successes over the `channels × lanes` trial grid are enumerated by
+//!   geometric jumps, costing ~one RNG draw per *firing* instead of one
+//!   per trial — a ~`1/p` reduction at paper noise levels.
+//! * **Per-word Bernoulli masks** (common channels): one 64-lane mask per
+//!   channel built from the binary expansion of `p` with
+//!   [`bernoulli_mask`], costing at most 32 draws per 64 shots.
+//!
+//! Both strategies draw exact Bernoulli samples (the mask path quantises
+//! `p` to 32 fractional bits, an absolute error below `2⁻³²`), so batch
+//! statistics match the scalar oracle; `tests/batch_sampling.rs` checks
+//! this against [`DetectorModel::sample`] in aggregate and exactly at
+//! `p = 0`.
+
+use rand::Rng;
+use surf_pauli::BitBatch;
+
+use crate::model::Channel;
+
+/// Probability below which geometric skipping beats per-word masks.
+pub const GEOMETRIC_THRESHOLD: f64 = 0.2;
+
+/// Draws a 64-lane Bernoulli mask: each bit is set independently with
+/// probability `p` (quantised to 32 fractional bits; `0` and `1` exact).
+///
+/// Uses the binary-expansion composition: walking the fraction bits of `p`
+/// from least to most significant, `mask = mask | u` for a one-bit and
+/// `mask = mask & u` for a zero-bit (with `u` fresh uniform words) yields
+/// `P(bit set) = p` in at most 32 draws.
+pub fn bernoulli_mask<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return u64::MAX;
+    }
+    let q = (p * (1u64 << 32) as f64).round() as u64;
+    if q == 0 {
+        return 0;
+    }
+    if q >= 1 << 32 {
+        return u64::MAX;
+    }
+    let tz = q.trailing_zeros();
+    let mut bits = q >> tz;
+    let mut mask = 0u64;
+    for _ in tz..32 {
+        let u = rng.next_u64();
+        mask = if bits & 1 == 1 { mask | u } else { mask & u };
+        bits >>= 1;
+    }
+    mask
+}
+
+/// Enumerates Bernoulli(`p`) successes over the `sites × lanes` trial grid
+/// by geometric jumps, calling `fire(rng, site, lane_bit)` for each:
+/// `skip = ⌊ln u / ln(1 − p)⌋` with `u` uniform on `(0, 1]` and
+/// `inv_ln_q = 1 / ln(1 − p)` precomputed by the caller. Costs ~one RNG
+/// draw per *firing* instead of one per trial — the shared core of the
+/// rare-channel paths in [`BatchSampler`] and the frame batch sampler.
+pub(crate) fn geometric_fires<R: Rng + ?Sized>(
+    rng: &mut R,
+    sites: usize,
+    lanes: usize,
+    inv_ln_q: f64,
+    mut fire: impl FnMut(&mut R, usize, u64),
+) {
+    let total = sites as u64 * lanes as u64;
+    let mut t = 0u64;
+    loop {
+        let u = 1.0 - rng.gen::<f64>(); // (0, 1]
+        let skip = (u.ln() * inv_ln_q) as u64; // ≥ 0, floors
+        t = t.saturating_add(skip);
+        if t >= total {
+            break;
+        }
+        fire(rng, (t / lanes as u64) as usize, 1u64 << (t % lanes as u64));
+        t += 1;
+    }
+}
+
+/// Error channels grouped by firing probability.
+struct Group {
+    /// Shared firing probability.
+    p: f64,
+    /// `1 / ln(1 - p)` (negative), for geometric jump lengths.
+    inv_ln_q: f64,
+    /// Whether this group uses geometric skipping.
+    geometric: bool,
+    /// Channel `c` flips detectors `dets[det_start[c]..det_start[c + 1]]`.
+    det_start: Vec<u32>,
+    dets: Vec<u32>,
+    /// Whether channel `c` flips the logical observable.
+    observable: Vec<bool>,
+}
+
+/// A reusable 64-shot batch sampler over a fixed channel list.
+///
+/// Build once per detector model (via
+/// [`DetectorModel::batch_sampler`](crate::DetectorModel::batch_sampler))
+/// and call [`sample_into`](Self::sample_into) per batch.
+pub struct BatchSampler {
+    num_detectors: usize,
+    groups: Vec<Group>,
+}
+
+impl BatchSampler {
+    /// Groups `channels` by true firing probability (channels with
+    /// `p_true <= 0` never fire and are dropped, keeping the noiseless
+    /// path exactly silent).
+    pub fn new(channels: &[Channel], num_detectors: usize) -> Self {
+        let mut groups: Vec<Group> = Vec::new();
+        let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for ch in channels {
+            if ch.p_true <= 0.0 {
+                continue;
+            }
+            let gi = *index.entry(ch.p_true.to_bits()).or_insert_with(|| {
+                groups.push(Group {
+                    p: ch.p_true,
+                    inv_ln_q: 1.0 / (-ch.p_true).ln_1p(),
+                    geometric: ch.p_true < GEOMETRIC_THRESHOLD,
+                    det_start: vec![0],
+                    dets: Vec::new(),
+                    observable: Vec::new(),
+                });
+                groups.len() - 1
+            });
+            let g = &mut groups[gi];
+            g.dets.extend(ch.detectors.iter().map(|&d| d as u32));
+            g.det_start.push(g.dets.len() as u32);
+            g.observable.push(ch.observable);
+        }
+        BatchSampler {
+            num_detectors,
+            groups,
+        }
+    }
+
+    /// Number of detector rows the produced batches carry.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Samples one batch of `batch.lanes()` shots into `batch` (cleared
+    /// first) and returns the observable-flip word (lane `b` = shot `b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.num_bits()` differs from the model's detector
+    /// count.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, batch: &mut BitBatch) -> u64 {
+        assert_eq!(
+            batch.num_bits(),
+            self.num_detectors,
+            "batch shape does not match the detector model"
+        );
+        batch.clear();
+        let lanes = batch.lanes();
+        let lane_mask = batch.lane_mask();
+        let mut obs_word = 0u64;
+        for g in &self.groups {
+            let num_channels = g.observable.len();
+            if g.geometric {
+                geometric_fires(rng, num_channels, lanes, g.inv_ln_q, |_, c, bit| {
+                    for &d in &g.dets[g.det_start[c] as usize..g.det_start[c + 1] as usize] {
+                        batch.xor_word(d as usize, bit);
+                    }
+                    if g.observable[c] {
+                        obs_word ^= bit;
+                    }
+                });
+            } else {
+                for c in 0..num_channels {
+                    let mask = bernoulli_mask(rng, g.p) & lane_mask;
+                    if mask == 0 {
+                        continue;
+                    }
+                    for &d in &g.dets[g.det_start[c] as usize..g.det_start[c + 1] as usize] {
+                        batch.xor_word(d as usize, mask);
+                    }
+                    if g.observable[c] {
+                        obs_word ^= mask;
+                    }
+                }
+            }
+        }
+        obs_word & lane_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn channel(detectors: Vec<usize>, observable: bool, p: f64) -> Channel {
+        Channel {
+            detectors,
+            observable,
+            p_true: p,
+            p_prior: p,
+        }
+    }
+
+    #[test]
+    fn bernoulli_mask_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(bernoulli_mask(&mut rng, 0.0), 0);
+        assert_eq!(bernoulli_mask(&mut rng, 1.0), u64::MAX);
+        assert_eq!(bernoulli_mask(&mut rng, -0.5), 0);
+        assert_eq!(bernoulli_mask(&mut rng, 1.5), u64::MAX);
+    }
+
+    #[test]
+    fn bernoulli_mask_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &p in &[0.03, 0.25, 0.5, 0.9] {
+            let trials = 4000u64;
+            let ones: u64 = (0..trials)
+                .map(|_| bernoulli_mask(&mut rng, p).count_ones() as u64)
+                .sum();
+            let observed = ones as f64 / (trials * 64) as f64;
+            // 64·4000 = 256k trials: ±5σ band is well within 10 % relative.
+            assert!(
+                (observed - p).abs() < 0.1 * p.max(0.05),
+                "p = {p}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_channels_never_fire() {
+        let sampler = BatchSampler::new(&[channel(vec![0, 1], true, 0.0)], 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut batch = BitBatch::zeros(2);
+        for _ in 0..32 {
+            let obs = sampler.sample_into(&mut rng, &mut batch);
+            assert_eq!(obs, 0);
+            assert_eq!(batch.count_ones(), 0);
+        }
+    }
+
+    #[test]
+    fn certain_channel_always_fires() {
+        // p = 0.5 twice on the same detector: each lane flips detector 0
+        // zero, once, or twice; observable word = XOR of both firings.
+        let sampler = BatchSampler::new(
+            &[channel(vec![0], true, 0.5), channel(vec![0], false, 0.5)],
+            1,
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut batch = BitBatch::zeros(1);
+        let mut fired = 0u64;
+        let batches = 400;
+        for _ in 0..batches {
+            let obs = sampler.sample_into(&mut rng, &mut batch);
+            fired += obs.count_ones() as u64;
+        }
+        // Observable tracks only the first channel: expect ~p = 0.5.
+        let rate = fired as f64 / (batches * 64) as f64;
+        assert!((rate - 0.5).abs() < 0.03, "obs rate {rate}");
+    }
+
+    #[test]
+    fn geometric_and_mask_paths_agree_statistically() {
+        // Same physical channel sampled through both strategies (forced by
+        // probabilities either side of the threshold would differ, so use a
+        // direct frequency check on the geometric path instead).
+        let p = 0.01;
+        let sampler = BatchSampler::new(&[channel(vec![0], false, p)], 1);
+        assert!(sampler.groups[0].geometric);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batch = BitBatch::zeros(1);
+        let batches = 3000;
+        let mut flips = 0usize;
+        for _ in 0..batches {
+            sampler.sample_into(&mut rng, &mut batch);
+            flips += batch.count_ones();
+        }
+        let observed = flips as f64 / (batches * 64) as f64;
+        assert!(
+            (observed - p).abs() < 0.15 * p,
+            "geometric path density {observed} vs {p}"
+        );
+    }
+
+    #[test]
+    fn partial_lanes_stay_clean() {
+        let sampler = BatchSampler::new(&[channel(vec![0], true, 0.5)], 1);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut batch = BitBatch::with_lanes(1, 5);
+        for _ in 0..50 {
+            let obs = sampler.sample_into(&mut rng, &mut batch);
+            assert_eq!(batch.word(0) & !0b11111, 0, "inactive lanes dirty");
+            assert_eq!(obs & !0b11111, 0);
+        }
+    }
+}

@@ -54,7 +54,8 @@ pub mod prelude {
     };
     pub use surf_lattice::{Basis, BoundarySide, Coord, Distances, Patch};
     pub use surf_layout::{LayoutParams, LayoutScheme, ThroughputSim};
-    pub use surf_matching::{MwpmDecoder, UnionFindDecoder};
+    pub use surf_matching::{Decoder, MwpmDecoder, UnionFindDecoder};
+    pub use surf_pauli::BitBatch;
     pub use surf_programs::{Calibration, StrategyKind};
-    pub use surf_sim::{DecoderPrior, MemoryExperiment, NoiseParams};
+    pub use surf_sim::{BatchSampler, DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams};
 }

@@ -152,7 +152,11 @@ impl BenchmarkGroup<'_> {
     }
 
     fn samples(&self) -> usize {
-        self.sample_size.unwrap_or(self.criterion.sample_size)
+        let configured = self.sample_size.unwrap_or(self.criterion.sample_size);
+        match self.criterion.sample_cap {
+            Some(cap) => configured.min(cap),
+            None => configured,
+        }
     }
 
     pub fn finish(self) {}
@@ -168,11 +172,25 @@ pub enum Throughput {
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    /// Global ceiling from `CRITERION_SAMPLE_SIZE`, applied on top of any
+    /// group- or builder-level `sample_size` so smoke runs stay tiny.
+    sample_cap: Option<usize>,
 }
 
 impl Default for Criterion {
+    /// Defaults to 10 samples per benchmark. `CRITERION_SAMPLE_SIZE` caps
+    /// the sample count globally — including group- and builder-level
+    /// `sample_size` overrides — so CI smoke runs stay tiny no matter what
+    /// individual benches configure.
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        let sample_cap = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map(|n| n.max(1));
+        Criterion {
+            sample_size: sample_cap.unwrap_or(10),
+            sample_cap,
+        }
     }
 }
 
@@ -194,7 +212,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = self.sample_size;
+        let samples = match self.sample_cap {
+            Some(cap) => self.sample_size.min(cap),
+            None => self.sample_size,
+        };
         self.run_one(name, samples, f);
         self
     }
