@@ -15,6 +15,8 @@
 //!   (paper Fig. 14b).
 //! * [`DefectMap`] — the set of currently defective qubits handed to the
 //!   code deformation unit.
+//! * [`DefectEvent`] — a defect set arriving mid-experiment at a specific
+//!   QEC round, the input of the streaming-decoding pipeline.
 
 mod detector;
 mod models;
@@ -121,6 +123,62 @@ impl FromIterator<(Coord, f64)> for DefectMap {
             map.insert(q, rate);
         }
         map
+    }
+}
+
+/// A defect set arriving *mid-experiment*: from QEC round `round` on, the
+/// qubits in `defects` run at their elevated error rates.
+///
+/// This is the paper's real-time scenario — a cosmic ray lands while
+/// syndrome rounds keep streaming — packaged for the streaming simulation
+/// path (`surf_sim::MemoryExperiment::run_streaming_with`), which splices
+/// the detector model and reweights the decoding graph for every round
+/// window containing the event.
+///
+/// # Example
+///
+/// ```
+/// use surf_defects::{CosmicRayModel, DefectEvent};
+/// use surf_lattice::Coord;
+///
+/// let model = CosmicRayModel::paper();
+/// let universe: Vec<Coord> = (0..11).flat_map(|x| (0..11).map(move |y| Coord::new(x, y))).collect();
+/// let event = DefectEvent::from_cosmic_ray(&model, Coord::new(5, 5), 3, &universe);
+/// assert_eq!(event.round, 3);
+/// assert!(event.defects.contains(Coord::new(5, 5)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefectEvent {
+    /// First QEC round at which the defects are active.
+    pub round: u32,
+    /// The qubits struck and their elevated error rates.
+    pub defects: DefectMap,
+}
+
+impl DefectEvent {
+    /// A defect set arriving at `round`.
+    pub fn new(round: u32, defects: DefectMap) -> Self {
+        DefectEvent { round, defects }
+    }
+
+    /// The defect footprint of a cosmic-ray strike at `center` landing at
+    /// QEC round `round` (the model's affected neighbourhood of `universe`
+    /// at the model's burst error rate).
+    pub fn from_cosmic_ray(
+        model: &CosmicRayModel,
+        center: Coord,
+        round: u32,
+        universe: &[Coord],
+    ) -> Self {
+        let strike = CosmicRayEvent {
+            center,
+            start_round: u64::from(round),
+            duration_rounds: 1,
+        };
+        DefectEvent {
+            round,
+            defects: model.defect_map_at(&[strike], universe, u64::from(round)),
+        }
     }
 }
 

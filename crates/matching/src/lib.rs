@@ -18,6 +18,10 @@
 //! * [`UnionFindDecoder`] — the Delfosse–Nickerson union-find decoder, used
 //!   for ablations and for dense 50 %-noise syndromes, with a reusable
 //!   [`UfScratch`] workspace.
+//! * [`WindowedDecoder`] — streaming decoding over overlapping
+//!   round-windows of either backend: commits matches window by window and
+//!   carries boundary defects forward, so corrections for old rounds are
+//!   final while new rounds are still being sampled.
 //!
 //! # Example
 //!
@@ -37,9 +41,11 @@ mod decoder;
 mod graph;
 mod mwpm;
 mod unionfind;
+mod windowed;
 
 pub use blossom::{max_weight_matching, min_weight_perfect_matching};
 pub use decoder::Decoder;
 pub use graph::{DecodingGraph, Edge};
 pub use mwpm::{MwpmDecoder, MwpmScratch};
 pub use unionfind::{UfScratch, UnionFindDecoder};
+pub use windowed::{DecoderFactory, WindowConfig, WindowedDecoder, WindowedSession};

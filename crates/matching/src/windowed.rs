@@ -1,0 +1,690 @@
+//! Streaming windowed decoding over round-structured decoding graphs.
+//!
+//! A real-time decoder cannot wait for the full syndrome history: rounds
+//! keep arriving while old corrections must already be committed (the
+//! Surf-Deformer scenario — a cosmic ray lands mid-computation and the
+//! code deforms while measurement keeps running). The [`WindowedDecoder`]
+//! decodes overlapping round-windows `[t, t + w)`:
+//!
+//! 1. every detector carries a *round* label; each window decodes the
+//!    sub-graph of its rounds through an inner [`Decoder`] built by a
+//!    caller-supplied factory (MWPM, union-find, anything);
+//! 2. only the matches touching the *commit region* (the first `commit`
+//!    rounds of the window) are final; the remaining rounds are lookahead
+//!    context that the next window re-decodes;
+//! 3. a committed match whose path crosses the commit boundary leaves a
+//!    half-explained chain behind — the crossing is recorded and the
+//!    partner detector's defect is flipped before the next window runs
+//!    (the "artificial time boundary" carry);
+//! 4. edges leaving the window towards not-yet-streamed rounds become
+//!    zero-observable *open-boundary* edges, so a defect whose partner is
+//!    still in the future can park against the future boundary instead of
+//!    forcing a wrong spatial match.
+//!
+//! The trick that makes this work through the *opaque* [`Decoder`] trait
+//! (which returns only an observable-flip mask, never the matching
+//! itself) is observable-bit instrumentation: in each window sub-graph,
+//! committed edges keep their real observable bits, non-committed edges
+//! are zeroed, and every committed edge that crosses the commit cut
+//! additionally sets a private high bit identifying the detector the
+//! residual defect must be carried to. One `decode` call then returns the
+//! committed observable parity *and* the full carry set.
+//!
+//! With the window at least `2·d` rounds (commit `d`, lookahead `d`) the
+//! committed corrections coincide with the full-history batch decode —
+//! `crates/sim/tests/streaming_equivalence.rs` proves the logical outcome
+//! bit-identical — while `w = rounds` reduces exactly to the inner
+//! decoder and `w = 1` degenerates to greedy round-by-round commitment.
+
+use surf_pauli::BitBatch;
+
+use crate::decoder::Decoder;
+use crate::graph::DecodingGraph;
+
+/// Factory building the inner decoder backend over each window sub-graph.
+pub type DecoderFactory = Box<dyn Fn(DecodingGraph) -> Box<dyn Decoder> + Send + Sync>;
+
+/// Shape of the sliding window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Rounds decoded together, `[t, t + window)`.
+    pub window: u32,
+    /// Rounds committed per window (the step between windows). Must be
+    /// `1..=window`; the tail `window - commit` rounds are lookahead.
+    pub commit: u32,
+}
+
+impl WindowConfig {
+    /// A window of `window` rounds committing half of it per step (the
+    /// classic "commit d, look ahead d" split for `window = 2·d`).
+    pub fn new(window: u32) -> Self {
+        assert!(window > 0, "window must be at least one round");
+        WindowConfig {
+            window,
+            commit: (window / 2).max(1),
+        }
+    }
+
+    /// Overrides the commit step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= commit <= window`.
+    pub fn with_commit(mut self, commit: u32) -> Self {
+        assert!(
+            (1..=self.window).contains(&commit),
+            "commit {commit} outside 1..={}",
+            self.window
+        );
+        self.commit = commit;
+        self
+    }
+}
+
+/// One precomputed window: its sub-graph decoder plus the bookkeeping to
+/// translate between global detectors and window-local node ids.
+struct WindowPlan {
+    /// One past the last round of the window.
+    end: u32,
+    /// Window detectors in global ids; local node `i` = `globals[i]`.
+    globals: Vec<u32>,
+    /// Inner decoder over the instrumented window sub-graph.
+    decoder: Box<dyn Decoder>,
+    /// Carry instrumentation: `(observable bit, global detector)` — if the
+    /// decode result has the bit set, the detector's defect is flipped
+    /// before the next window.
+    carries: Vec<(u32, u32)>,
+}
+
+/// A streaming decoder: decodes overlapping round-windows of a decoding
+/// graph whose detectors carry round labels, committing matches in each
+/// window's commit region and carrying boundary defects forward.
+///
+/// Implements [`Decoder`] itself (over the full-history graph), so any
+/// code consuming a `Box<dyn Decoder>` can be switched to streaming
+/// decoding transparently; [`session`](WindowedDecoder::session) exposes
+/// the round-by-round feed used by `surf_sim`'s streaming experiments.
+///
+/// # Example
+///
+/// ```
+/// use surf_matching::{Decoder, DecodingGraph, MwpmDecoder, WindowConfig, WindowedDecoder};
+///
+/// // Two detectors in consecutive rounds joined by a measurement edge
+/// // (cheaper than the boundaries, so the matching is unique).
+/// let mut g = DecodingGraph::new(2);
+/// g.add_edge(0, None, 1e-2, 1);
+/// g.add_edge(0, Some(1), 5e-2, 0);
+/// g.add_edge(1, None, 1e-2, 0);
+/// let windowed = WindowedDecoder::new(
+///     g,
+///     vec![0, 1],
+///     1,
+///     WindowConfig::new(1),
+///     Box::new(|wg| Box::new(MwpmDecoder::new(wg))),
+/// );
+/// // The measurement-error pair is matched across the window cut: the
+/// // first window commits the pair edge and carries the residual defect
+/// // into round 1, where it cancels the sampled one.
+/// assert_eq!(windowed.decode(&[0, 1]), 0);
+/// ```
+pub struct WindowedDecoder {
+    graph: DecodingGraph,
+    rounds_of: Vec<u32>,
+    /// One past the largest round label.
+    total_rounds: u32,
+    obs_mask: u64,
+    config: WindowConfig,
+    plans: Vec<WindowPlan>,
+}
+
+impl WindowedDecoder {
+    /// Builds a windowed decoder over `graph`, whose detector `i` belongs
+    /// to round `rounds_of[i]`, with `num_observables` real observable
+    /// bits (bits above them are reserved for carry instrumentation) and
+    /// an inner backend built per window by `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds_of` does not match the graph, if
+    /// `num_observables` is 0 or ≥ 64, or if a window needs more carry
+    /// bits than the `64 - num_observables` available ones (only possible
+    /// for very wide time-cuts; d ≤ 9 surface-code memories fit easily).
+    pub fn new(
+        graph: DecodingGraph,
+        rounds_of: Vec<u32>,
+        num_observables: u32,
+        config: WindowConfig,
+        factory: DecoderFactory,
+    ) -> Self {
+        assert_eq!(
+            rounds_of.len(),
+            graph.num_nodes(),
+            "one round label per detector required"
+        );
+        assert!(
+            (1..64).contains(&num_observables),
+            "num_observables {num_observables} outside 1..=63"
+        );
+        // Re-validate the config: its fields are `pub`, so a struct
+        // literal can bypass the constructor asserts. commit = 0 would
+        // loop forever below; commit > window would leave rounds that
+        // belong to no window (silently undecoded defects).
+        assert!(config.window > 0, "window must be at least one round");
+        assert!(
+            (1..=config.window).contains(&config.commit),
+            "commit {} outside 1..={}",
+            config.commit,
+            config.window
+        );
+        let total_rounds = rounds_of.iter().map(|&r| r + 1).max().unwrap_or(0);
+        let obs_mask = (1u64 << num_observables) - 1;
+        let mut decoder = WindowedDecoder {
+            graph,
+            rounds_of,
+            total_rounds,
+            obs_mask,
+            config,
+            plans: Vec::new(),
+        };
+        let mut start = 0u32;
+        loop {
+            let end = (start + config.window).min(decoder.total_rounds);
+            let last = end == decoder.total_rounds;
+            let cut = if last {
+                u32::MAX
+            } else {
+                start + config.commit
+            };
+            decoder
+                .plans
+                .push(decoder.build_plan(start, end, cut, num_observables, &factory));
+            if last {
+                break;
+            }
+            start += config.commit;
+        }
+        decoder
+    }
+
+    /// Builds the instrumented sub-graph and decoder of one window.
+    ///
+    /// Edge placement rules (rounds `ra <= rb` of the endpoints):
+    /// * `ra < start` — already committed by an earlier window: skipped;
+    /// * `ra >= end` — belongs to a later window: skipped;
+    /// * otherwise the edge is *committed* iff `ra < cut`. Committed edges
+    ///   keep their real observables; if `rb >= cut` the edge crosses the
+    ///   commit boundary and additionally sets the carry bit of endpoint
+    ///   `b`. Non-committed edges are pure lookahead (observables 0).
+    /// * An endpoint with `rb >= end` is not a window node: the edge
+    ///   becomes a boundary edge from `a` (an open time boundary when not
+    ///   committed).
+    fn build_plan(
+        &self,
+        start: u32,
+        end: u32,
+        cut: u32,
+        num_observables: u32,
+        factory: &DecoderFactory,
+    ) -> WindowPlan {
+        let mut globals: Vec<u32> = Vec::new();
+        let mut local_of = vec![u32::MAX; self.graph.num_nodes()];
+        for (det, &round) in self.rounds_of.iter().enumerate() {
+            if (start..end).contains(&round) {
+                local_of[det] = globals.len() as u32;
+                globals.push(det as u32);
+            }
+        }
+        let mut window_graph = DecodingGraph::new(globals.len());
+        let mut carries: Vec<(u32, u32)> = Vec::new();
+        let carry_bit_of = |target: u32, carries: &mut Vec<(u32, u32)>| -> u64 {
+            let bit = match carries.iter().find(|&&(_, t)| t == target) {
+                Some(&(bit, _)) => bit,
+                None => {
+                    let bit = num_observables + carries.len() as u32;
+                    assert!(
+                        bit < 64,
+                        "window [{start}, {end}) needs more than {} carry bits",
+                        64 - num_observables
+                    );
+                    carries.push((bit, target));
+                    bit
+                }
+            };
+            1u64 << bit
+        };
+        for edge in self.graph.edges() {
+            let ra = self.rounds_of[edge.a];
+            match edge.b {
+                None => {
+                    // Space-boundary edge: lives entirely in round `ra`.
+                    if !(start..end).contains(&ra) {
+                        continue;
+                    }
+                    let obs = if ra < cut {
+                        edge.observables & self.obs_mask
+                    } else {
+                        0
+                    };
+                    window_graph.add_edge(local_of[edge.a] as usize, None, edge.probability, obs);
+                }
+                Some(b) => {
+                    let rb = self.rounds_of[b];
+                    // Order endpoints by round so `lo` is the committing side.
+                    let (lo, hi, rlo, rhi) = if ra <= rb {
+                        (edge.a, b, ra, rb)
+                    } else {
+                        (b, edge.a, rb, ra)
+                    };
+                    if rlo < start || rlo >= end {
+                        continue;
+                    }
+                    let committed = rlo < cut;
+                    let mut obs = 0u64;
+                    if committed {
+                        obs = edge.observables & self.obs_mask;
+                        if rhi >= cut {
+                            obs |= carry_bit_of(hi as u32, &mut carries);
+                        }
+                    }
+                    if rhi < end {
+                        window_graph.add_edge(
+                            local_of[lo] as usize,
+                            Some(local_of[hi] as usize),
+                            edge.probability,
+                            obs,
+                        );
+                    } else {
+                        // Partner not yet streamed: open time boundary.
+                        window_graph.add_edge(local_of[lo] as usize, None, edge.probability, obs);
+                    }
+                }
+            }
+        }
+        WindowPlan {
+            end,
+            globals,
+            decoder: factory(window_graph),
+            carries,
+        }
+    }
+
+    /// The sliding-window shape.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Number of distinct round labels (one past the largest).
+    pub fn total_rounds(&self) -> u32 {
+        self.total_rounds
+    }
+
+    /// Number of windows the history is decoded in.
+    pub fn num_windows(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Round labels of the detectors.
+    pub fn rounds_of(&self) -> &[u32] {
+        &self.rounds_of
+    }
+
+    /// Starts a streaming session over up to `lanes` parallel shots; feed
+    /// it rounds in order via [`WindowedSession::push_round`].
+    pub fn session(&self, lanes: usize) -> WindowedSession<'_> {
+        assert!(
+            (1..=BitBatch::LANES).contains(&lanes),
+            "lanes {lanes} out of range 1..={}",
+            BitBatch::LANES
+        );
+        WindowedSession {
+            decoder: self,
+            defects: vec![0u64; self.graph.num_nodes()],
+            lane_mask: BitBatch::mask_for(lanes),
+            lanes,
+            filled_rounds: 0,
+            next_plan: 0,
+            observables: vec![0u64; lanes],
+            predictions: Vec::new(),
+            window_batch: BitBatch::with_lanes(0, lanes),
+        }
+    }
+
+    /// Decodes window `plan` against the global per-detector defect words
+    /// (lane `b` = shot `b`), XOR-ing each lane's committed observables
+    /// into `observables` and applying carry flips back into `defects`.
+    /// `window_batch` is caller-owned scratch (reshaped here), reused
+    /// across the whole stream; inside the call, the backend's
+    /// `decode_batch` carries one PR 2 scratch workspace across all 64
+    /// lanes, so the per-shot decode is allocation-free (one workspace
+    /// setup is paid per window, not per shot — making it persist across
+    /// windows needs a scratch-passing decode entry point, tracked with
+    /// the allocation-free-blossom ROADMAP item).
+    fn decode_plan(
+        &self,
+        plan: &WindowPlan,
+        defects: &mut [u64],
+        window_batch: &mut BitBatch,
+        observables: &mut [u64],
+        predictions: &mut Vec<u64>,
+    ) {
+        if plan.globals.is_empty() {
+            return;
+        }
+        window_batch.reset_rows(plan.globals.len());
+        for (local, &global) in plan.globals.iter().enumerate() {
+            window_batch.set_word(local, defects[global as usize]);
+        }
+        plan.decoder.decode_batch(window_batch, predictions);
+        for (lane, &prediction) in predictions.iter().enumerate() {
+            observables[lane] ^= prediction & self.obs_mask;
+            if prediction & !self.obs_mask != 0 {
+                for &(bit, target) in &plan.carries {
+                    if (prediction >> bit) & 1 == 1 {
+                        defects[target as usize] ^= 1u64 << lane;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Decoder for WindowedDecoder {
+    fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+
+    fn decode(&self, syndrome: &[usize]) -> u64 {
+        let mut session = self.session(1);
+        let mut defects = vec![0u64; self.graph.num_nodes()];
+        for &d in syndrome {
+            defects[d] ^= 1; // duplicates cancel pairwise
+        }
+        session.defects = defects;
+        session.filled_rounds = self.total_rounds;
+        session.drain_ready();
+        session.finish()[0]
+    }
+
+    fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        assert_eq!(
+            batch.num_bits(),
+            self.graph.num_nodes(),
+            "batch shape does not match the decoding graph"
+        );
+        let mut session = self.session(batch.lanes());
+        session
+            .defects
+            .copy_from_slice(&batch.words()[..batch.num_bits()]);
+        session.filled_rounds = self.total_rounds;
+        session.drain_ready();
+        predictions.clear();
+        predictions.extend_from_slice(&session.finish());
+    }
+}
+
+/// An in-flight streaming decode over up to 64 parallel shots.
+///
+/// Rounds are pushed in order; as soon as all rounds of the next window
+/// have arrived, the window is decoded and its commit region is final —
+/// the *commit latency* is one window of rounds, not the whole experiment.
+pub struct WindowedSession<'a> {
+    decoder: &'a WindowedDecoder,
+    /// Current residual defects, one word per global detector.
+    defects: Vec<u64>,
+    lane_mask: u64,
+    lanes: usize,
+    /// Rounds `0..filled_rounds` have been pushed.
+    filled_rounds: u32,
+    /// First plan not yet decoded.
+    next_plan: usize,
+    /// Per-lane committed observable masks.
+    observables: Vec<u64>,
+    /// Scratch for the inner `decode_batch` calls.
+    predictions: Vec<u64>,
+    /// Reusable window sub-batch (reshaped per window, allocated once).
+    window_batch: BitBatch,
+}
+
+impl WindowedSession<'_> {
+    /// Number of parallel shot lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of windows already committed.
+    pub fn windows_committed(&self) -> usize {
+        self.next_plan
+    }
+
+    /// Feeds the detector words of `round` (`detectors[i]`'s word is
+    /// `words[i]`; lane `b` = shot `b`) and decodes every window whose
+    /// rounds are now complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds arrive out of order or a detector does not belong
+    /// to `round`.
+    pub fn push_round(&mut self, round: u32, detectors: &[u32], words: &[u64]) {
+        assert_eq!(round, self.filled_rounds, "rounds must be pushed in order");
+        assert_eq!(detectors.len(), words.len(), "one word per detector");
+        for (&det, &word) in detectors.iter().zip(words) {
+            assert_eq!(
+                self.decoder.rounds_of[det as usize], round,
+                "detector {det} does not belong to round {round}"
+            );
+            self.defects[det as usize] ^= word & self.lane_mask;
+        }
+        self.filled_rounds = round + 1;
+        self.drain_ready();
+    }
+
+    /// Decodes every plan whose window is fully streamed.
+    fn drain_ready(&mut self) {
+        while let Some(plan) = self.decoder.plans.get(self.next_plan) {
+            if plan.end > self.filled_rounds {
+                break;
+            }
+            self.decoder.decode_plan(
+                plan,
+                &mut self.defects,
+                &mut self.window_batch,
+                &mut self.observables,
+                &mut self.predictions,
+            );
+            self.next_plan += 1;
+        }
+    }
+
+    /// Completes the stream and returns the per-lane predicted
+    /// observable-flip masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not all rounds have been pushed.
+    pub fn finish(self) -> Vec<u64> {
+        assert_eq!(
+            self.filled_rounds, self.decoder.total_rounds,
+            "stream ended early: {} of {} rounds pushed",
+            self.filled_rounds, self.decoder.total_rounds
+        );
+        debug_assert_eq!(self.next_plan, self.decoder.plans.len());
+        self.observables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MwpmDecoder;
+
+    fn mwpm_factory() -> DecoderFactory {
+        Box::new(|g| Box::new(MwpmDecoder::new(g)))
+    }
+
+    /// A time strip: one detector per round, measurement-error edges
+    /// between consecutive rounds, time boundaries at both ends, the
+    /// observable on the initial boundary edge. Interior edges are
+    /// strictly cheaper than boundary edges so matchings are unique.
+    fn time_strip(rounds: usize) -> (DecodingGraph, Vec<u32>) {
+        let mut g = DecodingGraph::new(rounds);
+        g.add_edge(0, None, 1e-2, 1);
+        for t in 0..rounds - 1 {
+            g.add_edge(t, Some(t + 1), 5e-2, 0);
+        }
+        g.add_edge(rounds - 1, None, 1e-2, 0);
+        (g, (0..rounds as u32).collect())
+    }
+
+    fn windowed(rounds: usize, config: WindowConfig) -> WindowedDecoder {
+        let (g, r) = time_strip(rounds);
+        WindowedDecoder::new(g, r, 1, config, mwpm_factory())
+    }
+
+    #[test]
+    fn full_window_is_one_plan() {
+        let d = windowed(6, WindowConfig::new(6));
+        assert_eq!(d.num_windows(), 1);
+        assert_eq!(d.total_rounds(), 6);
+        let full = MwpmDecoder::new(time_strip(6).0);
+        for s in [vec![], vec![0], vec![2, 3], vec![0, 5], vec![1, 2, 4]] {
+            assert_eq!(d.decode(&s), full.decode(&s), "syndrome {s:?}");
+        }
+    }
+
+    #[test]
+    fn window_count_follows_commit_step() {
+        // 8 rounds, window 4, commit 2: windows [0,4) [2,6) [4,8).
+        let d = windowed(8, WindowConfig::new(4));
+        assert_eq!(d.num_windows(), 3);
+        // Greedy single-round windows: one per round.
+        assert_eq!(windowed(8, WindowConfig::new(1)).num_windows(), 8);
+    }
+
+    #[test]
+    fn cross_cut_pair_is_carried_and_cancelled() {
+        // A measurement-error pair split across every possible cut must
+        // still decode to "no logical flip", even at w = 1 (the pair edge
+        // is cheaper than any boundary, so every window commits it and
+        // carries the residual defect into the partner's round).
+        for w in 1..=6u32 {
+            let d = windowed(6, WindowConfig::new(w));
+            for t in 0..5 {
+                assert_eq!(d.decode(&[t, t + 1]), 0, "pair at {t}, window {w}");
+            }
+        }
+        // Lone boundary defects need at least one round of lookahead to
+        // tell "my partner is in the future" from "I came from the
+        // boundary"; from w = 2 on they match the full decode.
+        for w in 2..=6u32 {
+            let d = windowed(6, WindowConfig::new(w));
+            assert_eq!(d.decode(&[0]), 1, "window {w}");
+            assert_eq!(d.decode(&[5]), 0, "window {w}");
+        }
+    }
+
+    #[test]
+    fn greedy_single_round_windows_chain_forward() {
+        // The documented w = 1 degeneracy: with no lookahead a lone
+        // defect prefers the cheap cross-cut edge and the chain walks to
+        // the far time boundary — a *valid* correction (every defect is
+        // explained) that differs from the full decode's left-boundary
+        // match. This pins the greedy semantics.
+        let d = windowed(6, WindowConfig::new(1));
+        assert_eq!(d.decode(&[0]), 0);
+        assert_eq!(d.decode(&[5]), 0);
+    }
+
+    #[test]
+    fn duplicates_cancel_pairwise() {
+        let d = windowed(5, WindowConfig::new(2));
+        assert_eq!(d.decode(&[3, 3]), 0);
+        assert_eq!(d.decode(&[0, 2, 0]), d.decode(&[2]));
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let d = windowed(7, WindowConfig::new(3));
+        let syndromes = [vec![], vec![0], vec![1, 2], vec![0, 6], vec![2, 3, 5]];
+        let mut batch = BitBatch::with_lanes(7, syndromes.len());
+        for (lane, s) in syndromes.iter().enumerate() {
+            for &det in s {
+                batch.set(det, lane, true);
+            }
+        }
+        let mut predictions = Vec::new();
+        d.decode_batch(&batch, &mut predictions);
+        for (lane, s) in syndromes.iter().enumerate() {
+            assert_eq!(predictions[lane], d.decode(s), "lane {lane}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn session_streams_round_by_round() {
+        let d = windowed(6, WindowConfig::new(4));
+        let mut session = d.session(2);
+        // Lane 0: pair {1, 2}; lane 1: initial-boundary defect {0}.
+        let per_round: [&[(u32, u64)]; 6] =
+            [&[(0, 0b10)], &[(1, 0b01)], &[(2, 0b01)], &[], &[], &[]];
+        for (round, entries) in per_round.iter().enumerate() {
+            let detectors: Vec<u32> = entries.iter().map(|&(d, _)| d).collect();
+            let words: Vec<u64> = entries.iter().map(|&(_, w)| w).collect();
+            session.push_round(round as u32, &detectors, &words);
+        }
+        assert_eq!(session.windows_committed(), d.num_windows());
+        assert_eq!(session.finish(), vec![0, 1]);
+    }
+
+    #[test]
+    fn early_windows_commit_before_stream_ends() {
+        let d = windowed(9, WindowConfig::new(3));
+        let mut session = d.session(1);
+        session.push_round(0, &[0], &[1]);
+        session.push_round(1, &[1], &[1]);
+        assert_eq!(session.windows_committed(), 0);
+        session.push_round(2, &[2], &[0]);
+        // Window [0, 3) is complete: its commit region is final.
+        assert_eq!(session.windows_committed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed in order")]
+    fn out_of_order_round_panics() {
+        let d = windowed(4, WindowConfig::new(2));
+        d.session(1).push_round(1, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream ended early")]
+    fn early_finish_panics() {
+        let d = windowed(4, WindowConfig::new(2));
+        let mut session = d.session(1);
+        session.push_round(0, &[0], &[0]);
+        session.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn commit_above_window_panics() {
+        WindowConfig::new(2).with_commit(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn struct_literal_config_is_revalidated() {
+        // Public fields can bypass the WindowConfig constructors; the
+        // decoder must still refuse a commit step of zero (it would loop
+        // forever) or one beyond the window (it would skip rounds).
+        let (g, r) = time_strip(4);
+        WindowedDecoder::new(
+            g,
+            r,
+            1,
+            WindowConfig {
+                window: 2,
+                commit: 0,
+            },
+            mwpm_factory(),
+        );
+    }
+}

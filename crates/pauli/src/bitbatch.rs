@@ -75,14 +75,39 @@ impl BitBatch {
         self.lanes
     }
 
+    /// Mask with the low `lanes` bits set — the shared lane-mask formula
+    /// of every batch consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`BitBatch::LANES`].
+    #[inline]
+    pub fn mask_for(lanes: usize) -> u64 {
+        assert!(
+            (1..=Self::LANES).contains(&lanes),
+            "lanes {lanes} out of range 1..={}",
+            Self::LANES
+        );
+        if lanes == Self::LANES {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        }
+    }
+
     /// Mask with the low [`lanes`](Self::lanes) bits set.
     #[inline]
     pub fn lane_mask(&self) -> u64 {
-        if self.lanes == Self::LANES {
-            u64::MAX
-        } else {
-            (1u64 << self.lanes) - 1
-        }
+        Self::mask_for(self.lanes)
+    }
+
+    /// Reshapes to `num_bits` zeroed rows, keeping the lane count and the
+    /// backing allocation (rows only reallocate when growing past the
+    /// capacity high-water mark) — the scratch-reuse path of consumers
+    /// that decode differently-sized sub-batches in a loop.
+    pub fn reset_rows(&mut self, num_bits: usize) {
+        self.words.clear();
+        self.words.resize(num_bits, 0);
     }
 
     /// Changes the active lane count, truncating bits of deactivated lanes.

@@ -8,7 +8,12 @@
 //! * [`MemoryExperiment`] — samples X-/Z-basis memory experiments in
 //!   parallel, 64 bit-packed shots at a time ([`BatchSampler`]), and
 //!   decodes them through the shared [`Decoder`] trait (MWPM or
-//!   union-find);
+//!   union-find), either whole-history
+//!   ([`run_basis`](MemoryExperiment::run_basis)) or streamed round by
+//!   round through a sliding-window decoder
+//!   ([`run_streaming`](MemoryExperiment::run_streaming), fed by a
+//!   round-major [`RoundStream`], with optional mid-stream
+//!   [`DefectEvent`]s);
 //! * [`LogicalRateModel`] — the `p_L = A·Λ^{-(d+1)/2}` scaling fit used to
 //!   project large-distance points (the paper uses the same methodology);
 //! * [`NoiseParams`]/[`QubitNoise`] — phenomenological noise with defect
@@ -32,6 +37,7 @@ mod memory;
 mod model;
 mod noise;
 mod sampler;
+mod stream;
 
 pub use circuit::{memory_circuit, Circuit, Detector, Instruction, MemoryCircuit};
 pub use fit::LogicalRateModel;
@@ -40,8 +46,10 @@ pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats};
 pub use model::{Channel, DecoderPrior, DetectorModel};
 pub use noise::{NoiseParams, QubitNoise};
 pub use sampler::{bernoulli_mask, BatchSampler, GEOMETRIC_THRESHOLD};
+pub use stream::{RoundSlice, RoundStream};
 
 // Re-exported so downstream pipeline code can name the shared batch and
 // decoder abstractions without extra dependency lines.
-pub use surf_matching::Decoder;
+pub use surf_defects::DefectEvent;
+pub use surf_matching::{Decoder, WindowConfig, WindowedDecoder};
 pub use surf_pauli::BitBatch;

@@ -9,13 +9,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use surf_defects::DefectMap;
+use surf_defects::{DefectEvent, DefectMap};
 use surf_lattice::{Basis, Patch};
-use surf_matching::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use surf_matching::{
+    Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder, WindowConfig, WindowedDecoder,
+};
 use surf_pauli::BitBatch;
 
 use crate::model::{DecoderPrior, DetectorModel};
 use crate::noise::{NoiseParams, QubitNoise};
+use crate::stream::RoundStream;
 
 /// Which decoder backend to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +38,12 @@ impl DecoderKind {
             DecoderKind::Mwpm => Box::new(MwpmDecoder::new(graph)),
             DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
         }
+    }
+
+    /// The same dispatch as a reusable factory, in the shape
+    /// [`WindowedDecoder`] consumes to build its per-window backends.
+    pub fn factory(self) -> surf_matching::DecoderFactory {
+        Box::new(move |graph| self.build(graph))
     }
 }
 
@@ -135,51 +144,193 @@ impl MemoryExperiment {
     /// [`Decoder`] trait object (whose `decode_batch` reuses its scratch
     /// across the batch), and counts prediction/observable mismatches
     /// word-at-a-time.
+    ///
+    /// Every batch draws its RNG from a SplitMix64 stream indexed by the
+    /// *batch number*, not the worker thread, so the returned count is
+    /// identical no matter how many threads run — see
+    /// [`run_basis_threads`](Self::run_basis_threads) for pinning the
+    /// thread count explicitly.
     pub fn run_basis(&self, memory_basis: Basis, shots: u64, seed: u64) -> u64 {
+        self.run_basis_threads(memory_basis, shots, seed, available_threads(shots))
+    }
+
+    /// [`run_basis`](Self::run_basis) with an explicit worker-thread
+    /// count. The failure count depends only on `(shots, seed)`.
+    pub fn run_basis_threads(
+        &self,
+        memory_basis: Basis,
+        shots: u64,
+        seed: u64,
+        threads: usize,
+    ) -> u64 {
         let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
         let model =
             DetectorModel::build(&self.patch, memory_basis, self.rounds, &noise, self.prior);
         let decoder = self.decoder.build(model.graph.clone());
-        let sampler = model.batch_sampler();
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(shots.max(1) as usize);
-        let per_thread = shots / threads as u64;
-        let remainder = shots % threads as u64;
-        let counter = std::sync::atomic::AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let model = &model;
-                let sampler = &sampler;
-                let decoder = decoder.as_ref();
-                let counter = &counter;
-                let my_shots = per_thread + u64::from((t as u64) < remainder);
-                let my_seed = splitmix64_stream(seed, t as u64);
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(my_seed);
-                    let mut batch = BitBatch::zeros(model.num_detectors);
-                    let mut predictions = Vec::with_capacity(BitBatch::LANES);
-                    let mut local = 0u64;
-                    let mut remaining = my_shots;
-                    while remaining > 0 {
-                        let lanes = remaining.min(BitBatch::LANES as u64) as usize;
-                        batch.set_lanes(lanes);
-                        let true_obs = sampler.sample_into(&mut rng, &mut batch);
-                        decoder.decode_batch(&batch, &mut predictions);
-                        let mut predicted = 0u64;
-                        for (lane, &p) in predictions.iter().enumerate() {
-                            predicted |= (p & 1) << lane;
-                        }
-                        local += ((predicted ^ true_obs) & batch.lane_mask()).count_ones() as u64;
-                        remaining -= lanes as u64;
-                    }
-                    counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-                });
+        run_batches(shots, seed, threads, || {
+            let sampler = model.batch_sampler();
+            let decoder = decoder.as_ref();
+            let mut batch = BitBatch::zeros(model.num_detectors);
+            let mut predictions = Vec::with_capacity(BitBatch::LANES);
+            move |rng: &mut StdRng, lanes: usize| {
+                batch.set_lanes(lanes);
+                let true_obs = sampler.sample_into(rng, &mut batch);
+                decoder.decode_batch(&batch, &mut predictions);
+                count_failures(&predictions, true_obs, batch.lane_mask())
             }
-        });
-        counter.into_inner()
+        })
     }
+
+    /// Runs one basis through the *streaming* pipeline: syndromes are
+    /// emitted round-major by a [`RoundStream`] and decoded on the fly by
+    /// a [`WindowedDecoder`] over sliding `window`-round windows
+    /// (committing half a window per step), exactly as a real-time
+    /// decoder would consume them. Returns the failure count.
+    ///
+    /// For `window >= rounds + 1` the windowed decoder degenerates to one
+    /// full-history window and the count is bit-identical to
+    /// [`run_basis`](Self::run_basis) with the same seed; for
+    /// `window >= 2·d` it remains bit-identical at realistic noise (the
+    /// equivalence suite in `tests/streaming_equivalence.rs` proves both).
+    pub fn run_streaming(&self, memory_basis: Basis, shots: u64, seed: u64, window: u32) -> u64 {
+        self.run_streaming_with(
+            memory_basis,
+            shots,
+            seed,
+            WindowConfig::new(window),
+            None,
+            available_threads(shots),
+        )
+    }
+
+    /// [`run_streaming`](Self::run_streaming) with full control: an
+    /// explicit window/commit split, an optional mid-stream
+    /// [`DefectEvent`] (a defect landing at round `event.round` elevates
+    /// the true error rates *and* reweights the decoding graph for every
+    /// window containing it), and a pinned worker-thread count.
+    pub fn run_streaming_with(
+        &self,
+        memory_basis: Basis,
+        shots: u64,
+        seed: u64,
+        config: WindowConfig,
+        event: Option<&DefectEvent>,
+        threads: usize,
+    ) -> u64 {
+        let model = self.streaming_model(memory_basis, event);
+        let windowed = WindowedDecoder::new(
+            model.graph.clone(),
+            model.detector_rounds.clone(),
+            1,
+            config,
+            self.decoder.factory(),
+        );
+        run_batches(shots, seed, threads, || {
+            let mut stream = RoundStream::new(&model);
+            let windowed = &windowed;
+            move |rng: &mut StdRng, lanes: usize| {
+                stream.begin(rng, lanes);
+                let mut session = windowed.session(lanes);
+                while let Some(slice) = stream.next_round() {
+                    session.push_round(slice.round, slice.detectors, slice.words);
+                }
+                let predictions = session.finish();
+                count_failures(
+                    &predictions,
+                    stream.true_observables(),
+                    BitBatch::mask_for(lanes),
+                )
+            }
+        })
+    }
+
+    /// The detector model of one basis, spliced with a mid-stream defect
+    /// event if one is given.
+    fn streaming_model(&self, memory_basis: Basis, event: Option<&DefectEvent>) -> DetectorModel {
+        let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
+        let base = DetectorModel::build(&self.patch, memory_basis, self.rounds, &noise, self.prior);
+        match event {
+            None => base,
+            Some(ev) => {
+                let mut struck = self.kept_defects.clone();
+                for (q, info) in ev.defects.iter() {
+                    struck.insert(q, info.error_rate);
+                }
+                let late_noise = QubitNoise::new(self.noise, struck);
+                let late = DetectorModel::build(
+                    &self.patch,
+                    memory_basis,
+                    self.rounds,
+                    &late_noise,
+                    self.prior,
+                );
+                base.splice(&late, ev.round)
+            }
+        }
+    }
+}
+
+/// Default worker-thread count for `shots` shots.
+fn available_threads(shots: u64) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(shots.max(1) as usize)
+}
+
+/// Packs per-lane predictions into a word and counts mismatches against
+/// the true observable word.
+fn count_failures(predictions: &[u64], true_obs: u64, mask: u64) -> u64 {
+    let mut predicted = 0u64;
+    for (lane, &p) in predictions.iter().enumerate() {
+        predicted |= (p & 1) << lane;
+    }
+    u64::from(((predicted ^ true_obs) & mask).count_ones())
+}
+
+/// Runs `shots` shots as 64-lane batches spread over `threads` workers.
+///
+/// Workers pull *batch indices* from a shared counter and seed each
+/// batch's RNG from the SplitMix64 stream at that index, so the total
+/// failure count is a pure function of `(shots, seed)` — the thread count
+/// only changes wall-clock time. `setup` runs once per worker and returns
+/// the per-batch closure (sample + decode + count), letting each worker
+/// keep its own sampler/scratch state.
+fn run_batches<S, F>(shots: u64, seed: u64, threads: usize, setup: S) -> u64
+where
+    S: Fn() -> F + Sync,
+    F: FnMut(&mut StdRng, usize) -> u64,
+{
+    if shots == 0 {
+        return 0;
+    }
+    let num_batches = shots.div_ceil(BitBatch::LANES as u64);
+    let threads = threads.clamp(1, num_batches.min(1 << 16) as usize);
+    let next_batch = std::sync::atomic::AtomicU64::new(0);
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next_batch = &next_batch;
+            let counter = &counter;
+            let setup = &setup;
+            scope.spawn(move || {
+                let mut run_batch = setup();
+                let mut local = 0u64;
+                loop {
+                    let index = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= num_batches {
+                        break;
+                    }
+                    let first_shot = index * BitBatch::LANES as u64;
+                    let lanes = (shots - first_shot).min(BitBatch::LANES as u64) as usize;
+                    let mut rng = StdRng::seed_from_u64(splitmix64_stream(seed, index));
+                    local += run_batch(&mut rng, lanes);
+                }
+                counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    counter.into_inner()
 }
 
 #[cfg(test)]
@@ -194,6 +345,79 @@ mod tests {
         // Saturation clamps gracefully.
         assert!(per_round(0.5, 10) < 0.5);
         assert!(per_round(0.7, 10) < 0.5);
+    }
+
+    /// The window failure probability of a per-round rate `p` over `r`
+    /// rounds: `P = (1 − (1 − 2p)^r) / 2` — the composition `per_round`
+    /// inverts.
+    fn window_failure(p: f64, rounds: u32) -> f64 {
+        (1.0 - (1.0 - 2.0 * p).powi(rounds as i32)) / 2.0
+    }
+
+    #[test]
+    fn per_round_oracle_small_rounds() {
+        // r = 1 is the identity.
+        for p in [1e-6, 1e-3, 0.01, 0.2, 0.4] {
+            assert!((per_round(p, 1) - p).abs() < 1e-12, "r=1 p={p}");
+        }
+        // r = 2 by hand: P = 2p(1 − p), so per_round(2p(1 − p), 2) = p.
+        for p in [1e-4, 5e-3, 0.05, 0.25] {
+            let window = 2.0 * p * (1.0 - p);
+            assert!(
+                (per_round(window, 2) - p).abs() < 1e-12,
+                "r=2 p={p}: {}",
+                per_round(window, 2)
+            );
+        }
+        // r = 3, p = 0.1: P = (1 − 0.8³)/2 = 0.244 exactly.
+        assert!((per_round(0.244, 3) - 0.1).abs() < 1e-12);
+        // Zero stays zero.
+        assert_eq!(per_round(0.0, 7), 0.0);
+    }
+
+    #[test]
+    fn per_round_round_trips_through_composition() {
+        // per_round ∘ window_failure = id to 1e-12 on the sub-saturation
+        // domain (the clamp at P = 0.5 − 1e-12 intentionally caps deeper
+        // saturation, checked separately below).
+        for rounds in [1u32, 2, 3, 5, 10, 50] {
+            for p in [1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.3, 0.45] {
+                let window = window_failure(p, rounds);
+                if window >= 0.5 - 1e-9 {
+                    continue;
+                }
+                let recovered = per_round(window, rounds);
+                assert!(
+                    (recovered - p).abs() < 1e-12,
+                    "rounds {rounds} p {p}: recovered {recovered}"
+                );
+                // And the other direction, starting from a window rate.
+                let back = window_failure(per_round(window, rounds), rounds);
+                assert!(
+                    (back - window).abs() < 1e-12,
+                    "rounds {rounds} P {window}: back {back}"
+                );
+            }
+        }
+        // At (and past) saturation the clamp takes over: the result is
+        // finite, monotone-capped below 1/2, and insensitive to how far
+        // past 1/2 the (noisy, estimated) window probability lies.
+        for rounds in [1u32, 10] {
+            let capped = per_round(0.5, rounds);
+            assert!(capped < 0.5);
+            assert_eq!(capped, per_round(0.9, rounds));
+        }
+    }
+
+    #[test]
+    fn per_round_rate_sums_both_bases() {
+        let stats = MemoryStats {
+            shots: 1000,
+            failures_z_memory: 100,
+            failures_x_memory: 50,
+        };
+        let expected = per_round(0.1, 5) + per_round(0.05, 5);
+        assert!((stats.per_round_rate(5) - expected).abs() < 1e-15);
     }
 
     #[test]

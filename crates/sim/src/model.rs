@@ -47,6 +47,11 @@ pub struct Channel {
     pub p_true: f64,
     /// Prior probability (used for decoder edge weights).
     pub p_prior: f64,
+    /// QEC round the mechanism occurs at (data errors: the slot just
+    /// before that round; measurement errors: the measurement round;
+    /// readout errors: `rounds`). Drives the streaming round order and
+    /// mid-stream defect splicing.
+    pub round: u32,
 }
 
 /// The sampled+decoded error model of one memory experiment.
@@ -58,6 +63,11 @@ pub struct DetectorModel {
     pub channels: Vec<Channel>,
     /// Number of detectors.
     pub num_detectors: usize,
+    /// The QEC round each detector becomes available at (the round of the
+    /// later of the two compared measurements; final-readout detectors
+    /// carry round `rounds`). Feeds windowed decoding and the round-major
+    /// [`RoundStream`](crate::RoundStream).
+    pub detector_rounds: Vec<u32>,
 }
 
 impl DetectorModel {
@@ -92,12 +102,14 @@ impl DetectorModel {
             .filter(|&g| patch.group_basis(g) == Some(memory_basis))
             .filter_map(|g| GroupInfo::new(patch, g, schedule.cadence(g), rounds))
             .collect();
-        // Assign detector indices.
+        // Assign detector indices and their round labels.
         let mut num_detectors = 0usize;
         let mut det_base: Vec<usize> = Vec::with_capacity(groups.len());
+        let mut detector_rounds: Vec<u32> = Vec::new();
         for g in &groups {
             det_base.push(num_detectors);
             num_detectors += g.num_detectors();
+            detector_rounds.extend((0..g.num_detectors()).map(|k| g.detector_round(k, rounds)));
         }
         // Map data qubit -> (group index, product membership).
         let mut on_qubit: HashMap<Coord, Vec<usize>> = HashMap::new();
@@ -133,6 +145,7 @@ impl DetectorModel {
                     observable: obs,
                     p_true,
                     p_prior,
+                    round: slot,
                 });
             }
         }
@@ -184,6 +197,7 @@ impl DetectorModel {
                                 observable: false,
                                 p_true: p_pair,
                                 p_prior: p_pair,
+                                round: slot,
                             });
                         }
                         if obs {
@@ -192,6 +206,7 @@ impl DetectorModel {
                                 observable: true,
                                 p_true: p_pair,
                                 p_prior: p_pair,
+                                round: slot,
                             });
                         }
                         continue;
@@ -204,6 +219,7 @@ impl DetectorModel {
                         observable: obs,
                         p_true: p_pair,
                         p_prior: p_pair,
+                        round: slot,
                     });
                 }
             }
@@ -228,6 +244,7 @@ impl DetectorModel {
                         observable: false,
                         p_true,
                         p_prior,
+                        round: g.times[k],
                     });
                 }
             }
@@ -251,32 +268,66 @@ impl DetectorModel {
                 observable: obs,
                 p_true,
                 p_prior,
+                round: rounds,
             });
         }
         // --- Assemble the decoding graph from prior probabilities.
-        // Channels with more than two detectors (possible only in heavily
-        // damaged patches where a qubit sits in ≥3 group products) are
-        // decomposed conservatively: the sampler still fires them exactly,
-        // the decoder sees a pair edge plus boundary edges.
-        let mut graph = DecodingGraph::new(num_detectors);
-        for ch in &channels {
-            let obs_mask = ch.observable as u64;
-            match ch.detectors.as_slice() {
-                [] => {}
-                [a] => graph.add_edge(*a, None, ch.p_prior, obs_mask),
-                [a, b] => graph.add_edge(*a, Some(*b), ch.p_prior, obs_mask),
-                more => {
-                    graph.add_edge(more[0], Some(more[1]), ch.p_prior, obs_mask);
-                    for &d in &more[2..] {
-                        graph.add_edge(d, None, ch.p_prior, 0);
-                    }
-                }
-            }
-        }
+        let graph = graph_from_channels(num_detectors, &channels);
         DetectorModel {
             graph,
             channels,
             num_detectors,
+            detector_rounds,
+        }
+    }
+
+    /// Splices this model (rounds before `at_round`) with `late` (rounds
+    /// from `at_round` on): the result samples and decodes the early
+    /// channels at this model's rates and the late channels at `late`'s —
+    /// the detector model of a defect *arriving mid-experiment*. Both the
+    /// sampler probabilities and the decoding-graph edge weights switch at
+    /// the splice, so windowed decoders see the deformed/reweighted graph
+    /// exactly for the windows containing the defect.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `late` was built from the same patch, basis, and
+    /// round count (the channel structure must match one-to-one).
+    pub fn splice(&self, late: &DetectorModel, at_round: u32) -> DetectorModel {
+        assert_eq!(
+            self.num_detectors, late.num_detectors,
+            "spliced models must share the detector layout"
+        );
+        assert_eq!(
+            self.channels.len(),
+            late.channels.len(),
+            "spliced models must share the channel structure"
+        );
+        let channels: Vec<Channel> = self
+            .channels
+            .iter()
+            .zip(&late.channels)
+            .map(|(early, late_ch)| {
+                assert_eq!(
+                    early.detectors, late_ch.detectors,
+                    "spliced models must share the channel structure"
+                );
+                assert_eq!(
+                    early.round, late_ch.round,
+                    "spliced models must share the channel rounds"
+                );
+                if early.round < at_round {
+                    early.clone()
+                } else {
+                    late_ch.clone()
+                }
+            })
+            .collect();
+        DetectorModel {
+            graph: graph_from_channels(self.num_detectors, &channels),
+            channels,
+            num_detectors: self.num_detectors,
+            detector_rounds: self.detector_rounds.clone(),
         }
     }
 
@@ -320,6 +371,31 @@ impl DetectorModel {
             .collect();
         (syndrome, obs)
     }
+}
+
+/// Assembles the prior-weighted decoding graph of a channel list.
+///
+/// Channels with more than two detectors (possible only in heavily damaged
+/// patches where a qubit sits in ≥ 3 group products) are decomposed
+/// conservatively: the sampler still fires them exactly, the decoder sees
+/// a pair edge plus boundary edges.
+fn graph_from_channels(num_detectors: usize, channels: &[Channel]) -> DecodingGraph {
+    let mut graph = DecodingGraph::new(num_detectors);
+    for ch in channels {
+        let obs_mask = ch.observable as u64;
+        match ch.detectors.as_slice() {
+            [] => {}
+            [a] => graph.add_edge(*a, None, ch.p_prior, obs_mask),
+            [a, b] => graph.add_edge(*a, Some(*b), ch.p_prior, obs_mask),
+            more => {
+                graph.add_edge(more[0], Some(more[1]), ch.p_prior, obs_mask);
+                for &d in &more[2..] {
+                    graph.add_edge(d, None, ch.p_prior, 0);
+                }
+            }
+        }
+    }
+    graph
 }
 
 /// Per-group measurement/detector bookkeeping.
@@ -400,6 +476,23 @@ impl GroupInfo {
     /// The final (readout-comparison) detector, if any.
     fn final_detector(&self) -> Option<usize> {
         self.with_boundaries.then_some(self.times.len())
+    }
+
+    /// The round detector `k` becomes available at: the round of the later
+    /// of its two compared measurements (`rounds` for the final readout
+    /// comparison).
+    fn detector_round(&self, k: usize, rounds: u32) -> u32 {
+        if self.with_boundaries {
+            if k < self.times.len() {
+                self.times[k]
+            } else {
+                rounds
+            }
+        } else if k + 1 < self.times.len() {
+            self.times[k + 1]
+        } else {
+            rounds
+        }
     }
 }
 

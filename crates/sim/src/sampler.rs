@@ -209,6 +209,7 @@ mod tests {
             observable,
             p_true: p,
             p_prior: p,
+            round: 0,
         }
     }
 
@@ -292,6 +293,113 @@ mod tests {
             (observed - p).abs() < 0.15 * p,
             "geometric path density {observed} vs {p}"
         );
+    }
+
+    #[test]
+    fn dropped_zero_channels_do_not_shift_detector_alignment() {
+        // p = 0 channels interleaved with live ones: the grouped
+        // detector/observable tables must stay aligned with the surviving
+        // channels (a misalignment would fire the wrong detectors).
+        let channels = vec![
+            channel(vec![0], true, 0.0), // dropped
+            channel(vec![1, 2], false, 0.5),
+            channel(vec![3], true, 0.0), // dropped
+            channel(vec![4], true, 0.5),
+            channel(vec![5], false, 0.0), // dropped
+        ];
+        let sampler = BatchSampler::new(&channels, 6);
+        assert_eq!(sampler.groups.len(), 1, "both live channels share p");
+        let g = &sampler.groups[0];
+        assert_eq!(g.observable, vec![false, true]);
+        assert_eq!(g.det_start, vec![0, 2, 3]);
+        assert_eq!(g.dets, vec![1, 2, 4]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut batch = BitBatch::zeros(6);
+        for _ in 0..64 {
+            let obs = sampler.sample_into(&mut rng, &mut batch);
+            // Dropped channels' detectors never fire...
+            assert_eq!(batch.word(0), 0);
+            assert_eq!(batch.word(3), 0);
+            assert_eq!(batch.word(5), 0);
+            // ...the pair channel flips rows 1 and 2 in lockstep, and the
+            // observable word tracks exactly the detector-4 channel.
+            assert_eq!(batch.word(1), batch.word(2));
+            assert_eq!(obs, batch.word(4));
+        }
+    }
+
+    #[test]
+    fn all_zero_model_yields_an_empty_sampler() {
+        let channels = vec![channel(vec![0], true, 0.0), channel(vec![], true, 0.0)];
+        let sampler = BatchSampler::new(&channels, 1);
+        assert!(sampler.groups.is_empty());
+        // Sampling must not consume any RNG draws: the next draw from the
+        // used RNG must equal the first draw of an untouched clone.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut batch = BitBatch::zeros(1);
+        sampler.sample_into(&mut rng, &mut batch);
+        let mut untouched = StdRng::seed_from_u64(3);
+        assert_eq!(
+            rng.gen::<f64>(),
+            untouched.gen::<f64>(),
+            "no draws consumed"
+        );
+    }
+
+    #[test]
+    fn geometric_threshold_boundary_is_exclusive() {
+        // p exactly at the threshold takes the mask path (`<`, not `<=`);
+        // a nudge below takes geometric skipping. Both remain exact
+        // Bernoulli samplers, so their densities agree at the boundary.
+        let at = BatchSampler::new(&[channel(vec![0], false, GEOMETRIC_THRESHOLD)], 1);
+        assert!(!at.groups[0].geometric, "p = 0.2 must use the mask path");
+        let below = BatchSampler::new(&[channel(vec![0], false, GEOMETRIC_THRESHOLD - 1e-9)], 1);
+        assert!(below.groups[0].geometric, "p < 0.2 must use geometric");
+        let density = |sampler: &BatchSampler, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut batch = BitBatch::zeros(1);
+            let batches = 2000;
+            let mut ones = 0usize;
+            for _ in 0..batches {
+                sampler.sample_into(&mut rng, &mut batch);
+                ones += batch.count_ones();
+            }
+            ones as f64 / (batches * 64) as f64
+        };
+        let d_at = density(&at, 21);
+        let d_below = density(&below, 22);
+        assert!((d_at - 0.2).abs() < 0.01, "mask path at boundary: {d_at}");
+        assert!(
+            (d_below - 0.2).abs() < 0.01,
+            "geometric path at boundary: {d_below}"
+        );
+    }
+
+    #[test]
+    fn geometric_fires_covers_the_full_trial_grid() {
+        // p close to 1 within the geometric regime: every (site, lane)
+        // trial must stay in bounds and the last site must be reachable
+        // (an off-by-one in the jump arithmetic would clip the grid).
+        let sites = 5usize;
+        let lanes = 7usize;
+        let p = 0.19f64;
+        let inv_ln_q = 1.0 / (-p).ln_1p();
+        let mut hits = vec![0u64; sites];
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..4000 {
+            geometric_fires(&mut rng, sites, lanes, inv_ln_q, |_, site, bit| {
+                assert!(site < sites, "site {site} out of range");
+                assert!(bit.trailing_zeros() < lanes as u32, "lane out of range");
+                hits[site] += 1;
+            });
+        }
+        let expected = 4000.0 * lanes as f64 * p;
+        for (site, &h) in hits.iter().enumerate() {
+            assert!(
+                (h as f64 - expected).abs() < 0.15 * expected,
+                "site {site}: {h} fires vs expected {expected}"
+            );
+        }
     }
 
     #[test]

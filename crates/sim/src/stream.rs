@@ -1,0 +1,227 @@
+//! Round-major syndrome streaming.
+//!
+//! Batch sampling (`BatchSampler`) fills the whole experiment's detector
+//! history at once — shot-major. Real-time decoding consumes the same
+//! data *round-major*: all detectors of round `t` (64 shot lanes wide)
+//! must be handed to the decoder before round `t + 1` exists. The
+//! [`RoundStream`] bridges the two: it samples one 64-lane batch through
+//! the model's [`BatchSampler`] and then replays it round by round, in
+//! exactly the order a hardware syndrome link would deliver it, feeding
+//! `surf_matching::WindowedSession::push_round` (or any other consumer).
+//!
+//! The stream draws the identical RNG sequence as the plain batch path,
+//! so a streamed experiment is bit-for-bit reproducible against
+//! `MemoryExperiment::run_basis` with the same seed.
+
+use rand::Rng;
+use surf_pauli::BitBatch;
+
+use crate::model::DetectorModel;
+use crate::sampler::BatchSampler;
+
+/// The detector words of one round of one 64-lane shot batch.
+///
+/// `detectors[i]` fired in the shots whose lane bits are set in
+/// `words[i]`.
+#[derive(Debug)]
+pub struct RoundSlice<'a> {
+    /// The QEC round (final-readout comparisons appear as round `rounds`).
+    pub round: u32,
+    /// Global detector indices belonging to this round.
+    pub detectors: &'a [u32],
+    /// One 64-lane firing word per detector, aligned with `detectors`.
+    pub words: &'a [u64],
+}
+
+/// A reusable round-major sampler: one [`BatchSampler`] batch at a time,
+/// emitted as consecutive [`RoundSlice`]s.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use surf_defects::DefectMap;
+/// use surf_lattice::{Basis, Patch};
+/// use surf_sim::{DecoderPrior, DetectorModel, NoiseParams, QubitNoise, RoundStream};
+///
+/// let patch = Patch::rotated(3);
+/// let noise = QubitNoise::new(NoiseParams::paper(), DefectMap::new());
+/// let model = DetectorModel::build(&patch, Basis::Z, 3, &noise, DecoderPrior::Informed);
+/// let mut stream = RoundStream::new(&model);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// stream.begin(&mut rng, 64);
+/// let mut rounds = 0;
+/// while let Some(slice) = stream.next_round() {
+///     rounds += 1;
+///     assert_eq!(slice.round + 1, rounds);
+/// }
+/// assert_eq!(rounds, 4); // 3 noisy rounds + the readout comparison
+/// ```
+pub struct RoundStream {
+    sampler: BatchSampler,
+    /// Detector ids sorted by round; round `r` owns
+    /// `order[round_start[r]..round_start[r + 1]]`.
+    order: Vec<u32>,
+    round_start: Vec<usize>,
+    /// One past the largest round label.
+    total_rounds: u32,
+    /// The current in-flight batch (shot-major backing store).
+    batch: BitBatch,
+    /// True observable-flip word of the current batch.
+    true_observables: u64,
+    /// Next round to emit.
+    cursor: u32,
+    /// Scratch for the emitted per-round words.
+    words: Vec<u64>,
+}
+
+impl RoundStream {
+    /// Builds a stream over `model`'s channels and detector rounds.
+    pub fn new(model: &DetectorModel) -> Self {
+        let total_rounds = model
+            .detector_rounds
+            .iter()
+            .map(|&r| r + 1)
+            .max()
+            .unwrap_or(0);
+        let mut order: Vec<u32> = (0..model.num_detectors as u32).collect();
+        order.sort_by_key(|&d| model.detector_rounds[d as usize]);
+        let mut round_start = Vec::with_capacity(total_rounds as usize + 1);
+        round_start.push(0);
+        for r in 0..total_rounds {
+            let prev = *round_start.last().unwrap();
+            let len = order[prev..]
+                .iter()
+                .take_while(|&&d| model.detector_rounds[d as usize] == r)
+                .count();
+            round_start.push(prev + len);
+        }
+        RoundStream {
+            sampler: model.batch_sampler(),
+            order,
+            round_start,
+            total_rounds,
+            batch: BitBatch::zeros(model.num_detectors),
+            true_observables: 0,
+            cursor: total_rounds,
+            words: Vec::new(),
+        }
+    }
+
+    /// Number of rounds each batch is emitted over (noisy rounds plus the
+    /// final readout comparison).
+    pub fn total_rounds(&self) -> u32 {
+        self.total_rounds
+    }
+
+    /// Samples a fresh batch of `lanes` shots and rewinds the round
+    /// cursor. Draws exactly the RNG sequence of
+    /// [`BatchSampler::sample_into`], so streamed experiments reproduce
+    /// batch experiments bit for bit.
+    pub fn begin<R: Rng + ?Sized>(&mut self, rng: &mut R, lanes: usize) {
+        self.batch.set_lanes(lanes);
+        self.true_observables = self.sampler.sample_into(rng, &mut self.batch);
+        self.cursor = 0;
+    }
+
+    /// Emits the next round of the current batch, or `None` when the
+    /// batch is exhausted (call [`begin`](Self::begin) again).
+    pub fn next_round(&mut self) -> Option<RoundSlice<'_>> {
+        if self.cursor >= self.total_rounds {
+            return None;
+        }
+        let round = self.cursor;
+        self.cursor += 1;
+        let span = self.round_start[round as usize]..self.round_start[round as usize + 1];
+        let detectors = &self.order[span.clone()];
+        self.words.clear();
+        self.words
+            .extend(detectors.iter().map(|&d| self.batch.word(d as usize)));
+        Some(RoundSlice {
+            round,
+            detectors,
+            words: &self.words,
+        })
+    }
+
+    /// The true observable-flip word of the current batch (ground truth
+    /// for failure counting; conceptually the final logical readout).
+    pub fn true_observables(&self) -> u64 {
+        self.true_observables
+    }
+
+    /// Active lane count of the current batch.
+    pub fn lanes(&self) -> usize {
+        self.batch.lanes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DecoderPrior;
+    use crate::noise::{NoiseParams, QubitNoise};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_defects::DefectMap;
+    use surf_lattice::{Basis, Patch};
+
+    fn model(d: usize, rounds: u32, p: f64) -> DetectorModel {
+        let patch = Patch::rotated(d);
+        let noise = QubitNoise::new(NoiseParams::uniform(p), DefectMap::new());
+        DetectorModel::build(&patch, Basis::Z, rounds, &noise, DecoderPrior::Informed)
+    }
+
+    #[test]
+    fn rounds_partition_all_detectors() {
+        let m = model(3, 4, 1e-2);
+        let stream = RoundStream::new(&m);
+        assert_eq!(stream.total_rounds(), 5);
+        assert_eq!(*stream.round_start.last().unwrap(), m.num_detectors);
+    }
+
+    #[test]
+    fn replay_reconstructs_the_batch_exactly() {
+        let m = model(3, 5, 0.03);
+        let mut stream = RoundStream::new(&m);
+        // Reference batch with the same seed.
+        let sampler = m.batch_sampler();
+        let mut ref_rng = StdRng::seed_from_u64(99);
+        let mut reference = BitBatch::zeros(m.num_detectors);
+        let ref_obs = sampler.sample_into(&mut ref_rng, &mut reference);
+        let mut rng = StdRng::seed_from_u64(99);
+        stream.begin(&mut rng, 64);
+        assert_eq!(stream.true_observables(), ref_obs);
+        let mut seen = vec![false; m.num_detectors];
+        let mut last_round = None;
+        while let Some(slice) = stream.next_round() {
+            assert!(last_round < Some(slice.round), "rounds must ascend");
+            last_round = Some(slice.round);
+            for (&d, &w) in slice.detectors.iter().zip(slice.words) {
+                assert_eq!(m.detector_rounds[d as usize], slice.round);
+                assert_eq!(w, reference.word(d as usize), "detector {d}");
+                assert!(!seen[d as usize], "detector {d} emitted twice");
+                seen[d as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every detector emitted once");
+    }
+
+    #[test]
+    fn begin_resets_for_the_next_batch() {
+        let m = model(3, 3, 0.05);
+        let mut stream = RoundStream::new(&m);
+        let mut rng = StdRng::seed_from_u64(5);
+        stream.begin(&mut rng, 64);
+        while stream.next_round().is_some() {}
+        assert!(stream.next_round().is_none());
+        stream.begin(&mut rng, 7);
+        assert_eq!(stream.lanes(), 7);
+        let slice = stream.next_round().expect("fresh batch streams again");
+        assert_eq!(slice.round, 0);
+        for &w in slice.words {
+            assert_eq!(w & !0b111_1111, 0, "inactive lanes must stay clean");
+        }
+    }
+}

@@ -48,14 +48,18 @@ pub use surf_stabilizer as stabilizer;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use surf_defects::{CosmicRayModel, DefectDetector, DefectMap};
+    pub use surf_defects::{CosmicRayModel, DefectDetector, DefectEvent, DefectMap};
     pub use surf_deformer_core::{
         AscS, Deformer, EnlargeBudget, MitigationStrategy, Q3de, SurfDeformerStrategy, Untreated,
     };
     pub use surf_lattice::{Basis, BoundarySide, Coord, Distances, Patch};
     pub use surf_layout::{LayoutParams, LayoutScheme, ThroughputSim};
-    pub use surf_matching::{Decoder, MwpmDecoder, UnionFindDecoder};
+    pub use surf_matching::{
+        Decoder, MwpmDecoder, UnionFindDecoder, WindowConfig, WindowedDecoder,
+    };
     pub use surf_pauli::BitBatch;
     pub use surf_programs::{Calibration, StrategyKind};
-    pub use surf_sim::{BatchSampler, DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams};
+    pub use surf_sim::{
+        BatchSampler, DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams, RoundStream,
+    };
 }
