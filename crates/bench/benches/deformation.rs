@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use surf_defects::sample_uniform_defects;
+use surf_defects::{sample_uniform_defects, CosmicRayModel, DefectEvent};
 use surf_deformer_core::{data_q_rm, syndrome_q_rm, Deformer, EnlargeBudget};
 use surf_lattice::{Coord, Patch};
 
@@ -67,10 +67,38 @@ fn bench_full_mitigation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mitigate_latency(c: &mut Criterion) {
+    // The reaction-time input of the streamed Fig. 14b ablation: once the
+    // defect detector fires, `Deformer::mitigate` is the classical
+    // planning latency between detection and the in-stream deformation —
+    // its wall-clock time (divided by the QEC cycle time, ~1 µs) is the
+    // `reaction_rounds` a real control system would pay in
+    // `PatchTimeline::adaptive`.
+    let mut group = c.benchmark_group("mitigate_latency");
+    group.sample_size(20);
+    let ray = CosmicRayModel::paper();
+    for d in [5usize, 9, 13] {
+        let base = Patch::rotated(d);
+        let mut universe = base.data_qubits();
+        universe.extend(base.syndrome_qubits());
+        let center = Coord::new(d as i32, d as i32);
+        let event = DefectEvent::from_cosmic_ray(&ray, center, 0, &universe);
+        group.bench_with_input(BenchmarkId::new("cosmic_ray", d), &event, |b, event| {
+            b.iter_batched(
+                || Deformer::with_budget(base.clone(), EnlargeBudget::uniform(4)),
+                |mut deformer| deformer.mitigate(&event.defects).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_instructions,
     bench_distance,
-    bench_full_mitigation
+    bench_full_mitigation,
+    bench_mitigate_latency
 );
 criterion_main!(benches);

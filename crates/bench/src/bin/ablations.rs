@@ -136,7 +136,7 @@ fn ablation_decoder() {
                 prior: DecoderPrior::Informed,
                 decoder,
             };
-            exp.run(shots, 77).per_round_rate(7)
+            surf_bench::sharded_stats(&exp, shots, 77).per_round_rate(7)
         };
         table.row(vec![
             name.to_string(),

@@ -6,6 +6,8 @@
 //!
 //! ```bash
 //! SHOTS=2000 cargo run --release -p surf-bench --bin fig11a
+//! # or sharded across hosts (merge the stderr failure counts):
+//! SHOTS=20000 cargo run --release -p surf-bench --bin fig11a -- --shard 0/4
 //! ```
 
 use rand::rngs::StdRng;

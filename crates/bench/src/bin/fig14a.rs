@@ -4,11 +4,13 @@
 //!
 //! ```bash
 //! SHOTS=2000 cargo run --release -p surf-bench --bin fig14a
+//! # or sharded across hosts (merge the stderr failure counts):
+//! SHOTS=20000 cargo run --release -p surf-bench --bin fig14a -- --shard 0/4
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use surf_bench::{env_u64, fmt_rate, ResultsTable};
+use surf_bench::{env_u64, fmt_rate, sharded_stats, ResultsTable};
 use surf_defects::sample_uniform_defects;
 use surf_deformer_core::{MitigationStrategy, SurfDeformerStrategy, Untreated};
 use surf_lattice::Patch;
@@ -35,27 +37,25 @@ fn main() {
                 let defects = sample_uniform_defects(&universe, k, 0.5, &mut rng);
                 let noise = NoiseParams::paper().with_correlated(p_corr);
                 let u = Untreated.mitigate(&base, &defects);
-                unt += MemoryExperiment {
+                let exp = MemoryExperiment {
                     patch: u.patch,
                     rounds,
                     noise,
                     kept_defects: u.kept_defects,
                     prior: DecoderPrior::Nominal,
                     decoder: DecoderKind::Mwpm,
-                }
-                .run(shots, 500 + s)
-                .per_round_rate(rounds);
+                };
+                unt += sharded_stats(&exp, shots, 500 + s).per_round_rate(rounds);
                 let m = SurfDeformerStrategy::removal_only().mitigate(&base, &defects);
-                surf += MemoryExperiment {
+                let exp = MemoryExperiment {
                     patch: m.patch,
                     rounds,
                     noise,
                     kept_defects: m.kept_defects,
                     prior: DecoderPrior::Informed,
                     decoder: DecoderKind::Mwpm,
-                }
-                .run(shots, 700 + s)
-                .per_round_rate(rounds);
+                };
+                surf += sharded_stats(&exp, shots, 700 + s).per_round_rate(rounds);
             }
             table.row(vec![
                 format!("{p_corr:.0e}"),

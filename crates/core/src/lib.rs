@@ -11,6 +11,10 @@
 //! * **Code deformation unit** (Section V): [`Deformer`] runs the Defect
 //!   Removal subroutine (Algorithm 1) and the Adaptive Enlargement
 //!   subroutine (Algorithm 2) under a per-side [`EnlargeBudget`].
+//! * **Adaptive loop output** (Section VII real-time scenario):
+//!   [`PatchTimeline`] — time-varying patch geometry, produced by
+//!   detector → mitigate at a mid-stream defect event and consumed by
+//!   `surf-sim`'s streaming pipeline.
 //! * **Baselines** (Section II): [`AscS`] (uniform `DataQ_RM` removal,
 //!   no recovery), [`Q3de`] (fixed doubling, defects kept), and
 //!   [`Untreated`], all behind the [`MitigationStrategy`] trait.
@@ -36,6 +40,7 @@ mod baselines;
 mod deformer;
 mod instructions;
 pub mod interspace;
+mod timeline;
 pub mod yield_analysis;
 
 pub use baselines::{
@@ -43,3 +48,4 @@ pub use baselines::{
 };
 pub use deformer::{Deformer, EnlargeBudget, MitigationReport};
 pub use instructions::{data_q_rm, patch_q_add, patch_q_rm, syndrome_q_rm, DeformError};
+pub use timeline::{PatchEpoch, PatchTimeline};

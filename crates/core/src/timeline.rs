@@ -1,0 +1,277 @@
+//! Time-varying patch geometry: the output of the adaptive loop.
+//!
+//! The paper's headline mechanism is *in-stream* deformation: a dynamic
+//! defect strikes while QEC rounds keep running, the defect detector
+//! flags it, and the code deformation unit reshapes the patch a few
+//! rounds later — all without stopping the experiment. A
+//! [`PatchTimeline`] is that history as data: a sequence of epochs, each
+//! holding the patch geometry and the physically-present defect set from
+//! its start round until the next epoch begins.
+//!
+//! [`PatchTimeline::adaptive`] runs the loop itself
+//! ([`DefectDetector::detect`] → [`Deformer::mitigate`]) to produce the
+//! two-epoch timeline of a single defect event; `surf-sim` turns any
+//! timeline into a spliced multi-epoch detector model and streams it.
+
+use rand::Rng;
+
+use surf_defects::{DefectDetector, DefectEvent, DefectMap};
+use surf_lattice::Patch;
+
+use crate::deformer::{Deformer, EnlargeBudget, MitigationReport};
+
+/// One geometry epoch: `patch` (with `defects` physically present in it)
+/// is the active code from round `start` until the next epoch's start.
+#[derive(Clone, Debug)]
+pub struct PatchEpoch {
+    /// First QEC round this geometry is active at.
+    pub start: u32,
+    /// The patch measured during the epoch.
+    pub patch: Patch,
+    /// Defective qubits physically present in the patch during the epoch
+    /// (defects that could not be deformed away keep their elevated
+    /// rates).
+    pub defects: DefectMap,
+}
+
+/// A sequence of patch geometries over the rounds of one experiment.
+///
+/// Invariants: at least one epoch, the first starting at round 0, with
+/// strictly ascending start rounds.
+///
+/// # Example
+///
+/// ```
+/// use surf_deformer_core::{EnlargeBudget, PatchTimeline};
+/// use surf_defects::{DefectDetector, DefectEvent, DefectMap};
+/// use surf_lattice::{Coord, Patch};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // A burst strikes the patch centre at round 3; the deformation lands
+/// // two rounds later.
+/// let event = DefectEvent::new(3, DefectMap::from_qubits([Coord::new(5, 5)], 0.5));
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let (timeline, report) = PatchTimeline::adaptive(
+///     Patch::rotated(5),
+///     DefectMap::new(),
+///     EnlargeBudget::default(),
+///     &event,
+///     &DefectDetector::perfect(),
+///     2,
+///     &mut rng,
+/// );
+/// assert_eq!(timeline.num_epochs(), 2);
+/// assert_eq!(timeline.epochs()[1].start, 5);
+/// assert_eq!(report.removed, vec![Coord::new(5, 5)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PatchTimeline {
+    epochs: Vec<PatchEpoch>,
+}
+
+impl PatchTimeline {
+    /// A static timeline: one geometry for the whole experiment (the
+    /// degenerate case equivalent to today's fixed-patch pipeline).
+    pub fn fixed(patch: Patch, defects: DefectMap) -> Self {
+        PatchTimeline {
+            epochs: vec![PatchEpoch {
+                start: 0,
+                patch,
+                defects,
+            }],
+        }
+    }
+
+    /// Appends an epoch starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start` is strictly after the last epoch's start.
+    pub fn push_epoch(&mut self, start: u32, patch: Patch, defects: DefectMap) {
+        let last = self.epochs.last().expect("timeline is never empty");
+        assert!(
+            start > last.start,
+            "epoch starts must ascend: {start} after {}",
+            last.start
+        );
+        self.epochs.push(PatchEpoch {
+            start,
+            patch,
+            defects,
+        });
+    }
+
+    /// The epochs, in start order.
+    pub fn epochs(&self) -> &[PatchEpoch] {
+        &self.epochs
+    }
+
+    /// Number of epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// `true` if the geometry never changes.
+    pub fn is_static(&self) -> bool {
+        self.epochs.len() == 1
+    }
+
+    /// The epoch active at `round`.
+    pub fn epoch_at(&self, round: u32) -> &PatchEpoch {
+        let i = self.epochs.partition_point(|e| e.start <= round);
+        &self.epochs[i - 1]
+    }
+
+    /// The rounds at which the geometry changes (every epoch start except
+    /// round 0).
+    pub fn deformation_rounds(&self) -> Vec<u32> {
+        self.epochs[1..].iter().map(|e| e.start).collect()
+    }
+
+    /// Runs the paper's adaptive loop for one mid-stream defect event and
+    /// returns the resulting two-epoch timeline plus the mitigation
+    /// report.
+    ///
+    /// Epoch 0 is `patch` with `base_defects`. At round
+    /// `event.round + reaction_rounds` — detection plus classical
+    /// mitigation latency, the x-axis of the paper's Fig. 14b ablation —
+    /// the detector runs one [`DefectDetector::detect`] pass over the
+    /// combined truth (`base_defects` plus the strike),
+    /// [`Deformer::mitigate`] deforms the patch within `budget`, and
+    /// epoch 1 begins: the deformed patch with exactly the true defects
+    /// it could not remove.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deformation round would be 0 (an event at round 0
+    /// with no reaction delay has no pre-deformation epoch — deform the
+    /// patch up front instead).
+    pub fn adaptive<R: Rng + ?Sized>(
+        patch: Patch,
+        base_defects: DefectMap,
+        budget: EnlargeBudget,
+        event: &DefectEvent,
+        detector: &DefectDetector,
+        reaction_rounds: u32,
+        rng: &mut R,
+    ) -> (PatchTimeline, MitigationReport) {
+        let deform_round = event.round + reaction_rounds;
+        assert!(
+            deform_round > 0,
+            "deformation at round 0 leaves no pre-deformation epoch"
+        );
+        // Ground truth during the reaction window: pre-existing defects
+        // plus the struck qubits.
+        let mut truth = base_defects.clone();
+        for (q, info) in event.defects.iter() {
+            truth.insert(q, info.error_rate);
+        }
+        let mut universe = patch.data_qubits();
+        universe.extend(patch.syndrome_qubits());
+        let detected = detector.detect(&truth, &universe, rng);
+        let mut deformer = Deformer::with_budget(patch.clone(), budget);
+        let report = deformer
+            .mitigate(&detected)
+            .expect("mitigation is infallible on reported defects");
+        // The deformed patch keeps the *true* defects it still contains
+        // (false negatives stay hot even though the deformer never saw
+        // them; false positives removed healthy qubits — harmless).
+        let deformed = deformer.patch().clone();
+        let kept: DefectMap = truth
+            .iter()
+            .filter(|(q, _)| deformed.contains_data(*q) || deformed.contains_syndrome(*q))
+            .map(|(q, info)| (q, info.error_rate))
+            .collect();
+        let mut timeline = PatchTimeline::fixed(patch, base_defects);
+        timeline.push_epoch(deform_round, deformed, kept);
+        (timeline, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_lattice::Coord;
+
+    #[test]
+    fn fixed_timeline_is_static() {
+        let t = PatchTimeline::fixed(Patch::rotated(3), DefectMap::new());
+        assert!(t.is_static());
+        assert_eq!(t.num_epochs(), 1);
+        assert!(t.deformation_rounds().is_empty());
+        assert_eq!(t.epoch_at(0).start, 0);
+        assert_eq!(t.epoch_at(1000).start, 0);
+    }
+
+    #[test]
+    fn epoch_at_picks_the_active_epoch() {
+        let mut t = PatchTimeline::fixed(Patch::rotated(3), DefectMap::new());
+        t.push_epoch(4, Patch::rotated(3), DefectMap::new());
+        t.push_epoch(9, Patch::rotated(3), DefectMap::new());
+        assert_eq!(t.epoch_at(3).start, 0);
+        assert_eq!(t.epoch_at(4).start, 4);
+        assert_eq!(t.epoch_at(8).start, 4);
+        assert_eq!(t.epoch_at(9).start, 9);
+        assert_eq!(t.deformation_rounds(), vec![4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must ascend")]
+    fn non_ascending_epoch_rejected() {
+        let mut t = PatchTimeline::fixed(Patch::rotated(3), DefectMap::new());
+        t.push_epoch(0, Patch::rotated(3), DefectMap::new());
+    }
+
+    #[test]
+    fn adaptive_removes_struck_qubits() {
+        let event = DefectEvent::new(
+            2,
+            DefectMap::from_qubits([Coord::new(5, 5), Coord::new(4, 4)], 0.5),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let (timeline, report) = PatchTimeline::adaptive(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::default(),
+            &event,
+            &DefectDetector::perfect(),
+            3,
+            &mut rng,
+        );
+        assert_eq!(timeline.num_epochs(), 2);
+        assert_eq!(timeline.epochs()[1].start, 5);
+        assert_eq!(report.removed.len(), 2);
+        let late = &timeline.epochs()[1];
+        assert!(!late.patch.contains_data(Coord::new(5, 5)));
+        assert!(late.defects.is_empty(), "all struck qubits were removed");
+        late.patch.verify().unwrap();
+    }
+
+    #[test]
+    fn adaptive_keeps_missed_defects_hot() {
+        // A blind detector (100 % false negatives) reports nothing: the
+        // patch stays whole and the struck qubit stays in the epoch-1
+        // defect map.
+        let q = Coord::new(5, 5);
+        let event = DefectEvent::new(1, DefectMap::from_qubits([q], 0.5));
+        let mut rng = StdRng::seed_from_u64(2);
+        let (timeline, report) = PatchTimeline::adaptive(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::default(),
+            &event,
+            &DefectDetector::imprecise(0.0, 1.0),
+            1,
+            &mut rng,
+        );
+        assert!(report.removed.is_empty());
+        assert!(timeline.epochs()[1].defects.contains(q));
+        assert_eq!(
+            timeline.epochs()[1].defects.info(q).unwrap().error_rate,
+            0.5
+        );
+    }
+}

@@ -180,6 +180,21 @@ impl DefectEvent {
             defects: model.defect_map_at(&[strike], universe, u64::from(round)),
         }
     }
+
+    /// The defect map a hardware detector reports for this event's strike
+    /// over the qubit `universe` (false negatives stay hidden, false
+    /// positives are phantom defects). Covers the strike only; a
+    /// deformation unit also tracking pre-existing defects should run one
+    /// [`DefectDetector::detect`] pass over the combined truth, as
+    /// `PatchTimeline::adaptive` does.
+    pub fn detected<R: rand::Rng + ?Sized>(
+        &self,
+        detector: &DefectDetector,
+        universe: &[Coord],
+        rng: &mut R,
+    ) -> DefectMap {
+        detector.detect(&self.defects, universe, rng)
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +211,24 @@ mod tests {
         m.insert(q, 0.5);
         assert_eq!(m.info(q).unwrap().error_rate, 0.5);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn event_detected_reports_through_the_detector() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let qs = [Coord::new(1, 1), Coord::new(3, 3), Coord::new(5, 5)];
+        let event = DefectEvent::new(2, DefectMap::from_qubits(qs, 0.5));
+        let universe: Vec<Coord> = (0..4)
+            .flat_map(|x| (0..4).map(move |y| Coord::new(2 * x + 1, 2 * y + 1)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        // A perfect detector reports the strike verbatim.
+        let seen = event.detected(&DefectDetector::perfect(), &universe, &mut rng);
+        assert_eq!(seen, event.defects);
+        // A fully blind detector reports nothing.
+        let blind = event.detected(&DefectDetector::imprecise(0.0, 1.0), &universe, &mut rng);
+        assert!(blind.is_empty());
     }
 
     #[test]

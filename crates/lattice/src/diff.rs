@@ -1,0 +1,336 @@
+//! Patch diffing across a code deformation.
+//!
+//! When a deformation instruction rewrites a patch mid-experiment, the
+//! detector layout changes: some stabilizer groups survive untouched, some
+//! are *merged* into a super-stabilizer (their GF(2) product is still a
+//! stabilizer of the deformed code, so its value is preserved through the
+//! deformation and yields a detector straddling the boundary), and the
+//! rest are killed or created outright (their first/last measurement has
+//! no deterministic partner on the other side). [`diff_stabilizers`]
+//! computes exactly this classification; `surf-sim` turns it into the
+//! detector-index remap between the pre- and post-deformation models.
+//!
+//! Matching rules, applied per memory basis:
+//!
+//! 1. a late group whose product support equals an early group's product
+//!    support is **continued** (its measurement chain runs straight
+//!    through the deformation);
+//! 2. a late group whose product equals the symmetric difference of two
+//!    or more leftover early products is **merged** from them — the
+//!    operator `∏ᵢ Sᵢ` commutes with the deformation measurements (it *is*
+//!    the new stabilizer), so its pre-deformation value is deterministic.
+//!    `DataQ_RM` produces exactly this shape on both bases: the two
+//!    checks adjacent to the removed qubit merge, and their product
+//!    excludes the removed qubit;
+//! 3. everything else is **created** (late) or **killed** (early): the
+//!    measure-out of removed qubits anti-commutes with them, so their
+//!    boundary measurements are non-deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Basis, Coord, GroupId, Patch};
+
+/// How one post-deformation stabilizer group relates to the
+/// pre-deformation group structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroupOrigin {
+    /// Identical product support: the group survives the deformation and
+    /// its measurement chain continues straight through it.
+    Continued(GroupId),
+    /// The group's product equals the GF(2) product of these early
+    /// groups' products: its first post-deformation measurement is
+    /// deterministically the XOR of their last pre-deformation values.
+    Merged(Vec<GroupId>),
+    /// No deterministic pre-deformation partner: the first measurement
+    /// projects a fresh value.
+    Created,
+}
+
+/// The stabilizer-flow classification of one deformation step.
+#[derive(Clone, Debug, Default)]
+pub struct PatchDiff {
+    /// One entry per late stabilizer group of the basis, in
+    /// [`Patch::stabilizer_group_ids`] order.
+    pub matches: Vec<(GroupId, GroupOrigin)>,
+    /// Early stabilizer groups that neither continue nor feed a merge:
+    /// their final syndrome value is discarded by the deformation.
+    pub killed: Vec<GroupId>,
+}
+
+impl PatchDiff {
+    /// Number of continued groups.
+    pub fn num_continued(&self) -> usize {
+        self.matches
+            .iter()
+            .filter(|(_, o)| matches!(o, GroupOrigin::Continued(_)))
+            .count()
+    }
+
+    /// Number of merged groups.
+    pub fn num_merged(&self) -> usize {
+        self.matches
+            .iter()
+            .filter(|(_, o)| matches!(o, GroupOrigin::Merged(_)))
+            .count()
+    }
+
+    /// Number of created groups.
+    pub fn num_created(&self) -> usize {
+        self.matches
+            .iter()
+            .filter(|(_, o)| matches!(o, GroupOrigin::Created))
+            .count()
+    }
+}
+
+/// Classifies every `basis` stabilizer group of `late` against the
+/// stabilizer groups of `early` (see the module docs for the rules).
+///
+/// Each early group feeds at most one late group: exact matches are
+/// claimed first (in late group order), then merges are resolved by GF(2)
+/// elimination over the leftover early products. A late product that
+/// would need an already-claimed early group is conservatively reported
+/// as [`GroupOrigin::Created`].
+pub fn diff_stabilizers(early: &Patch, late: &Patch, basis: Basis) -> PatchDiff {
+    let early_groups: Vec<GroupId> = early
+        .stabilizer_group_ids()
+        .into_iter()
+        .filter(|&g| early.group_basis(g) == Some(basis))
+        .collect();
+    let late_groups: Vec<GroupId> = late
+        .stabilizer_group_ids()
+        .into_iter()
+        .filter(|&g| late.group_basis(g) == Some(basis))
+        .collect();
+    // Exact product matches first. Two distinct stabilizers never share a
+    // support, so the product is a faithful key.
+    let mut by_product: BTreeMap<BTreeSet<Coord>, GroupId> = BTreeMap::new();
+    for &g in &early_groups {
+        by_product.insert(early.group_product(g), g);
+    }
+    let mut matches: Vec<(GroupId, GroupOrigin)> = Vec::with_capacity(late_groups.len());
+    let mut unmatched_late: Vec<(usize, BTreeSet<Coord>)> = Vec::new();
+    for &g in &late_groups {
+        let product = late.group_product(g);
+        match by_product.remove(&product) {
+            Some(early_g) => matches.push((g, GroupOrigin::Continued(early_g))),
+            None => {
+                unmatched_late.push((matches.len(), product));
+                matches.push((g, GroupOrigin::Created));
+            }
+        }
+    }
+    // Merge resolution: express each leftover late product as a symmetric
+    // difference of leftover early products via GF(2) elimination.
+    let leftover_early: Vec<(GroupId, BTreeSet<Coord>)> = by_product
+        .into_iter()
+        .map(|(product, g)| (g, product))
+        .collect();
+    let mut used = vec![false; leftover_early.len()];
+    for (slot, product) in unmatched_late {
+        if let Some(combo) = solve_xor(&leftover_early, &used, &product) {
+            // An exact single-group match would have been claimed above,
+            // so any solution here joins at least two early groups.
+            debug_assert!(combo.len() >= 2);
+            for &i in &combo {
+                used[i] = true;
+            }
+            let sources: Vec<GroupId> = combo.iter().map(|&i| leftover_early[i].0).collect();
+            matches[slot].1 = GroupOrigin::Merged(sources);
+        }
+    }
+    let killed = leftover_early
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|((g, _), _)| *g)
+        .collect();
+    PatchDiff { matches, killed }
+}
+
+/// Finds a subset of the unused `candidates` whose products XOR to
+/// `target`, by Gaussian elimination over GF(2).
+fn solve_xor(
+    candidates: &[(GroupId, BTreeSet<Coord>)],
+    used: &[bool],
+    target: &BTreeSet<Coord>,
+) -> Option<Vec<usize>> {
+    // Dense bit coordinates over the qubits appearing anywhere.
+    let mut coords: BTreeMap<Coord, usize> = BTreeMap::new();
+    for q in candidates
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| !u)
+        .flat_map(|((_, p), _)| p.iter())
+        .chain(target.iter())
+    {
+        let next = coords.len();
+        coords.entry(*q).or_insert(next);
+    }
+    let words = coords.len().div_ceil(64);
+    let pack = |set: &BTreeSet<Coord>| -> Option<Vec<u64>> {
+        let mut row = vec![0u64; words];
+        for q in set {
+            let &bit = coords.get(q)?;
+            row[bit / 64] ^= 1u64 << (bit % 64);
+        }
+        Some(row)
+    };
+    // Eliminate: rows carry (bits, combination mask over candidate indices).
+    let mut rows: Vec<(Vec<u64>, Vec<usize>)> = Vec::new();
+    for (i, (_, product)) in candidates.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let mut bits = pack(product).expect("candidate coords are indexed");
+        let mut combo = vec![i];
+        reduce(&rows, &mut bits, &mut combo);
+        if bits.iter().any(|&w| w != 0) {
+            rows.push((bits, combo));
+        }
+    }
+    let mut bits = pack(target)?;
+    let mut combo = Vec::new();
+    reduce(&rows, &mut bits, &mut combo);
+    if bits.iter().all(|&w| w == 0) && !combo.is_empty() {
+        combo.sort_unstable();
+        combo.dedup();
+        Some(combo)
+    } else {
+        None
+    }
+}
+
+/// Reduces `bits` against the pivot rows, accumulating the combination.
+fn reduce(rows: &[(Vec<u64>, Vec<usize>)], bits: &mut [u64], combo: &mut Vec<usize>) {
+    for (row, row_combo) in rows {
+        let pivot = row
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, w)| (i, w.trailing_zeros()))
+            .expect("pivot rows are non-zero");
+        if (bits[pivot.0] >> pivot.1) & 1 == 1 {
+            for (b, r) in bits.iter_mut().zip(row) {
+                *b ^= r;
+            }
+            combo.extend_from_slice(row_combo);
+        }
+    }
+    // Pairs cancel over GF(2).
+    combo.sort_unstable();
+    let mut write = 0;
+    let mut read = 0;
+    while read < combo.len() {
+        if read + 1 < combo.len() && combo[read] == combo[read + 1] {
+            read += 2;
+        } else {
+            combo[write] = combo[read];
+            write += 1;
+            read += 1;
+        }
+    }
+    combo.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_patches_continue_everything() {
+        let p = Patch::rotated(5);
+        for basis in [Basis::Z, Basis::X] {
+            let diff = diff_stabilizers(&p, &p, basis);
+            assert!(diff.killed.is_empty());
+            assert_eq!(diff.num_continued(), diff.matches.len());
+            assert_eq!(diff.num_merged() + diff.num_created(), 0);
+            for (g, origin) in &diff.matches {
+                assert_eq!(*origin, GroupOrigin::Continued(*g));
+            }
+        }
+    }
+
+    #[test]
+    fn data_removal_merges_adjacent_groups_on_both_bases() {
+        use crate::Coord;
+        let early = Patch::rotated(5);
+        let mut late = early.clone();
+        // Inline DataQ_RM shape: remove the centre qubit and merge the
+        // adjacent checks per basis (surf-deformer-core does exactly this;
+        // the lattice crate cannot depend on it).
+        let q = Coord::new(5, 5);
+        let xs = late.checks_on_data(q, Basis::X);
+        let zs = late.checks_on_data(q, Basis::Z);
+        late.remove_data(q);
+        let xg: Vec<GroupId> = xs.iter().map(|&id| late.check(id).unwrap().group).collect();
+        let zg: Vec<GroupId> = zs.iter().map(|&id| late.check(id).unwrap().group).collect();
+        late.merge_groups(&xg);
+        late.merge_groups(&zg);
+        for basis in [Basis::Z, Basis::X] {
+            let diff = diff_stabilizers(&early, &late, basis);
+            // The two adjacent groups merge into one super-stabilizer whose
+            // product is their symmetric difference; everything else is
+            // untouched.
+            assert_eq!(diff.num_merged(), 1, "{basis:?}: {:?}", diff.matches);
+            assert_eq!(diff.num_created(), 0, "{basis:?}");
+            assert!(diff.killed.is_empty(), "{basis:?}");
+            let merged = diff
+                .matches
+                .iter()
+                .find_map(|(g, o)| match o {
+                    GroupOrigin::Merged(srcs) => Some((*g, srcs.clone())),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(merged.1.len(), 2);
+            // The merged product is the XOR of the source products.
+            let mut xor: BTreeSet<Coord> = BTreeSet::new();
+            for src in &merged.1 {
+                for c in early.group_product(*src) {
+                    if !xor.remove(&c) {
+                        xor.insert(c);
+                    }
+                }
+            }
+            assert_eq!(xor, late.group_product(merged.0));
+            assert!(!xor.contains(&q));
+        }
+    }
+
+    #[test]
+    fn disjoint_patches_share_nothing() {
+        let early = Patch::rotated(3);
+        let late = Patch::rectangle_at(40, 40, 3, 3);
+        let diff = diff_stabilizers(&early, &late, Basis::Z);
+        assert_eq!(diff.num_continued(), 0);
+        assert_eq!(diff.num_merged(), 0);
+        assert_eq!(diff.num_created(), diff.matches.len());
+        assert_eq!(
+            diff.killed.len(),
+            early
+                .stabilizer_group_ids()
+                .into_iter()
+                .filter(|&g| early.group_basis(g) == Some(Basis::Z))
+                .count()
+        );
+    }
+
+    #[test]
+    fn enlargement_continues_old_groups_and_creates_new_ones() {
+        // Growing a 5×5 into a 5×6 keeps the interior groups and creates
+        // the new row's groups; nothing merges.
+        let early = Patch::rotated(5);
+        let late = Patch::rectangle_at(0, 0, 5, 6);
+        let diff = diff_stabilizers(&early, &late, Basis::Z);
+        assert!(diff.num_continued() > 0);
+        assert!(diff.num_created() > 0);
+        assert_eq!(diff.num_merged(), 0);
+        // Continued groups really have identical products.
+        for (g, origin) in &diff.matches {
+            if let GroupOrigin::Continued(e) = origin {
+                assert_eq!(early.group_product(*e), late.group_product(*g));
+            }
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //!   via parity-doubled BFS;
 //! * [`Patch::reroute_logicals_avoiding`] — GF(2) logical rerouting;
 //! * [`MeasurementSchedule`] — super-stabilizer measurement cadences;
+//! * [`diff_stabilizers`] — stabilizer flow across a deformation
+//!   (continued / merged / killed / created groups), the input of the
+//!   detector remap used by in-stream adaptive deformation;
 //! * [`Patch::to_measured_code`] — bridge to the algebraic view of
 //!   `surf-stabilizer` for tableau-based verification.
 //!
@@ -31,6 +34,7 @@
 
 mod convert;
 mod coord;
+mod diff;
 mod distance;
 mod logical;
 mod patch;
@@ -38,6 +42,7 @@ mod schedule;
 
 pub use convert::check_string;
 pub use coord::{Basis, BoundarySide, Coord};
+pub use diff::{diff_stabilizers, GroupOrigin, PatchDiff};
 pub use distance::Distances;
 pub use logical::RerouteError;
 pub use patch::{Check, CheckId, GroupId, Patch};

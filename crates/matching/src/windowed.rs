@@ -44,6 +44,28 @@ use crate::graph::DecodingGraph;
 /// Factory building the inner decoder backend over each window sub-graph.
 pub type DecoderFactory = Box<dyn Fn(DecodingGraph) -> Box<dyn Decoder> + Send + Sync>;
 
+/// One geometry epoch's share of a spliced decoding graph: a
+/// locally-indexed sub-graph plus the translation of its local detector
+/// ids into the stream's global detector space.
+///
+/// This is the graph-swap input of in-stream adaptive deformation: the
+/// pre- and post-deformation models are compiled separately (the late one
+/// only exists once the deformation is decided), each carrying the
+/// detector-remap shim's `global_of` table. Edges that straddle the
+/// deformation boundary — the merge detectors comparing pre-deformation
+/// stabilizer values with the first post-deformation super-stabilizer
+/// measurement — live in the late epoch's piece and reference early
+/// detectors through the same table.
+#[derive(Clone, Debug)]
+pub struct GraphEpoch {
+    /// The epoch's sub-graph over local node ids.
+    pub graph: DecodingGraph,
+    /// Round label of each local node.
+    pub rounds_of: Vec<u32>,
+    /// Local node id → global detector id.
+    pub global_of: Vec<u32>,
+}
+
 /// Shape of the sliding window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WindowConfig {
@@ -205,6 +227,69 @@ impl WindowedDecoder {
             start += config.commit;
         }
         decoder
+    }
+
+    /// Builds a windowed decoder over epoch pieces spliced into one
+    /// `num_detectors`-wide global space — the graph-swap path of
+    /// in-stream adaptive deformation.
+    ///
+    /// Every epoch's edges and round labels are translated through its
+    /// [`GraphEpoch::global_of`] table, so a window straddling the
+    /// deformation round decodes against the spliced multi-epoch graph
+    /// and its commit-cut carry bits land on translated (global) detector
+    /// ids — residual defects flow correctly from pre- into
+    /// post-deformation windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a global detector is left without a round label, labelled
+    /// inconsistently across epochs, or out of range — plus everything
+    /// [`WindowedDecoder::new`] checks.
+    pub fn from_epochs(
+        num_detectors: usize,
+        epochs: &[GraphEpoch],
+        num_observables: u32,
+        config: WindowConfig,
+        factory: DecoderFactory,
+    ) -> Self {
+        let mut graph = DecodingGraph::new(num_detectors);
+        let mut rounds_of = vec![u32::MAX; num_detectors];
+        for (i, epoch) in epochs.iter().enumerate() {
+            assert_eq!(
+                epoch.global_of.len(),
+                epoch.graph.num_nodes(),
+                "epoch {i}: one global id per local node required"
+            );
+            assert_eq!(
+                epoch.rounds_of.len(),
+                epoch.graph.num_nodes(),
+                "epoch {i}: one round label per local node required"
+            );
+            for (local, (&global, &round)) in
+                epoch.global_of.iter().zip(&epoch.rounds_of).enumerate()
+            {
+                let slot = &mut rounds_of[global as usize];
+                assert!(
+                    *slot == u32::MAX || *slot == round,
+                    "epoch {i}: detector {global} (local {local}) relabelled \
+                     from round {slot} to {round}"
+                );
+                *slot = round;
+            }
+            for edge in epoch.graph.edges() {
+                graph.add_edge(
+                    epoch.global_of[edge.a] as usize,
+                    edge.b.map(|b| epoch.global_of[b] as usize),
+                    edge.probability,
+                    edge.observables,
+                );
+            }
+        }
+        assert!(
+            rounds_of.iter().all(|&r| r != u32::MAX),
+            "every global detector needs a round label from some epoch"
+        );
+        WindowedDecoder::new(graph, rounds_of, num_observables, config, factory)
     }
 
     /// Builds the instrumented sub-graph and decoder of one window.
@@ -661,6 +746,114 @@ mod tests {
         let mut session = d.session(1);
         session.push_round(0, &[0], &[0]);
         session.finish();
+    }
+
+    #[test]
+    fn from_epochs_splices_to_the_monolithic_graph() {
+        // Split the 6-round time strip at round 3: the cross-boundary
+        // measurement edge (2–3) lives in the late piece and references
+        // the early detector through the remap table. Decodes must match
+        // the monolithic construction bit for bit.
+        let (full, rounds) = time_strip(6);
+        let mut early = DecodingGraph::new(3);
+        early.add_edge(0, None, 1e-2, 1);
+        early.add_edge(0, Some(1), 5e-2, 0);
+        early.add_edge(1, Some(2), 5e-2, 0);
+        // Late piece: local 0 = global 2 (the early-side endpoint of the
+        // boundary edge), locals 1..=3 = globals 3..=5.
+        let mut late = DecodingGraph::new(4);
+        late.add_edge(0, Some(1), 5e-2, 0);
+        late.add_edge(1, Some(2), 5e-2, 0);
+        late.add_edge(2, Some(3), 5e-2, 0);
+        late.add_edge(3, None, 1e-2, 0);
+        let epochs = [
+            GraphEpoch {
+                graph: early,
+                rounds_of: vec![0, 1, 2],
+                global_of: vec![0, 1, 2],
+            },
+            GraphEpoch {
+                graph: late,
+                rounds_of: vec![2, 3, 4, 5],
+                global_of: vec![2, 3, 4, 5],
+            },
+        ];
+        for window in [1u32, 2, 3, 6] {
+            let spliced = WindowedDecoder::from_epochs(
+                6,
+                &epochs,
+                1,
+                WindowConfig::new(window),
+                mwpm_factory(),
+            );
+            let mono = WindowedDecoder::new(
+                full.clone(),
+                rounds.clone(),
+                1,
+                WindowConfig::new(window),
+                mwpm_factory(),
+            );
+            for s in [vec![], vec![0], vec![2, 3], vec![0, 5], vec![1, 4]] {
+                assert_eq!(spliced.decode(&s), mono.decode(&s), "w={window} {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_epochs_carries_across_the_boundary() {
+        // A measurement-error pair straddling the epoch boundary must be
+        // matched through the cross-epoch edge and carried across commit
+        // cuts: no logical flip at any window size.
+        let mut early = DecodingGraph::new(2);
+        early.add_edge(0, None, 1e-2, 1);
+        early.add_edge(0, Some(1), 5e-2, 0);
+        let mut late = DecodingGraph::new(3);
+        late.add_edge(0, Some(1), 5e-2, 0);
+        late.add_edge(1, Some(2), 5e-2, 0);
+        late.add_edge(2, None, 1e-2, 0);
+        let epochs = [
+            GraphEpoch {
+                graph: early,
+                rounds_of: vec![0, 1],
+                global_of: vec![0, 1],
+            },
+            GraphEpoch {
+                graph: late,
+                rounds_of: vec![1, 2, 3],
+                global_of: vec![1, 2, 3],
+            },
+        ];
+        for window in 1..=4u32 {
+            let d = WindowedDecoder::from_epochs(
+                4,
+                &epochs,
+                1,
+                WindowConfig::new(window),
+                mwpm_factory(),
+            );
+            assert_eq!(d.decode(&[1, 2]), 0, "boundary pair, window {window}");
+            assert_eq!(d.decode(&[2, 3]), 0, "late pair, window {window}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "relabelled")]
+    fn from_epochs_rejects_inconsistent_round_labels() {
+        let mut g = DecodingGraph::new(1);
+        g.add_edge(0, None, 1e-2, 0);
+        let epochs = [
+            GraphEpoch {
+                graph: g.clone(),
+                rounds_of: vec![0],
+                global_of: vec![0],
+            },
+            GraphEpoch {
+                graph: g,
+                rounds_of: vec![1],
+                global_of: vec![0],
+            },
+        ];
+        WindowedDecoder::from_epochs(1, &epochs, 1, WindowConfig::new(1), mwpm_factory());
     }
 
     #[test]

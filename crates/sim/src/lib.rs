@@ -38,18 +38,21 @@ mod model;
 mod noise;
 mod sampler;
 mod stream;
+mod timeline;
 
 pub use circuit::{memory_circuit, Circuit, Detector, Instruction, MemoryCircuit};
 pub use fit::LogicalRateModel;
 pub use frame::{extract_dem, sample_batch, sample_batch_lanes, sample_shot};
-pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats};
+pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats, Shard};
 pub use model::{Channel, DecoderPrior, DetectorModel};
 pub use noise::{NoiseParams, QubitNoise};
 pub use sampler::{bernoulli_mask, BatchSampler, GEOMETRIC_THRESHOLD};
 pub use stream::{RoundSlice, RoundStream};
+pub use timeline::{DetectorRemap, TimelineModel};
 
 // Re-exported so downstream pipeline code can name the shared batch and
 // decoder abstractions without extra dependency lines.
 pub use surf_defects::DefectEvent;
-pub use surf_matching::{Decoder, WindowConfig, WindowedDecoder};
+pub use surf_deformer_core::PatchTimeline;
+pub use surf_matching::{Decoder, GraphEpoch, WindowConfig, WindowedDecoder};
 pub use surf_pauli::BitBatch;

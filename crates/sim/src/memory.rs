@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use surf_defects::{DefectEvent, DefectMap};
+use surf_deformer_core::PatchTimeline;
 use surf_lattice::{Basis, Patch};
 use surf_matching::{
     Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder, WindowConfig, WindowedDecoder,
@@ -19,6 +20,7 @@ use surf_pauli::BitBatch;
 use crate::model::{DecoderPrior, DetectorModel};
 use crate::noise::{NoiseParams, QubitNoise};
 use crate::stream::RoundStream;
+use crate::timeline::TimelineModel;
 
 /// Which decoder backend to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +58,65 @@ fn splitmix64_stream(seed: u64, i: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One shard of a multi-host run: this process owns every 64-shot batch
+/// whose index is congruent to `index` modulo `count`.
+///
+/// Batches draw their RNG from a SplitMix64 stream indexed by the
+/// *global* batch number, so the failure counts of the `count` shards sum
+/// to exactly the single-host result for the same `(shots, seed)` — see
+/// [`MemoryStats::merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's position, `0..count`.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl Shard {
+    /// The trivial single-shard split (the whole run).
+    pub fn solo() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Shard `index` of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn new(index: u64, count: u64) -> Self {
+        assert!(index < count, "shard index {index} outside 0..{count}");
+        Shard { index, count }
+    }
+
+    /// Parses the `k/n` notation of the `--shard` flag.
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (k, n) = s.split_once('/')?;
+        let (index, count) = (k.trim().parse().ok()?, n.trim().parse().ok()?);
+        (index < count).then_some(Shard { index, count })
+    }
+
+    /// Number of shots this shard owns out of a `shots`-shot run.
+    pub fn shots_of(&self, shots: u64) -> u64 {
+        let lanes = BitBatch::LANES as u64;
+        let num_batches = shots.div_ceil(lanes);
+        let mut owned = 0;
+        let mut batch = self.index;
+        while batch < num_batches {
+            let first = batch * lanes;
+            owned += (shots - first).min(lanes);
+            batch += self.count;
+        }
+        owned
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
 }
 
 /// Configuration of a memory experiment on one patch.
@@ -100,8 +161,26 @@ impl MemoryStats {
     /// Combined per-round logical error rate: converts each basis's window
     /// failure probability `P` to a per-round rate via
     /// `P = (1 − (1 − 2p)^R)/2` and sums the bases.
+    ///
+    /// Zero shots (e.g. a [`Shard`] owning no batches of a small run)
+    /// yield `0.0` rather than the `NaN → 0.5` the clamp would otherwise
+    /// silently produce; rate printers should show a detection floor.
     pub fn per_round_rate(&self, rounds: u32) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
         per_round(self.p_fail_z(), rounds) + per_round(self.p_fail_x(), rounds)
+    }
+
+    /// Merges shard results by summation: merging every shard of a
+    /// [`Shard::count`]-way split reproduces the single-host counts
+    /// exactly (batch-indexed seeding makes the partition lossless).
+    pub fn merge(self, other: MemoryStats) -> MemoryStats {
+        MemoryStats {
+            shots: self.shots + other.shots,
+            failures_z_memory: self.failures_z_memory + other.failures_z_memory,
+            failures_x_memory: self.failures_x_memory + other.failures_x_memory,
+        }
     }
 }
 
@@ -127,10 +206,19 @@ impl MemoryExperiment {
 
     /// Runs `shots` shots per basis, parallelised over available cores.
     pub fn run(&self, shots: u64, seed: u64) -> MemoryStats {
-        let failures_z = self.run_basis(Basis::Z, shots, seed);
-        let failures_x = self.run_basis(Basis::X, shots, seed ^ 0x9E37_79B9_7F4A_7C15);
+        self.run_shard(shots, seed, Shard::solo())
+    }
+
+    /// Runs one shard of a `shots`-shot-per-basis run: only the 64-shot
+    /// batches owned by `shard` are sampled and decoded, and the returned
+    /// [`MemoryStats::shots`] counts exactly those. Merging all shards
+    /// with [`MemoryStats::merge`] reproduces [`run`](Self::run) exactly,
+    /// so shot ranges shard trivially across processes and hosts.
+    pub fn run_shard(&self, shots: u64, seed: u64, shard: Shard) -> MemoryStats {
+        let failures_z = self.run_basis_shard(Basis::Z, shots, seed, shard);
+        let failures_x = self.run_basis_shard(Basis::X, shots, seed ^ 0x9E37_79B9_7F4A_7C15, shard);
         MemoryStats {
-            shots,
+            shots: shard.shots_of(shots),
             failures_z_memory: failures_z,
             failures_x_memory: failures_x,
         }
@@ -154,6 +242,12 @@ impl MemoryExperiment {
         self.run_basis_threads(memory_basis, shots, seed, available_threads(shots))
     }
 
+    /// [`run_basis`](Self::run_basis) restricted to the batches owned by
+    /// `shard` (see [`run_shard`](Self::run_shard)).
+    pub fn run_basis_shard(&self, memory_basis: Basis, shots: u64, seed: u64, shard: Shard) -> u64 {
+        self.run_basis_impl(memory_basis, shots, seed, available_threads(shots), shard)
+    }
+
     /// [`run_basis`](Self::run_basis) with an explicit worker-thread
     /// count. The failure count depends only on `(shots, seed)`.
     pub fn run_basis_threads(
@@ -163,11 +257,22 @@ impl MemoryExperiment {
         seed: u64,
         threads: usize,
     ) -> u64 {
+        self.run_basis_impl(memory_basis, shots, seed, threads, Shard::solo())
+    }
+
+    fn run_basis_impl(
+        &self,
+        memory_basis: Basis,
+        shots: u64,
+        seed: u64,
+        threads: usize,
+        shard: Shard,
+    ) -> u64 {
         let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
         let model =
             DetectorModel::build(&self.patch, memory_basis, self.rounds, &noise, self.prior);
         let decoder = self.decoder.build(model.graph.clone());
-        run_batches(shots, seed, threads, || {
+        run_batches_shard(shots, seed, threads, shard, || {
             let sampler = model.batch_sampler();
             let decoder = decoder.as_ref();
             let mut batch = BitBatch::zeros(model.num_detectors);
@@ -225,23 +330,56 @@ impl MemoryExperiment {
             config,
             self.decoder.factory(),
         );
-        run_batches(shots, seed, threads, || {
-            let mut stream = RoundStream::new(&model);
-            let windowed = &windowed;
-            move |rng: &mut StdRng, lanes: usize| {
-                stream.begin(rng, lanes);
-                let mut session = windowed.session(lanes);
-                while let Some(slice) = stream.next_round() {
-                    session.push_round(slice.round, slice.detectors, slice.words);
-                }
-                let predictions = session.finish();
-                count_failures(
-                    &predictions,
-                    stream.true_observables(),
-                    BitBatch::mask_for(lanes),
-                )
-            }
-        })
+        stream_batches(shots, seed, threads, &model, &windowed)
+    }
+
+    /// Runs one basis through the streaming pipeline over *time-varying*
+    /// geometry: the patch of each [`PatchTimeline`] epoch is measured
+    /// during its rounds, with the deformation boundaries compiled into a
+    /// single spliced multi-epoch detector model
+    /// ([`TimelineModel::build`]). The windowed decoder is assembled from
+    /// the per-epoch graph pieces
+    /// ([`WindowedDecoder::from_epochs`]), so windows straddling a
+    /// deformation decode against the spliced two-epoch graph and carry
+    /// residual defects through the detector remap.
+    ///
+    /// The experiment's own `patch`/`kept_defects` are *not* consulted —
+    /// the timeline's epochs carry both — but `noise`, `prior`, `rounds`
+    /// and `decoder` apply as usual. An optional mid-stream `event`
+    /// elevates the struck qubits' rates from `event.round` on, for as
+    /// long as each remains in the current epoch's patch.
+    ///
+    /// Batches draw their RNG by global batch index exactly like every
+    /// other runner, so the count is thread-count independent and a
+    /// static timeline reproduces
+    /// [`run_streaming_with`](Self::run_streaming_with) bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streaming_timeline(
+        &self,
+        memory_basis: Basis,
+        shots: u64,
+        seed: u64,
+        config: WindowConfig,
+        timeline: &PatchTimeline,
+        event: Option<&DefectEvent>,
+        threads: usize,
+    ) -> u64 {
+        let tm = TimelineModel::build(
+            timeline,
+            memory_basis,
+            self.rounds,
+            self.noise,
+            event,
+            self.prior,
+        );
+        let windowed = WindowedDecoder::from_epochs(
+            tm.model.num_detectors,
+            &tm.graph_epochs(),
+            1,
+            config,
+            self.decoder.factory(),
+        );
+        stream_batches(shots, seed, threads, &tm.model, &windowed)
     }
 
     /// The detector model of one basis, spliced with a mid-stream defect
@@ -288,15 +426,55 @@ fn count_failures(predictions: &[u64], true_obs: u64, mask: u64) -> u64 {
     u64::from(((predicted ^ true_obs) & mask).count_ones())
 }
 
-/// Runs `shots` shots as 64-lane batches spread over `threads` workers.
-///
-/// Workers pull *batch indices* from a shared counter and seed each
-/// batch's RNG from the SplitMix64 stream at that index, so the total
-/// failure count is a pure function of `(shots, seed)` — the thread count
-/// only changes wall-clock time. `setup` runs once per worker and returns
-/// the per-batch closure (sample + decode + count), letting each worker
-/// keep its own sampler/scratch state.
+/// The shared streamed-pipeline loop: each batch is replayed round-major
+/// by a fresh per-worker [`RoundStream`] over `model` and decoded on the
+/// fly by a [`WindowedDecoder`] session.
+fn stream_batches(
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    model: &DetectorModel,
+    windowed: &WindowedDecoder,
+) -> u64 {
+    run_batches(shots, seed, threads, || {
+        let mut stream = RoundStream::new(model);
+        move |rng: &mut StdRng, lanes: usize| {
+            stream.begin(rng, lanes);
+            let mut session = windowed.session(lanes);
+            while let Some(slice) = stream.next_round() {
+                session.push_round(slice.round, slice.detectors, slice.words);
+            }
+            let predictions = session.finish();
+            count_failures(
+                &predictions,
+                stream.true_observables(),
+                BitBatch::mask_for(lanes),
+            )
+        }
+    })
+}
+
+/// [`run_batches_shard`] over the whole run.
 fn run_batches<S, F>(shots: u64, seed: u64, threads: usize, setup: S) -> u64
+where
+    S: Fn() -> F + Sync,
+    F: FnMut(&mut StdRng, usize) -> u64,
+{
+    run_batches_shard(shots, seed, threads, Shard::solo(), setup)
+}
+
+/// Runs the `shard`-owned 64-lane batches of a `shots`-shot run spread
+/// over `threads` workers.
+///
+/// Workers pull *global batch indices* from a shared counter (stepping by
+/// `shard.count` from `shard.index`) and seed each batch's RNG from the
+/// SplitMix64 stream at that global index, so the failure count is a pure
+/// function of `(shots, seed, shard)` — the thread count only changes
+/// wall-clock time, and summing all shards reproduces the single-host
+/// count exactly. `setup` runs once per worker and returns the per-batch
+/// closure (sample + decode + count), letting each worker keep its own
+/// sampler/scratch state.
+fn run_batches_shard<S, F>(shots: u64, seed: u64, threads: usize, shard: Shard, setup: S) -> u64
 where
     S: Fn() -> F + Sync,
     F: FnMut(&mut StdRng, usize) -> u64,
@@ -305,7 +483,13 @@ where
         return 0;
     }
     let num_batches = shots.div_ceil(BitBatch::LANES as u64);
-    let threads = threads.clamp(1, num_batches.min(1 << 16) as usize);
+    let owned_batches = num_batches
+        .saturating_sub(shard.index)
+        .div_ceil(shard.count);
+    if owned_batches == 0 {
+        return 0;
+    }
+    let threads = threads.clamp(1, owned_batches.min(1 << 16) as usize);
     let next_batch = std::sync::atomic::AtomicU64::new(0);
     let counter = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
@@ -317,7 +501,8 @@ where
                 let mut run_batch = setup();
                 let mut local = 0u64;
                 loop {
-                    let index = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let slot = next_batch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let index = shard.index + slot * shard.count;
                     if index >= num_batches {
                         break;
                     }

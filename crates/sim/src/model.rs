@@ -153,19 +153,7 @@ impl DetectorModel {
         // sharing a check, both flipped.
         if noise.params().p_correlated > 0.0 {
             let p_pair = crate::noise::NoiseParams::basis_flip(noise.params().p_correlated);
-            let mut pairs: Vec<(Coord, Coord)> = Vec::new();
-            for (_, c) in patch.checks() {
-                let sup: Vec<Coord> = c.support.iter().copied().collect();
-                for i in 0..sup.len() {
-                    for j in i + 1..sup.len() {
-                        let pair = (sup[i].min(sup[j]), sup[i].max(sup[j]));
-                        pairs.push(pair);
-                    }
-                }
-            }
-            pairs.sort_unstable();
-            pairs.dedup();
-            for (q1, q2) in pairs {
+            for (q1, q2) in adjacent_pairs(patch) {
                 let obs = observable.contains(&q1) ^ observable.contains(&q2);
                 for slot in 0..=rounds {
                     let mut flips: Vec<usize> = Vec::new();
@@ -178,49 +166,8 @@ impl DetectorModel {
                     }
                     // Shared detectors cancel pairwise.
                     flips.sort_unstable();
-                    let mut detectors = Vec::new();
-                    let mut i = 0;
-                    while i < flips.len() {
-                        if i + 1 < flips.len() && flips[i + 1] == flips[i] {
-                            i += 2;
-                        } else {
-                            detectors.push(flips[i]);
-                            i += 1;
-                        }
-                    }
-                    if detectors.len() > 2 {
-                        // Non-graphlike remnant: split into singletons
-                        // (conservative decomposition).
-                        for d in detectors {
-                            channels.push(Channel {
-                                detectors: vec![d],
-                                observable: false,
-                                p_true: p_pair,
-                                p_prior: p_pair,
-                                round: slot,
-                            });
-                        }
-                        if obs {
-                            channels.push(Channel {
-                                detectors: vec![],
-                                observable: true,
-                                p_true: p_pair,
-                                p_prior: p_pair,
-                                round: slot,
-                            });
-                        }
-                        continue;
-                    }
-                    if detectors.is_empty() && !obs {
-                        continue;
-                    }
-                    channels.push(Channel {
-                        detectors,
-                        observable: obs,
-                        p_true: p_pair,
-                        p_prior: p_pair,
-                        round: slot,
-                    });
+                    cancel_pairs(&mut flips);
+                    push_correlated_channel(&mut channels, flips, obs, p_pair, slot);
                 }
             }
         }
@@ -373,13 +320,92 @@ impl DetectorModel {
     }
 }
 
+/// All unordered pairs of data qubits sharing a check of `patch`, sorted
+/// and deduplicated — the sites of the correlated two-qubit channel.
+pub(crate) fn adjacent_pairs(patch: &Patch) -> Vec<(Coord, Coord)> {
+    let mut pairs: Vec<(Coord, Coord)> = Vec::new();
+    for (_, c) in patch.checks() {
+        let sup: Vec<Coord> = c.support.iter().copied().collect();
+        for i in 0..sup.len() {
+            for j in i + 1..sup.len() {
+                pairs.push((sup[i].min(sup[j]), sup[i].max(sup[j])));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Removes XOR-cancelling duplicate pairs from a sorted detector list.
+pub(crate) fn cancel_pairs(flips: &mut Vec<usize>) {
+    let mut write = 0;
+    let mut read = 0;
+    while read < flips.len() {
+        if read + 1 < flips.len() && flips[read] == flips[read + 1] {
+            read += 2;
+        } else {
+            flips[write] = flips[read];
+            write += 1;
+            read += 1;
+        }
+    }
+    flips.truncate(write);
+}
+
+/// Emits one correlated-pair channel from its cancelled detector flips:
+/// graph-like sets go out as one channel, non-graph-like remnants (> 2
+/// detectors) are decomposed conservatively into singletons plus a
+/// detector-less observable channel. Shared by the fixed-patch and
+/// timeline model builders — the one-epoch bit-identity guarantee
+/// depends on the two paths using this exact decomposition.
+pub(crate) fn push_correlated_channel(
+    channels: &mut Vec<Channel>,
+    detectors: Vec<usize>,
+    obs: bool,
+    p_pair: f64,
+    round: u32,
+) {
+    if detectors.len() > 2 {
+        for d in detectors {
+            channels.push(Channel {
+                detectors: vec![d],
+                observable: false,
+                p_true: p_pair,
+                p_prior: p_pair,
+                round,
+            });
+        }
+        if obs {
+            channels.push(Channel {
+                detectors: vec![],
+                observable: true,
+                p_true: p_pair,
+                p_prior: p_pair,
+                round,
+            });
+        }
+        return;
+    }
+    if detectors.is_empty() && !obs {
+        return;
+    }
+    channels.push(Channel {
+        detectors,
+        observable: obs,
+        p_true: p_pair,
+        p_prior: p_pair,
+        round,
+    });
+}
+
 /// Assembles the prior-weighted decoding graph of a channel list.
 ///
 /// Channels with more than two detectors (possible only in heavily damaged
 /// patches where a qubit sits in ≥ 3 group products) are decomposed
 /// conservatively: the sampler still fires them exactly, the decoder sees
 /// a pair edge plus boundary edges.
-fn graph_from_channels(num_detectors: usize, channels: &[Channel]) -> DecodingGraph {
+pub(crate) fn graph_from_channels(num_detectors: usize, channels: &[Channel]) -> DecodingGraph {
     let mut graph = DecodingGraph::new(num_detectors);
     for ch in channels {
         let obs_mask = ch.observable as u64;

@@ -18,6 +18,7 @@ use surf_pauli::BitBatch;
 
 use crate::model::DetectorModel;
 use crate::sampler::BatchSampler;
+use crate::timeline::TimelineModel;
 
 /// The detector words of one round of one 64-lane shot batch.
 ///
@@ -74,6 +75,9 @@ pub struct RoundStream {
     cursor: u32,
     /// Scratch for the emitted per-round words.
     words: Vec<u64>,
+    /// Rounds at which the patch geometry deforms (ascending; empty for
+    /// fixed-geometry models).
+    boundaries: Vec<u32>,
 }
 
 impl RoundStream {
@@ -106,13 +110,36 @@ impl RoundStream {
             true_observables: 0,
             cursor: total_rounds,
             words: Vec::new(),
+            boundaries: Vec::new(),
         }
+    }
+
+    /// Builds an *epoch-aware* stream over a [`TimelineModel`]: identical
+    /// replay semantics (the unified multi-epoch sampler draws one RNG
+    /// sequence per batch, preserving the batch-indexed determinism
+    /// contract), plus the deformation rounds so consumers can tell when
+    /// the emitted detector layout changes geometry.
+    pub fn for_timeline(timeline: &TimelineModel) -> Self {
+        let mut stream = RoundStream::new(&timeline.model);
+        stream.boundaries = timeline.deformation_rounds().to_vec();
+        stream
     }
 
     /// Number of rounds each batch is emitted over (noisy rounds plus the
     /// final readout comparison).
     pub fn total_rounds(&self) -> u32 {
         self.total_rounds
+    }
+
+    /// Rounds at which the patch geometry deforms (empty unless built by
+    /// [`for_timeline`](Self::for_timeline)).
+    pub fn deformation_rounds(&self) -> &[u32] {
+        &self.boundaries
+    }
+
+    /// `true` if the geometry deforms at the start of `round`.
+    pub fn is_deformation_round(&self, round: u32) -> bool {
+        self.boundaries.binary_search(&round).is_ok()
     }
 
     /// Samples a fresh batch of `lanes` shots and rewinds the round

@@ -1,0 +1,840 @@
+//! Detector models over *time-varying* patch geometry.
+//!
+//! The fixed-patch [`DetectorModel`] assumes one geometry for the whole
+//! experiment; [`DetectorModel::splice`] can switch error *rates*
+//! mid-stream but never the detector set. [`TimelineModel`] removes that
+//! restriction: it compiles a [`PatchTimeline`] — one patch per epoch,
+//! deformed mid-experiment by `Deformer::mitigate` — into a single
+//! detector model over a global detector space spanning all epochs, so
+//! the whole streaming pipeline (sampler, [`RoundStream`], windowed
+//! decoding) runs unchanged on top of genuinely changing geometry.
+//!
+//! At each epoch boundary the stabilizer flow computed by
+//! [`surf_lattice::diff_stabilizers`] decides how measurement chains
+//! cross it:
+//!
+//! * **continued** groups (identical product) keep one chain: the
+//!   comparison of the last pre- and first post-deformation measurement
+//!   is an ordinary detector straddling the boundary;
+//! * **merged** groups get a *boundary detector* comparing the GF(2)
+//!   product of the parents' last measurements against the
+//!   super-stabilizer's first measurement (the product operator is a
+//!   stabilizer on both sides, so its value survives the deformation —
+//!   the `DataQ_RM` shape on both bases);
+//! * **killed** chains end without a partner (their final syndrome value
+//!   is discarded) and **created** chains start projectively (their first
+//!   measurement yields no detector) — the deformation round's intrinsic
+//!   vulnerability window.
+//!
+//! The per-boundary bookkeeping is exposed as a [`DetectorRemap`], and
+//! [`TimelineModel::graph_epochs`] re-slices the global graph into
+//! per-epoch [`GraphEpoch`] pieces for
+//! `WindowedDecoder::from_epochs` — the graph-swap path a real-time
+//! decoder takes when the post-deformation model is compiled mid-stream.
+//!
+//! **Observable convention.** A data error's observable bit is its
+//! membership in the logical representative of the epoch it occurs in:
+//! the control software is assumed to track the logical frame through
+//! deformations by absorbing the measured stabilizer values that relate
+//! consecutive representatives (standard Pauli-frame practice). Sampler
+//! and decoder share the channel definitions, so the simulation is
+//! self-consistent under this convention.
+//!
+//! A one-epoch timeline compiles to a model that is **bit-identical** to
+//! [`DetectorModel::build`] (same channels, same detector indices, same
+//! graph, same RNG consumption) — `tests/adaptive_timeline.rs` locks the
+//! full streamed pipeline to that guarantee.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Range;
+
+use surf_defects::DefectEvent;
+use surf_deformer_core::PatchTimeline;
+use surf_lattice::{
+    diff_stabilizers, Basis, Coord, GroupId, GroupOrigin, MeasurementSchedule, Patch,
+};
+use surf_matching::GraphEpoch;
+
+use crate::model::{
+    adjacent_pairs, cancel_pairs, graph_from_channels, push_correlated_channel, Channel,
+    DecoderPrior, DetectorModel,
+};
+use crate::noise::{NoiseParams, QubitNoise};
+
+/// The detector-index bookkeeping of one epoch boundary: how the
+/// pre-deformation detector set maps into the post-deformation one.
+///
+/// Observable indices are unchanged across boundaries (the logical frame
+/// is tracked through the deformation); detector indices are global over
+/// the whole timeline, so the remap records which ones straddle the
+/// boundary and which chains end or begin there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetectorRemap {
+    /// First round of the late epoch (the deformation lands between
+    /// `at_round - 1` and `at_round`).
+    pub at_round: u32,
+    /// Detectors comparing a continued group's last pre-deformation
+    /// measurement with its first post-deformation one.
+    pub continued: Vec<usize>,
+    /// Boundary detectors of merged super-stabilizers:
+    /// `(global detector id, number of early source chains)`.
+    pub merged: Vec<(usize, usize)>,
+    /// Early stabilizer groups whose chains end at the boundary with no
+    /// partner (syndrome information discarded by the deformation).
+    pub killed: usize,
+    /// Late stabilizer groups born fresh at the boundary (first
+    /// measurement projective: no detector until their second one).
+    pub created: usize,
+}
+
+/// A [`DetectorModel`] compiled from a [`PatchTimeline`]: one global
+/// detector space over every epoch, plus the per-boundary remaps and the
+/// per-epoch detector ranges needed to re-slice it.
+#[derive(Clone, Debug)]
+pub struct TimelineModel {
+    /// The spliced model: sampler channels, prior-weighted graph and
+    /// round labels over the global detector space.
+    pub model: DetectorModel,
+    /// First round of each epoch (`epoch_starts[0] == 0`).
+    pub epoch_starts: Vec<u32>,
+    /// The contiguous global detector range owned by each epoch
+    /// (detectors are assigned epoch-major; a boundary detector belongs
+    /// to its late epoch).
+    pub epoch_detectors: Vec<Range<usize>>,
+    /// One remap per epoch boundary (`remaps[i]` sits between epochs `i`
+    /// and `i + 1`).
+    pub remaps: Vec<DetectorRemap>,
+}
+
+/// One gauge-group measurement segment: the measurements of one group in
+/// one epoch, at positions `first..first + len` of its chain's times.
+struct Segment {
+    epoch: usize,
+    first: usize,
+    len: usize,
+    /// Member-check ancillas (measurement-error sites), in
+    /// `Patch::group_members` order.
+    members: Vec<Option<Coord>>,
+}
+
+/// A measurement chain: one stabilizer product measured across one or
+/// more epochs. `dets[k]` is the detector *before* measurement `k`
+/// (`dets[0]` = init or merge-boundary detector, `dets[times.len()]` =
+/// final-readout or merge-boundary detector); `None` where the chain
+/// starts projectively or ends discarded.
+struct Chain {
+    product: BTreeSet<Coord>,
+    times: Vec<u32>,
+    segs: Vec<Segment>,
+    /// Born at round 0: the first measurement compares against the known
+    /// initial eigenstate.
+    init: bool,
+    /// Chains whose last measurements feed this chain's merge-boundary
+    /// detector (empty unless born by a merge).
+    parents: Vec<usize>,
+    dets: Vec<Option<usize>>,
+    /// The end detector (`dets[times.len()]`) is the final-readout
+    /// comparison (as opposed to a merge-boundary detector or nothing).
+    end_final: bool,
+}
+
+/// Per-epoch build context.
+struct EpochCtx<'a> {
+    start: u32,
+    /// One past the last measurement round of the epoch.
+    meas_end: u32,
+    /// One past the last data-error slot of the epoch (the last epoch
+    /// also owns the pre-readout slot `rounds`).
+    slot_end: u32,
+    patch: &'a Patch,
+    observable: BTreeSet<Coord>,
+    groups: Vec<GroupId>,
+    schedule: MeasurementSchedule,
+    /// Epoch defects at their elevated rates.
+    noise: QubitNoise,
+    /// Epoch defects plus the mid-stream event's strike.
+    struck: QubitNoise,
+}
+
+impl TimelineModel {
+    /// Compiles `timeline` into the detector model of a `memory_basis`
+    /// memory experiment over `rounds` noisy rounds plus final readout.
+    ///
+    /// Each epoch samples at its own geometry and defect rates; if
+    /// `event` is given, the struck qubits additionally run at the
+    /// event's elevated rates from `event.round` on (for as long as they
+    /// remain in the patch — deformed-away qubits stop contributing,
+    /// which is exactly the adaptive win). `prior` selects what the
+    /// decoder believes, as in [`DetectorModel::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or an epoch starts at or after `rounds`.
+    pub fn build(
+        timeline: &PatchTimeline,
+        memory_basis: Basis,
+        rounds: u32,
+        params: NoiseParams,
+        event: Option<&DefectEvent>,
+        prior: DecoderPrior,
+    ) -> TimelineModel {
+        assert!(rounds > 0, "at least one measurement round required");
+        let epochs = timeline.epochs();
+        assert!(
+            epochs.iter().all(|e| e.start < rounds),
+            "every epoch must start before the last round {rounds}"
+        );
+        let num_epochs = epochs.len();
+        let nominal = QubitNoise::new(params, Default::default());
+        let ctxs: Vec<EpochCtx> = epochs
+            .iter()
+            .enumerate()
+            .map(|(e, epoch)| {
+                let last = e + 1 == num_epochs;
+                let meas_end = if last { rounds } else { epochs[e + 1].start };
+                let observable = match memory_basis {
+                    Basis::Z => epoch.patch.logical_z().clone(),
+                    Basis::X => epoch.patch.logical_x().clone(),
+                };
+                let groups = epoch
+                    .patch
+                    .stabilizer_group_ids()
+                    .into_iter()
+                    .filter(|&g| epoch.patch.group_basis(g) == Some(memory_basis))
+                    .collect();
+                let mut struck_defects = epoch.defects.clone();
+                if let Some(ev) = event {
+                    for (q, info) in ev.defects.iter() {
+                        struck_defects.insert(q, info.error_rate);
+                    }
+                }
+                EpochCtx {
+                    start: epoch.start,
+                    meas_end,
+                    slot_end: if last { rounds + 1 } else { meas_end },
+                    patch: &epoch.patch,
+                    observable,
+                    groups,
+                    schedule: MeasurementSchedule::for_patch(&epoch.patch),
+                    noise: QubitNoise::new(params, epoch.defects.clone()),
+                    struck: QubitNoise::new(params, struck_defects),
+                }
+            })
+            .collect();
+
+        // --- Chain construction: thread each stabilizer product through
+        // the epoch boundaries via the patch diff.
+        let mut chains: Vec<Chain> = Vec::new();
+        let mut group_chain: Vec<BTreeMap<GroupId, usize>> = vec![BTreeMap::new(); num_epochs];
+        let mut remaps: Vec<DetectorRemap> = Vec::with_capacity(num_epochs.saturating_sub(1));
+        for (e, ctx) in ctxs.iter().enumerate() {
+            if e == 0 {
+                for &g in &ctx.groups {
+                    let c = new_chain(&mut chains, ctx.patch.group_product(g), true, Vec::new());
+                    group_chain[0].insert(g, c);
+                    extend_segment(&mut chains[c], e, g, ctx);
+                }
+                continue;
+            }
+            let diff = diff_stabilizers(ctxs[e - 1].patch, ctx.patch, memory_basis);
+            let mut remap = DetectorRemap {
+                at_round: ctx.start,
+                killed: diff.killed.len(),
+                ..Default::default()
+            };
+            debug_assert_eq!(
+                diff.matches.iter().map(|(g, _)| *g).collect::<Vec<_>>(),
+                ctx.groups,
+                "diff enumerates the epoch's stabilizer groups in order"
+            );
+            for (g, origin) in diff.matches {
+                let c = match origin {
+                    GroupOrigin::Continued(early) => group_chain[e - 1][&early],
+                    GroupOrigin::Merged(sources) => {
+                        let parents: Vec<usize> =
+                            sources.iter().map(|s| group_chain[e - 1][s]).collect();
+                        // A parent without a single measurement has no
+                        // value to compare: fall back to a fresh chain.
+                        let parents = if parents.iter().all(|&p| !chains[p].times.is_empty()) {
+                            parents
+                        } else {
+                            remap.killed += sources.len();
+                            remap.created += 1;
+                            Vec::new()
+                        };
+                        new_chain(&mut chains, ctx.patch.group_product(g), false, parents)
+                    }
+                    GroupOrigin::Created => {
+                        remap.created += 1;
+                        new_chain(&mut chains, ctx.patch.group_product(g), false, Vec::new())
+                    }
+                };
+                group_chain[e].insert(g, c);
+                extend_segment(&mut chains[c], e, g, ctx);
+            }
+            remaps.push(remap);
+        }
+        for chain in &mut chains {
+            chain.dets = vec![None; chain.times.len() + 1];
+        }
+
+        // --- Detector assignment: epoch-major, group order within each
+        // epoch — for a single epoch this reproduces the exact layout of
+        // `DetectorModel::build`.
+        let mut num_detectors = 0usize;
+        let mut detector_rounds: Vec<u32> = Vec::new();
+        let mut epoch_detectors: Vec<Range<usize>> = Vec::with_capacity(num_epochs);
+        for (e, ctx) in ctxs.iter().enumerate() {
+            let epoch_base = num_detectors;
+            for &g in &ctx.groups {
+                let c = group_chain[e][&g];
+                if chains[c].times.is_empty() {
+                    continue; // never measured: contributes nothing
+                }
+                let seg_index = chains[c]
+                    .segs
+                    .iter()
+                    .position(|s| s.epoch == e)
+                    .expect("chain has a segment in every epoch it is mapped in");
+                let (first, len) = {
+                    let s = &chains[c].segs[seg_index];
+                    (s.first, s.len)
+                };
+                if seg_index == 0 {
+                    // Chain born in this epoch: init or merge-boundary
+                    // detector ahead of its first measurement.
+                    if chains[c].init {
+                        chains[c].dets[0] = Some(num_detectors);
+                        detector_rounds.push(chains[c].times[0]);
+                        num_detectors += 1;
+                    } else if !chains[c].parents.is_empty() {
+                        let d = num_detectors;
+                        chains[c].dets[0] = Some(d);
+                        detector_rounds.push(chains[c].times[0]);
+                        num_detectors += 1;
+                        let parents = chains[c].parents.clone();
+                        remaps[e - 1].merged.push((d, parents.len()));
+                        for p in parents {
+                            let end = chains[p].times.len();
+                            chains[p].dets[end] = Some(d);
+                        }
+                    }
+                }
+                for k in first..first + len {
+                    if k == 0 {
+                        continue; // handled above (or projective start)
+                    }
+                    chains[c].dets[k] = Some(num_detectors);
+                    detector_rounds.push(chains[c].times[k]);
+                    if seg_index > 0 && k == first {
+                        remaps[e - 1].continued.push(num_detectors);
+                    }
+                    num_detectors += 1;
+                }
+                if e + 1 == num_epochs {
+                    let end = chains[c].times.len();
+                    chains[c].dets[end] = Some(num_detectors);
+                    chains[c].end_final = true;
+                    detector_rounds.push(rounds);
+                    num_detectors += 1;
+                }
+            }
+            epoch_detectors.push(epoch_base..num_detectors);
+        }
+
+        // --- Qubit → chain incidence (creation order == group order, so
+        // a single epoch reproduces `DetectorModel::build`'s incidence
+        // order exactly).
+        let mut chain_on_qubit: BTreeMap<Coord, Vec<usize>> = BTreeMap::new();
+        for (ci, chain) in chains.iter().enumerate() {
+            if chain.times.is_empty() {
+                continue;
+            }
+            for &q in &chain.product {
+                chain_on_qubit.entry(q).or_default().push(ci);
+            }
+        }
+        let toggles = |q: Coord, slot: u32, out: &mut Vec<usize>| {
+            out.clear();
+            let Some(incident) = chain_on_qubit.get(&q) else {
+                return;
+            };
+            for &ci in incident {
+                let chain = &chains[ci];
+                let len = chain.times.len();
+                let k = chain.times.partition_point(|&t| t < slot);
+                if k == len {
+                    // Only the readout term (if any) lies after the error.
+                    if chain.end_final {
+                        out.push(chain.dets[len].expect("final detectors are assigned"));
+                    }
+                    continue;
+                }
+                if k == 0 {
+                    if let Some(d) = chain.dets[0] {
+                        out.push(d); // init or merge-boundary detector
+                    }
+                } else {
+                    out.push(chain.dets[k].expect("interior comparisons are assigned"));
+                }
+                if !chain.end_final {
+                    // The chain's last measurement feeds a merge-boundary
+                    // detector (or nothing): the error flips it too —
+                    // the late-side contribution cancels it whenever the
+                    // qubit survives into the merged product.
+                    if let Some(d) = chain.dets[len] {
+                        out.push(d);
+                    }
+                }
+            }
+            out.sort_unstable();
+            cancel_pairs(out);
+        };
+
+        // --- Channels: data, correlated pairs, measurement, readout —
+        // mirroring `DetectorModel::build`'s order channel for channel.
+        let rate = |p_of: &dyn Fn(&QubitNoise) -> f64, ctx: &EpochCtx, round: u32| -> (f64, f64) {
+            let active = event.is_some_and(|ev| round >= ev.round);
+            let p_true = p_of(if active { &ctx.struck } else { &ctx.noise });
+            let p_prior = match prior {
+                DecoderPrior::Nominal => p_of(&nominal),
+                DecoderPrior::Informed => p_true,
+            };
+            (p_true, p_prior)
+        };
+        let mut channels: Vec<Channel> = Vec::new();
+        let mut flips: Vec<usize> = Vec::new();
+        for ctx in &ctxs {
+            for q in ctx.patch.data_qubits() {
+                let obs = ctx.observable.contains(&q);
+                for slot in ctx.start..ctx.slot_end {
+                    toggles(q, slot, &mut flips);
+                    if flips.is_empty() && !obs {
+                        continue;
+                    }
+                    let (p_true, p_prior) = rate(&|n| n.data_flip(q), ctx, slot);
+                    channels.push(Channel {
+                        detectors: flips.clone(),
+                        observable: obs,
+                        p_true,
+                        p_prior,
+                        round: slot,
+                    });
+                }
+            }
+        }
+        if params.p_correlated > 0.0 {
+            let p_pair = NoiseParams::basis_flip(params.p_correlated);
+            let mut pair_flips: Vec<usize> = Vec::new();
+            for ctx in &ctxs {
+                for (q1, q2) in adjacent_pairs(ctx.patch) {
+                    let obs = ctx.observable.contains(&q1) ^ ctx.observable.contains(&q2);
+                    for slot in ctx.start..ctx.slot_end {
+                        toggles(q1, slot, &mut flips);
+                        pair_flips.clone_from(&flips);
+                        toggles(q2, slot, &mut flips);
+                        pair_flips.extend_from_slice(&flips);
+                        pair_flips.sort_unstable();
+                        cancel_pairs(&mut pair_flips);
+                        push_correlated_channel(
+                            &mut channels,
+                            std::mem::take(&mut pair_flips),
+                            obs,
+                            p_pair,
+                            slot,
+                        );
+                    }
+                }
+            }
+        }
+        for (e, ctx) in ctxs.iter().enumerate() {
+            for &g in &ctx.groups {
+                let chain = &chains[group_chain[e][&g]];
+                if chain.times.is_empty() {
+                    continue;
+                }
+                let seg = chain
+                    .segs
+                    .iter()
+                    .find(|s| s.epoch == e)
+                    .expect("segment exists");
+                for &ancilla in &seg.members {
+                    for k in seg.first..seg.first + seg.len {
+                        let detectors: Vec<usize> = [chain.dets[k], chain.dets[k + 1]]
+                            .into_iter()
+                            .flatten()
+                            .collect();
+                        if detectors.is_empty() {
+                            continue;
+                        }
+                        let round = chain.times[k];
+                        let (p_true, p_prior) = rate(&|n| n.meas_flip(ancilla), ctx, round);
+                        channels.push(Channel {
+                            detectors,
+                            observable: false,
+                            p_true,
+                            p_prior,
+                            round,
+                        });
+                    }
+                }
+            }
+        }
+        let last_ctx = ctxs.last().expect("timeline is never empty");
+        for q in last_ctx.patch.data_qubits() {
+            let obs = last_ctx.observable.contains(&q);
+            let detectors: Vec<usize> = chain_on_qubit
+                .get(&q)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .filter(|&&ci| chains[ci].end_final)
+                .map(|&ci| chains[ci].dets[chains[ci].times.len()].expect("final det"))
+                .collect();
+            if detectors.is_empty() && !obs {
+                continue;
+            }
+            let (p_true, p_prior) = rate(&|n| n.readout_flip(q), last_ctx, rounds);
+            channels.push(Channel {
+                detectors,
+                observable: obs,
+                p_true,
+                p_prior,
+                round: rounds,
+            });
+        }
+
+        let graph = graph_from_channels(num_detectors, &channels);
+        TimelineModel {
+            model: DetectorModel {
+                graph,
+                channels,
+                num_detectors,
+                detector_rounds,
+            },
+            epoch_starts: epochs.iter().map(|e| e.start).collect(),
+            epoch_detectors,
+            remaps,
+        }
+    }
+
+    /// Number of epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.epoch_starts.len()
+    }
+
+    /// The rounds at which the geometry changes.
+    pub fn deformation_rounds(&self) -> &[u32] {
+        &self.epoch_starts[1..]
+    }
+
+    /// Re-slices the global graph into per-epoch pieces for
+    /// [`surf_matching::WindowedDecoder::from_epochs`] — each edge lives
+    /// in the epoch owning its later endpoint, so boundary (merge)
+    /// detectors' edges sit in the late piece and reference early
+    /// detectors through the piece's `global_of` table.
+    ///
+    /// For a one-epoch timeline the single piece is the identity slicing:
+    /// `from_epochs` rebuilds exactly `self.model.graph`, edge for edge.
+    pub fn graph_epochs(&self) -> Vec<GraphEpoch> {
+        let epoch_of = |det: usize| -> usize {
+            self.epoch_detectors
+                .partition_point(|range| range.end <= det)
+        };
+        let num_epochs = self.epoch_detectors.len();
+        let mut nodes: Vec<BTreeSet<usize>> = self
+            .epoch_detectors
+            .iter()
+            .map(|range| range.clone().collect())
+            .collect();
+        let mut edge_epoch: Vec<usize> = Vec::with_capacity(self.model.graph.num_edges());
+        for edge in self.model.graph.edges() {
+            let e = edge
+                .b
+                .map_or(epoch_of(edge.a), |b| epoch_of(edge.a).max(epoch_of(b)));
+            edge_epoch.push(e);
+            nodes[e].insert(edge.a);
+            if let Some(b) = edge.b {
+                nodes[e].insert(b);
+            }
+        }
+        let mut pieces: Vec<GraphEpoch> = nodes
+            .iter()
+            .map(|set| {
+                let global_of: Vec<u32> = set.iter().map(|&d| d as u32).collect();
+                let rounds_of = global_of
+                    .iter()
+                    .map(|&d| self.model.detector_rounds[d as usize])
+                    .collect();
+                GraphEpoch {
+                    graph: surf_matching::DecodingGraph::new(global_of.len()),
+                    rounds_of,
+                    global_of,
+                }
+            })
+            .collect();
+        let locals: Vec<HashMap<usize, usize>> = pieces
+            .iter()
+            .map(|p| {
+                p.global_of
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &g)| (g as usize, local))
+                    .collect()
+            })
+            .collect();
+        for (edge, &e) in self.model.graph.edges().iter().zip(&edge_epoch) {
+            debug_assert!(e < num_epochs);
+            pieces[e].graph.add_edge(
+                locals[e][&edge.a],
+                edge.b.map(|b| locals[e][&b]),
+                edge.probability,
+                edge.observables,
+            );
+        }
+        pieces
+    }
+}
+
+/// Appends a fresh chain and returns its index.
+fn new_chain(
+    chains: &mut Vec<Chain>,
+    product: BTreeSet<Coord>,
+    init: bool,
+    parents: Vec<usize>,
+) -> usize {
+    chains.push(Chain {
+        product,
+        times: Vec::new(),
+        segs: Vec::new(),
+        init,
+        parents,
+        dets: Vec::new(),
+        end_final: false,
+    });
+    chains.len() - 1
+}
+
+/// Appends the epoch-`e` measurement segment of group `g` to `chain`.
+fn extend_segment(chain: &mut Chain, e: usize, g: GroupId, ctx: &EpochCtx) {
+    let first = chain.times.len();
+    chain.times.extend(
+        ctx.schedule
+            .cadence(g)
+            .rounds_up_to(ctx.meas_end)
+            .filter(|&r| r >= ctx.start),
+    );
+    chain.segs.push(Segment {
+        epoch: e,
+        first,
+        len: chain.times.len() - first,
+        members: ctx
+            .patch
+            .group_members(g)
+            .iter()
+            .map(|&id| ctx.patch.check(id).expect("member exists").ancilla)
+            .collect(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surf_defects::DefectMap;
+    use surf_deformer_core::{Deformer, EnlargeBudget};
+    use surf_lattice::Patch;
+
+    fn fixed_model(d: usize, rounds: u32) -> (DetectorModel, TimelineModel) {
+        let patch = Patch::rotated(d);
+        let noise = QubitNoise::new(NoiseParams::paper(), DefectMap::new());
+        let direct = DetectorModel::build(&patch, Basis::Z, rounds, &noise, DecoderPrior::Informed);
+        let timeline = PatchTimeline::fixed(patch, DefectMap::new());
+        let tm = TimelineModel::build(
+            &timeline,
+            Basis::Z,
+            rounds,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        (direct, tm)
+    }
+
+    /// Asserts two models share the exact channel structure and rates.
+    fn assert_models_identical(a: &DetectorModel, b: &DetectorModel) {
+        assert_eq!(a.num_detectors, b.num_detectors);
+        assert_eq!(a.detector_rounds, b.detector_rounds);
+        assert_eq!(a.channels.len(), b.channels.len());
+        for (i, (ca, cb)) in a.channels.iter().zip(&b.channels).enumerate() {
+            assert_eq!(ca.detectors, cb.detectors, "channel {i}");
+            assert_eq!(ca.observable, cb.observable, "channel {i}");
+            assert_eq!(ca.round, cb.round, "channel {i}");
+            assert!((ca.p_true - cb.p_true).abs() < 1e-15, "channel {i}");
+            assert!((ca.p_prior - cb.p_prior).abs() < 1e-15, "channel {i}");
+        }
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    fn one_epoch_timeline_reproduces_build_exactly() {
+        for (d, rounds) in [(3, 5), (5, 4)] {
+            let (direct, tm) = fixed_model(d, rounds);
+            assert_models_identical(&direct, &tm.model);
+            assert!(tm.remaps.is_empty());
+            assert_eq!(tm.epoch_detectors, vec![0..direct.num_detectors]);
+        }
+    }
+
+    #[test]
+    fn one_epoch_timeline_reproduces_build_with_correlated_noise() {
+        let patch = Patch::rotated(3);
+        let params = NoiseParams::paper().with_correlated(4e-3);
+        let noise = QubitNoise::new(params, DefectMap::new());
+        let direct = DetectorModel::build(&patch, Basis::Z, 4, &noise, DecoderPrior::Informed);
+        let timeline = PatchTimeline::fixed(patch, DefectMap::new());
+        let tm = TimelineModel::build(&timeline, Basis::Z, 4, params, None, DecoderPrior::Informed);
+        assert_models_identical(&direct, &tm.model);
+    }
+
+    #[test]
+    fn one_epoch_timeline_matches_spliced_event_model() {
+        // A fixed-geometry timeline with a mid-stream event must equal
+        // the legacy DetectorModel::splice path channel for channel.
+        let patch = Patch::rotated(3);
+        let params = NoiseParams::uniform(1e-3);
+        let q = surf_lattice::Coord::new(3, 3);
+        let event = DefectEvent::new(4, DefectMap::from_qubits([q], 0.5));
+        let clean = QubitNoise::new(params, DefectMap::new());
+        let struck = QubitNoise::new(params, event.defects.clone());
+        let early = DetectorModel::build(&patch, Basis::Z, 8, &clean, DecoderPrior::Informed);
+        let late = DetectorModel::build(&patch, Basis::Z, 8, &struck, DecoderPrior::Informed);
+        let spliced = early.splice(&late, event.round);
+        let timeline = PatchTimeline::fixed(patch, DefectMap::new());
+        let tm = TimelineModel::build(
+            &timeline,
+            Basis::Z,
+            8,
+            params,
+            Some(&event),
+            DecoderPrior::Informed,
+        );
+        assert_models_identical(&spliced, &tm.model);
+    }
+
+    fn removal_timeline(d: usize, at: u32) -> PatchTimeline {
+        let base = Patch::rotated(d);
+        let q = surf_lattice::Coord::new(d as i32, d as i32);
+        let mut deformer = Deformer::with_budget(base.clone(), EnlargeBudget::default());
+        deformer
+            .remove_defects(&DefectMap::from_qubits([q], 0.5))
+            .unwrap();
+        let mut timeline = PatchTimeline::fixed(base, DefectMap::new());
+        timeline.push_epoch(at, deformer.patch().clone(), DefectMap::new());
+        timeline
+    }
+
+    #[test]
+    fn deformation_boundary_produces_merge_detectors() {
+        let timeline = removal_timeline(5, 4);
+        let tm = TimelineModel::build(
+            &timeline,
+            Basis::Z,
+            8,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        assert_eq!(tm.remaps.len(), 1);
+        let remap = &tm.remaps[0];
+        assert_eq!(remap.at_round, 4);
+        // DataQ_RM merges the two Z checks adjacent to the removed qubit.
+        assert_eq!(remap.merged.len(), 1, "{remap:?}");
+        assert_eq!(remap.merged[0].1, 2);
+        assert!(remap.killed == 0 && remap.created == 0, "{remap:?}");
+        // All other Z groups continue across the boundary.
+        assert!(!remap.continued.is_empty());
+        // The merge detector's round is the merged chain's first
+        // measurement (period-2 Z gauge: first odd round >= 4).
+        assert_eq!(tm.model.detector_rounds[remap.merged[0].0], 5);
+        // Global detector space is consistent.
+        assert_eq!(tm.model.detector_rounds.len(), tm.model.num_detectors);
+        for ch in &tm.model.channels {
+            assert!(ch.detectors.iter().all(|&d| d < tm.model.num_detectors));
+            assert!(ch.detectors.len() <= 2 || ch.p_true > 0.0);
+        }
+    }
+
+    #[test]
+    fn boundary_detectors_straddle_cleanly() {
+        // Every continued straddle detector compares rounds across the
+        // boundary: its round label is the first late-epoch measurement.
+        let timeline = removal_timeline(5, 3);
+        let tm = TimelineModel::build(
+            &timeline,
+            Basis::Z,
+            7,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        let remap = &tm.remaps[0];
+        for &d in &remap.continued {
+            assert!(tm.model.detector_rounds[d] >= 3, "detector {d}");
+            assert!(tm.epoch_detectors[1].contains(&d));
+        }
+        for &(d, _) in &remap.merged {
+            assert!(tm.epoch_detectors[1].contains(&d));
+        }
+    }
+
+    #[test]
+    fn graph_epochs_cover_the_global_graph() {
+        let timeline = removal_timeline(5, 4);
+        let tm = TimelineModel::build(
+            &timeline,
+            Basis::Z,
+            8,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        let pieces = tm.graph_epochs();
+        assert_eq!(pieces.len(), 2);
+        let total_edges: usize = pieces.iter().map(|p| p.graph.num_edges()).sum();
+        assert_eq!(total_edges, tm.model.graph.num_edges());
+        // The late piece references early detectors (boundary edges).
+        let early_range = &tm.epoch_detectors[0];
+        assert!(pieces[1]
+            .global_of
+            .iter()
+            .any(|&g| early_range.contains(&(g as usize))));
+        // Every global detector appears in its own epoch's piece.
+        for (e, piece) in pieces.iter().enumerate() {
+            for d in tm.epoch_detectors[e].clone() {
+                assert!(piece.global_of.contains(&(d as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn enlargement_epoch_creates_fresh_chains() {
+        // Growing the patch adds new stabilizer groups: they start
+        // projectively (created), nothing is killed.
+        let base = Patch::rotated(5);
+        let grown = Patch::rectangle_at(0, 0, 5, 6);
+        let mut timeline = PatchTimeline::fixed(base, DefectMap::new());
+        timeline.push_epoch(3, grown, DefectMap::new());
+        let tm = TimelineModel::build(
+            &timeline,
+            Basis::Z,
+            6,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        let remap = &tm.remaps[0];
+        assert!(remap.created > 0);
+        assert!(remap.merged.is_empty());
+        assert!(!remap.continued.is_empty());
+    }
+}

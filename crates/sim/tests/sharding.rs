@@ -1,0 +1,79 @@
+//! Multi-host sharding: batch-indexed seeding makes shot ranges shard
+//! losslessly.
+//!
+//! Every runner seeds each 64-shot batch from a SplitMix64 stream at the
+//! *global* batch index, so shard `k` of `n` (owning batches `k`, `k+n`,
+//! `k+2n`, …) samples exactly the lanes the single-host run would — the
+//! shards' failure counts sum to the unsharded count, bit for bit.
+
+use surf_lattice::{Basis, Patch};
+use surf_sim::{MemoryExperiment, MemoryStats, NoiseParams, Shard};
+
+fn experiment() -> MemoryExperiment {
+    let mut exp = MemoryExperiment::standard(Patch::rotated(3));
+    exp.rounds = 4;
+    exp.noise = NoiseParams::uniform(8e-3);
+    exp
+}
+
+#[test]
+fn shards_merge_to_the_unsharded_count_exactly() {
+    let exp = experiment();
+    // 500 shots = 7 full batches + a partial tail batch: shards split
+    // unevenly and one shard owns the tail.
+    let shots = 500;
+    let reference = exp.run_basis(Basis::Z, shots, 42);
+    for count in [2u64, 3, 16] {
+        let mut merged = 0;
+        let mut owned = 0;
+        for index in 0..count {
+            let shard = Shard::new(index, count);
+            merged += exp.run_basis_shard(Basis::Z, shots, 42, shard);
+            owned += shard.shots_of(shots);
+        }
+        assert_eq!(merged, reference, "{count}-way shard");
+        assert_eq!(owned, shots, "{count}-way shot partition");
+    }
+}
+
+#[test]
+fn run_shard_stats_merge_exactly() {
+    let exp = experiment();
+    let shots = 300;
+    let full = exp.run(shots, 7);
+    let merged = (0..3)
+        .map(|k| exp.run_shard(shots, 7, Shard::new(k, 3)))
+        .fold(MemoryStats::default(), MemoryStats::merge);
+    assert_eq!(merged, full);
+}
+
+#[test]
+fn oversized_shard_counts_yield_empty_shards() {
+    let exp = experiment();
+    // 100 shots = 2 batches; shards 2.. of 5 own nothing.
+    for index in 2..5 {
+        let shard = Shard::new(index, 5);
+        assert_eq!(shard.shots_of(100), 0);
+        assert_eq!(exp.run_basis_shard(Basis::Z, 100, 3, shard), 0);
+    }
+}
+
+#[test]
+fn empty_shard_stats_report_a_zero_rate() {
+    // A shard owning no batches has zero shots; its rate must be 0.0
+    // (shown as a detection floor by printers), not the NaN → 0.5 the
+    // saturation clamp would otherwise smuggle through `f64::min`.
+    let stats = MemoryStats::default();
+    assert_eq!(stats.shots, 0);
+    assert_eq!(stats.per_round_rate(7), 0.0);
+}
+
+#[test]
+fn shard_parsing() {
+    assert_eq!(Shard::parse("0/4"), Some(Shard::new(0, 4)));
+    assert_eq!(Shard::parse("3/4"), Some(Shard::new(3, 4)));
+    assert_eq!(Shard::parse("4/4"), None);
+    assert_eq!(Shard::parse("1"), None);
+    assert_eq!(Shard::parse("a/b"), None);
+    assert_eq!(format!("{}", Shard::new(1, 8)), "1/8");
+}

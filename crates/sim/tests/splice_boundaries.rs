@@ -1,0 +1,121 @@
+//! Boundary semantics of [`DetectorModel::splice`].
+//!
+//! `splice(late, at_round)` takes each channel from the early model when
+//! `channel.round < at_round` and from the late model otherwise. The
+//! boundary cases pin that rule down:
+//!
+//! * `at_round = 0` — every channel (rounds `0..=rounds`) comes from the
+//!   late model: the splice *is* the late model;
+//! * `at_round = rounds + 1` — every channel comes from the early model;
+//! * `at_round = rounds` — early everywhere *except* the readout-slot
+//!   channels (they carry `round == rounds`): a defect arriving exactly
+//!   at the readout round still corrupts the readout, by design;
+//! * splicing a model with itself is an identity, all the way down to
+//!   the sampler's RNG consumption (bit-identical batches).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_defects::DefectMap;
+use surf_lattice::{Basis, Coord, Patch};
+use surf_pauli::BitBatch;
+use surf_sim::{DecoderPrior, DetectorModel, NoiseParams, QubitNoise};
+
+const ROUNDS: u32 = 6;
+
+fn models() -> (DetectorModel, DetectorModel) {
+    let patch = Patch::rotated(3);
+    let clean = QubitNoise::new(NoiseParams::uniform(1e-3), DefectMap::new());
+    let struck = QubitNoise::new(
+        NoiseParams::uniform(1e-3),
+        DefectMap::from_qubits([Coord::new(3, 3), Coord::new(2, 4)], 0.4),
+    );
+    (
+        DetectorModel::build(&patch, Basis::Z, ROUNDS, &clean, DecoderPrior::Informed),
+        DetectorModel::build(&patch, Basis::Z, ROUNDS, &struck, DecoderPrior::Informed),
+    )
+}
+
+/// Channel-for-channel equality of rates (structure is shared by
+/// construction).
+fn assert_same_rates(a: &DetectorModel, b: &DetectorModel, what: &str) {
+    assert_eq!(a.channels.len(), b.channels.len());
+    for (i, (ca, cb)) in a.channels.iter().zip(&b.channels).enumerate() {
+        assert_eq!(ca.detectors, cb.detectors, "{what}: channel {i}");
+        assert_eq!(ca.round, cb.round, "{what}: channel {i}");
+        assert_eq!(ca.p_true, cb.p_true, "{what}: channel {i} p_true");
+        assert_eq!(ca.p_prior, cb.p_prior, "{what}: channel {i} p_prior");
+    }
+}
+
+#[test]
+fn splice_at_round_zero_is_the_late_model() {
+    let (early, late) = models();
+    assert_same_rates(&early.splice(&late, 0), &late, "at_round = 0");
+}
+
+#[test]
+fn splice_past_the_readout_is_the_early_model() {
+    let (early, late) = models();
+    assert_same_rates(
+        &early.splice(&late, ROUNDS + 1),
+        &early,
+        "at_round = rounds + 1",
+    );
+}
+
+#[test]
+fn splice_at_the_readout_round_switches_only_readout_channels() {
+    // A defect landing exactly at the readout round corrupts the readout
+    // comparisons but none of the measurement history.
+    let (early, late) = models();
+    let spliced = early.splice(&late, ROUNDS);
+    for (i, (cs, (ce, cl))) in spliced
+        .channels
+        .iter()
+        .zip(early.channels.iter().zip(&late.channels))
+        .enumerate()
+    {
+        let expected = if cs.round < ROUNDS { ce } else { cl };
+        assert_eq!(
+            cs.p_true, expected.p_true,
+            "channel {i} (round {})",
+            cs.round
+        );
+        assert_eq!(cs.p_prior, expected.p_prior, "channel {i}");
+    }
+    // The two models genuinely differ on some readout channel (the test
+    // would be vacuous otherwise).
+    assert!(spliced
+        .channels
+        .iter()
+        .zip(&early.channels)
+        .any(|(cs, ce)| cs.round == ROUNDS && cs.p_true != ce.p_true));
+}
+
+#[test]
+fn self_splice_is_an_identity_on_sampler_output() {
+    let (early, _) = models();
+    for at_round in [0, 3, ROUNDS, ROUNDS + 1] {
+        let spliced = early.splice(&early, at_round);
+        assert_same_rates(&spliced, &early, "self-splice");
+        // Identical channels ⇒ identical sampler grouping ⇒ identical RNG
+        // consumption: batches are bit-identical at every seed.
+        let (sa, sb) = (early.batch_sampler(), spliced.batch_sampler());
+        let mut batch_a = BitBatch::zeros(early.num_detectors);
+        let mut batch_b = BitBatch::zeros(spliced.num_detectors);
+        for seed in [1u64, 99, 0xFEED] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let obs_a = sa.sample_into(&mut rng_a, &mut batch_a);
+            let obs_b = sb.sample_into(&mut rng_b, &mut batch_b);
+            assert_eq!(obs_a, obs_b, "at_round {at_round} seed {seed}");
+            for det in 0..early.num_detectors {
+                assert_eq!(
+                    batch_a.word(det),
+                    batch_b.word(det),
+                    "at_round {at_round} seed {seed} detector {det}"
+                );
+            }
+        }
+    }
+}

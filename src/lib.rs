@@ -50,16 +50,18 @@ pub use surf_stabilizer as stabilizer;
 pub mod prelude {
     pub use surf_defects::{CosmicRayModel, DefectDetector, DefectEvent, DefectMap};
     pub use surf_deformer_core::{
-        AscS, Deformer, EnlargeBudget, MitigationStrategy, Q3de, SurfDeformerStrategy, Untreated,
+        AscS, Deformer, EnlargeBudget, MitigationStrategy, PatchTimeline, Q3de,
+        SurfDeformerStrategy, Untreated,
     };
-    pub use surf_lattice::{Basis, BoundarySide, Coord, Distances, Patch};
+    pub use surf_lattice::{diff_stabilizers, Basis, BoundarySide, Coord, Distances, Patch};
     pub use surf_layout::{LayoutParams, LayoutScheme, ThroughputSim};
     pub use surf_matching::{
-        Decoder, MwpmDecoder, UnionFindDecoder, WindowConfig, WindowedDecoder,
+        Decoder, GraphEpoch, MwpmDecoder, UnionFindDecoder, WindowConfig, WindowedDecoder,
     };
     pub use surf_pauli::BitBatch;
     pub use surf_programs::{Calibration, StrategyKind};
     pub use surf_sim::{
-        BatchSampler, DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams, RoundStream,
+        BatchSampler, DecoderKind, DecoderPrior, DetectorRemap, MemoryExperiment, NoiseParams,
+        RoundStream, Shard, TimelineModel,
     };
 }

@@ -13,11 +13,46 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// Positional command-line arguments, used as substring filters on
+/// benchmark labels (`cargo bench --bench deformation mitigate_latency`
+/// runs only the labels containing `mitigate_latency`), mirroring real
+/// criterion's filtering.
+fn cli_filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+/// Benchmarks actually run under an active filter.
+static FILTER_MATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Exits non-zero when filters were given but matched nothing, so a CI
+/// step pinning a benchmark group by name fails loudly if the group is
+/// renamed or dropped (real criterion exits zero here; for an offline
+/// smoke harness the rename protection is worth the divergence). Called
+/// by [`criterion_main!`] after all groups ran — not user-facing API.
+#[doc(hidden)]
+pub fn check_filters_matched() {
+    if !cli_filters().is_empty() && FILTER_MATCHES.load(Ordering::Relaxed) == 0 {
+        eprintln!(
+            "error: no benchmark matches the filter(s) {:?}",
+            cli_filters()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// How `iter_batched` amortises setup cost. The stub runs one setup per
@@ -221,6 +256,13 @@ impl Criterion {
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+        let filters = cli_filters();
+        if !filters.is_empty() {
+            if !filters.iter().any(|f| label.contains(f.as_str())) {
+                return;
+            }
+            FILTER_MATCHES.fetch_add(1, Ordering::Relaxed);
+        }
         let mut b = Bencher::new(samples);
         f(&mut b);
         println!("bench: {label:<48} median {:?}", b.median());
@@ -253,6 +295,7 @@ macro_rules! criterion_main {
                 return;
             }
             $($group();)+
+            $crate::check_filters_matched();
         }
     };
 }
