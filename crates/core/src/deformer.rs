@@ -95,6 +95,10 @@ pub struct Deformer {
     /// Footprint in cell units: origin and dims.
     origin: (i32, i32),
     dims: (usize, usize),
+    /// The pristine footprint the deformer started from ([`Deformer::replan`]
+    /// resets to it, refunding spent enlargement budget).
+    base_origin: (i32, i32),
+    base_dims: (usize, usize),
     /// Target distances (the original code distance to restore).
     target: Distances,
     budget: EnlargeBudget,
@@ -115,12 +119,7 @@ impl Deformer {
     ///
     /// Panics if the patch is not a clean rectangle.
     pub fn with_budget(patch: Patch, budget: EnlargeBudget) -> Self {
-        let (min, max) = patch.bounding_box();
-        let origin = ((min.x - 1) / 2, (min.y - 1) / 2);
-        let dims = (
-            ((max.x - min.x) / 2 + 1) as usize,
-            ((max.y - min.y) / 2 + 1) as usize,
-        );
+        let (origin, dims) = cell_footprint(&patch);
         assert_eq!(
             patch.num_data(),
             dims.0 * dims.1,
@@ -131,6 +130,8 @@ impl Deformer {
             patch,
             origin,
             dims,
+            base_origin: origin,
+            base_dims: dims,
             target,
             budget,
             defects: DefectMap::new(),
@@ -294,6 +295,35 @@ impl Deformer {
         Ok(report)
     }
 
+    /// Re-plans the deformation from scratch against `detected` — the
+    /// detector's *current* picture of the device, replacing any
+    /// previously-reported defect set.
+    ///
+    /// The footprint resets to the pristine starting rectangle (layers
+    /// added by earlier enlargements are reclaimed and their budget
+    /// refunded), then [`Deformer::mitigate`] runs against exactly
+    /// `detected`. This is the per-event step of the multi-event adaptive
+    /// loop (`PatchTimeline::adaptive_schedule`): qubits that healed since
+    /// the last report rejoin the code, qubits still flagged stay
+    /// excised, and defects the detector missed at an earlier event get a
+    /// second chance as soon as any later detection pass reports them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deformer::remove_defects`].
+    pub fn replan(&mut self, detected: &DefectMap) -> Result<MitigationReport, DeformError> {
+        self.budget.north += self.layers_added[0];
+        self.budget.south += self.layers_added[1];
+        self.budget.west += self.layers_added[2];
+        self.budget.east += self.layers_added[3];
+        self.layers_added = [0; 4];
+        self.origin = self.base_origin;
+        self.dims = self.base_dims;
+        self.defects = DefectMap::new();
+        self.patch = Patch::rectangle_at(self.origin.0, self.origin.1, self.dims.0, self.dims.1);
+        self.mitigate(detected)
+    }
+
     /// Number of known defects that would fall inside the prospective layer
     /// on `side` (paper Algorithm 2 `find_layer` cost).
     pub fn layer_defect_count(&self, side: BoundarySide) -> usize {
@@ -343,6 +373,20 @@ impl Deformer {
         let defects = self.defects.clone();
         apply_removal(&mut self.patch, &defects, &mut scratch);
     }
+}
+
+/// The bounding footprint of `patch` in cell units: `(origin, dims)` of
+/// the smallest cell rectangle containing it (the coordinate convention
+/// `Patch::rectangle_at` consumes). Shared by the deformer and the
+/// schedule loop's detection universe so the two can never desync.
+pub(crate) fn cell_footprint(patch: &Patch) -> ((i32, i32), (usize, usize)) {
+    let (min, max) = patch.bounding_box();
+    let origin = ((min.x - 1) / 2, (min.y - 1) / 2);
+    let dims = (
+        ((max.x - min.x) / 2 + 1) as usize,
+        ((max.y - min.y) / 2 + 1) as usize,
+    );
+    (origin, dims)
 }
 
 /// The body of Algorithm 1, shared by the deformer and the baselines.
@@ -473,6 +517,50 @@ mod tests {
                 assert!(report.distance.min() >= 1);
             }
         }
+    }
+
+    /// Sorted qubit sets of a patch, for geometry comparison.
+    fn footprint(p: &Patch) -> (Vec<Coord>, Vec<Coord>) {
+        (p.data_qubits(), p.syndrome_qubits())
+    }
+
+    #[test]
+    fn replan_with_empty_set_restores_the_pristine_patch() {
+        let original = Patch::rotated(5);
+        let mut deformer = Deformer::with_budget(original.clone(), EnlargeBudget::uniform(2));
+        let defects = DefectMap::from_qubits([Coord::new(5, 5), Coord::new(4, 4)], 0.5);
+        deformer.mitigate(&defects).unwrap();
+        assert_ne!(footprint(deformer.patch()), footprint(&original));
+        // Everything healed: the replan reclaims the original geometry and
+        // refunds any spent enlargement budget.
+        let report = deformer.replan(&DefectMap::new()).unwrap();
+        assert_eq!(footprint(deformer.patch()), footprint(&original));
+        assert_eq!(deformer.budget(), EnlargeBudget::uniform(2));
+        assert!(report.removed.is_empty() && report.kept.is_empty());
+        assert_eq!(report.layers_added, [0; 4]);
+        assert!(report.restored);
+    }
+
+    #[test]
+    fn replan_equals_a_fresh_mitigation_of_the_same_set() {
+        // The replan is stateless in the detected set: whatever was
+        // reported before, replan(detected) lands on the same geometry a
+        // fresh deformer would produce for `detected` alone.
+        let base = Patch::rotated(5);
+        let first = DefectMap::from_qubits([Coord::new(5, 5)], 0.5);
+        let second = DefectMap::from_qubits([Coord::new(3, 3), Coord::new(7, 7)], 0.5);
+        let mut chained = Deformer::with_budget(base.clone(), EnlargeBudget::uniform(2));
+        chained.mitigate(&first).unwrap();
+        let chained_report = chained.replan(&second).unwrap();
+        let mut fresh = Deformer::with_budget(base, EnlargeBudget::uniform(2));
+        let fresh_report = fresh.mitigate(&second).unwrap();
+        assert_eq!(footprint(chained.patch()), footprint(fresh.patch()));
+        assert_eq!(chained_report.removed, fresh_report.removed);
+        assert_eq!(chained_report.kept, fresh_report.kept);
+        assert_eq!(chained_report.layers_added, fresh_report.layers_added);
+        assert_eq!(chained.budget(), fresh.budget());
+        // The first event's qubits are back in the code (they healed).
+        assert!(chained.patch().contains_data(Coord::new(5, 5)));
     }
 
     #[test]

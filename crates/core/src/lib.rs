@@ -48,4 +48,4 @@ pub use baselines::{
 };
 pub use deformer::{Deformer, EnlargeBudget, MitigationReport};
 pub use instructions::{data_q_rm, patch_q_add, patch_q_rm, syndrome_q_rm, DeformError};
-pub use timeline::{PatchEpoch, PatchTimeline};
+pub use timeline::{PatchEpoch, PatchTimeline, ScheduledMitigation};

@@ -10,13 +10,17 @@
 //!
 //! [`PatchTimeline::adaptive`] runs the loop itself
 //! ([`DefectDetector::detect`] → [`Deformer::mitigate`]) to produce the
-//! two-epoch timeline of a single defect event; `surf-sim` turns any
-//! timeline into a spliced multi-epoch detector model and streams it.
+//! two-epoch timeline of a single defect event;
+//! [`PatchTimeline::adaptive_schedule`] chains it over a whole
+//! [`DefectSchedule`] — strike → deform → recover → next strike — with
+//! one detection pass and one [`Deformer::replan`] per scheduled change,
+//! the paper's sustained-operation story. `surf-sim` turns any timeline
+//! into a spliced multi-epoch detector model and streams it.
 
 use rand::Rng;
 
-use surf_defects::{DefectDetector, DefectEvent, DefectMap};
-use surf_lattice::Patch;
+use surf_defects::{DefectDetector, DefectEvent, DefectMap, DefectSchedule};
+use surf_lattice::{Coord, Patch};
 
 use crate::deformer::{Deformer, EnlargeBudget, MitigationReport};
 
@@ -32,6 +36,20 @@ pub struct PatchEpoch {
     /// (defects that could not be deformed away keep their elevated
     /// rates).
     pub defects: DefectMap,
+}
+
+/// The outcome of one scheduled mitigation pass of
+/// [`PatchTimeline::adaptive_schedule`].
+#[derive(Clone, Debug)]
+pub struct ScheduledMitigation {
+    /// The round the re-planned geometry takes effect (the triggering
+    /// schedule change's round plus the reaction latency).
+    pub round: u32,
+    /// The deformer's report for this pass.
+    pub report: MitigationReport,
+    /// Whether the pass actually changed the geometry or the kept defect
+    /// set (`false` passes add no timeline epoch).
+    pub changed: bool,
 }
 
 /// A sequence of patch geometries over the rounds of one experiment.
@@ -142,6 +160,12 @@ impl PatchTimeline {
     /// epoch 1 begins: the deformed patch with exactly the true defects
     /// it could not remove.
     ///
+    /// A single detection pass is all a single-event timeline gets:
+    /// defects an imprecise detector misses stay hot forever. Use
+    /// [`PatchTimeline::adaptive_schedule`] for the multi-event loop that
+    /// re-runs detection over the cumulative defect map at every
+    /// scheduled change, giving missed defects later chances.
+    ///
     /// # Panics
     ///
     /// Panics if the deformation round would be 0 (an event at round 0
@@ -187,6 +211,120 @@ impl PatchTimeline {
         timeline.push_epoch(deform_round, deformed, kept);
         (timeline, report)
     }
+
+    /// Runs the adaptive loop over a whole [`DefectSchedule`]: at every
+    /// round the physical defect set changes (a strike lands or a
+    /// temporary defect heals), one detection pass runs over the
+    /// *cumulative* truth — pre-existing `base_defects` plus every
+    /// episode active at that round — and [`Deformer::replan`] re-plans
+    /// the geometry against exactly what was detected. The new geometry
+    /// takes effect `reaction_rounds` later (detection plus classical
+    /// planning latency, applied per event — the x-axis of the paper's
+    /// Fig. 14b).
+    ///
+    /// Consequences of the cumulative re-detection:
+    ///
+    /// * defects an imprecise detector missed at one event (false
+    ///   negatives stay physically hot) are re-checked at every later
+    ///   scheduled change, so late detections still get mitigated;
+    /// * a healed episode's qubits drop out of the truth, the replan
+    ///   re-incorporates them, and spent enlargement budget is refunded —
+    ///   the recovery epoch restores the pre-strike code;
+    /// * strikes landing inside an earlier event's reaction window are
+    ///   mitigated by their own later pass (each pass only sees the truth
+    ///   at its own trigger round, so reaction latency stays honest).
+    ///
+    /// Detection scans the full device footprint the deformer may ever
+    /// occupy: the starting rectangle expanded by `budget` on each side.
+    /// Passes whose geometry lands at or after `rounds` are dropped
+    /// (their deformation would never be measured); passes that change
+    /// nothing add no epoch. Returns the timeline plus one
+    /// [`ScheduledMitigation`] per pass that ran.
+    ///
+    /// The epochs' [`PatchEpoch::defects`] carry only the *permanent*
+    /// `base_defects` still present in each epoch's patch; episode
+    /// activity is time-windowed and belongs to the schedule, which the
+    /// detector-model builder (`TimelineModel::build_scheduled`) overlays
+    /// round by round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass would land at round 0 (a schedule change at round
+    /// 0 with no reaction delay leaves no pre-deformation epoch).
+    #[allow(clippy::too_many_arguments)]
+    pub fn adaptive_schedule<R: Rng + ?Sized>(
+        patch: Patch,
+        base_defects: DefectMap,
+        budget: EnlargeBudget,
+        schedule: &DefectSchedule,
+        detector: &DefectDetector,
+        reaction_rounds: u32,
+        rounds: u32,
+        rng: &mut R,
+    ) -> (PatchTimeline, Vec<ScheduledMitigation>) {
+        let universe = device_universe(&patch, budget);
+        let mut deformer = Deformer::with_budget(patch.clone(), budget);
+        let mut timeline = PatchTimeline::fixed(patch, base_defects.clone());
+        let mut passes = Vec::new();
+        for trigger in schedule.change_rounds(rounds) {
+            let deform_round = trigger + reaction_rounds;
+            if deform_round >= rounds {
+                break; // this and every later pass lands after final readout
+            }
+            assert!(
+                deform_round > 0,
+                "deformation at round 0 leaves no pre-deformation epoch"
+            );
+            // Cumulative truth at the trigger round: permanent base
+            // defects plus every episode hot right now — including
+            // earlier strikes a previous detection pass missed.
+            let mut truth = base_defects.clone();
+            for (q, info) in schedule.active_at(trigger).iter() {
+                truth.insert(q, info.error_rate);
+            }
+            let detected = detector.detect(&truth, &universe, rng);
+            let report = deformer
+                .replan(&detected)
+                .expect("mitigation is infallible on reported defects");
+            let deformed = deformer.patch().clone();
+            let kept: DefectMap = base_defects
+                .iter()
+                .filter(|(q, _)| deformed.contains_data(*q) || deformed.contains_syndrome(*q))
+                .map(|(q, info)| (q, info.error_rate))
+                .collect();
+            let last = timeline.epochs().last().expect("timeline is never empty");
+            let changed = kept != last.defects
+                || deformed.data_qubits() != last.patch.data_qubits()
+                || deformed.syndrome_qubits() != last.patch.syndrome_qubits();
+            if changed {
+                timeline.push_epoch(deform_round, deformed, kept);
+            }
+            passes.push(ScheduledMitigation {
+                round: deform_round,
+                report,
+                changed,
+            });
+        }
+        (timeline, passes)
+    }
+}
+
+/// Every qubit coordinate of the device region an adaptive deformer with
+/// `budget` may ever occupy: the starting rectangle expanded by the full
+/// per-side budget. This is the universe a hardware defect detector
+/// scans — removed-but-still-defective qubits stay visible to later
+/// detection passes, and healed interspace qubits can be reclaimed.
+fn device_universe(patch: &Patch, budget: EnlargeBudget) -> Vec<Coord> {
+    let (origin, dims) = crate::deformer::cell_footprint(patch);
+    let expanded = Patch::rectangle_at(
+        origin.0 - budget.west as i32,
+        origin.1 - budget.north as i32,
+        dims.0 + budget.west + budget.east,
+        dims.1 + budget.north + budget.south,
+    );
+    let mut universe = expanded.data_qubits();
+    universe.extend(expanded.syndrome_qubits());
+    universe
 }
 
 #[cfg(test)]
@@ -248,6 +386,218 @@ mod tests {
         assert!(!late.patch.contains_data(Coord::new(5, 5)));
         assert!(late.defects.is_empty(), "all struck qubits were removed");
         late.patch.verify().unwrap();
+    }
+
+    use surf_defects::DefectEpisode;
+
+    /// Sorted qubit sets of a patch, for geometry comparison.
+    fn footprint(p: &Patch) -> (Vec<Coord>, Vec<Coord>) {
+        (p.data_qubits(), p.syndrome_qubits())
+    }
+
+    #[test]
+    fn single_event_schedule_matches_the_legacy_adaptive_path() {
+        // A schedule holding one permanent episode is the legacy
+        // single-event case: same epochs, same geometry, same report.
+        let defects = DefectMap::from_qubits([Coord::new(5, 5), Coord::new(4, 4)], 0.5);
+        let event = DefectEvent::new(3, defects.clone());
+        let schedule =
+            DefectSchedule::from_episodes([DefectEpisode::permanent(3, defects.clone())]);
+        let (legacy, legacy_report) = PatchTimeline::adaptive(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::uniform(2),
+            &event,
+            &DefectDetector::perfect(),
+            2,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let (multi, passes) = PatchTimeline::adaptive_schedule(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::uniform(2),
+            &schedule,
+            &DefectDetector::perfect(),
+            2,
+            30,
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(multi.num_epochs(), 2);
+        assert_eq!(passes.len(), 1);
+        assert!(passes[0].changed);
+        assert_eq!(passes[0].round, 5);
+        for (a, b) in legacy.epochs().iter().zip(multi.epochs()) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(footprint(&a.patch), footprint(&b.patch));
+        }
+        assert_eq!(passes[0].report.removed, legacy_report.removed);
+        assert_eq!(passes[0].report.kept, legacy_report.kept);
+        assert_eq!(passes[0].report.layers_added, legacy_report.layers_added);
+    }
+
+    #[test]
+    fn recovery_restores_the_pristine_patch() {
+        // A temporary strike: deform at 5 + reaction, recover at heal +
+        // reaction, ending exactly where the experiment started.
+        let original = Patch::rotated(5);
+        let schedule = DefectSchedule::from_episodes([DefectEpisode::temporary(
+            5,
+            12,
+            DefectMap::from_qubits([Coord::new(5, 5)], 0.5),
+        )]);
+        let (timeline, passes) = PatchTimeline::adaptive_schedule(
+            original.clone(),
+            DefectMap::new(),
+            EnlargeBudget::uniform(2),
+            &schedule,
+            &DefectDetector::perfect(),
+            2,
+            30,
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert_eq!(timeline.num_epochs(), 3);
+        assert_eq!(timeline.epochs()[1].start, 7);
+        assert_eq!(timeline.epochs()[2].start, 14);
+        assert!(!timeline.epochs()[1].patch.contains_data(Coord::new(5, 5)));
+        assert_eq!(footprint(&timeline.epochs()[2].patch), footprint(&original));
+        assert!(passes.iter().all(|p| p.changed));
+        // The recovery pass reports nothing removed or kept.
+        assert!(passes[1].report.removed.is_empty());
+        assert!(passes[1].report.restored);
+    }
+
+    #[test]
+    fn back_to_back_strikes_within_one_reaction_window() {
+        // Strike B lands while strike A's mitigation is still in flight:
+        // A's pass (planned from the round-3 truth) must not know about
+        // B, and B's own pass mitigates both.
+        let a = Coord::new(5, 5);
+        let b = Coord::new(1, 1);
+        let schedule = DefectSchedule::from_episodes([
+            DefectEpisode::permanent(3, DefectMap::from_qubits([a], 0.5)),
+            DefectEpisode::permanent(5, DefectMap::from_qubits([b], 0.5)),
+        ]);
+        let reaction = 4;
+        let (timeline, passes) = PatchTimeline::adaptive_schedule(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::uniform(2),
+            &schedule,
+            &DefectDetector::perfect(),
+            reaction,
+            40,
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(timeline.num_epochs(), 3);
+        let first = &timeline.epochs()[1];
+        let second = &timeline.epochs()[2];
+        assert_eq!((first.start, second.start), (7, 9));
+        // A's pass excised only A; B stays (physically hot, awaiting its
+        // own pass — reaction latency is per event).
+        assert!(!first.patch.contains_data(a));
+        assert!(first.patch.contains_data(b));
+        // B's pass re-plans against the cumulative truth: both gone.
+        assert!(!second.patch.contains_data(a));
+        assert!(!second.patch.contains_data(b));
+        assert_eq!(passes.len(), 2);
+        assert_eq!(passes[1].report.removed.len(), 2);
+    }
+
+    #[test]
+    fn missed_defects_are_rechecked_at_later_events() {
+        // The single-event path's known gap: a false negative keeps the
+        // struck qubit physically hot and nothing ever looks at it
+        // again. The schedule loop re-runs detection over the cumulative
+        // truth at every scheduled change, so a first-pass miss can be
+        // caught — and mitigated — by a later pass. With FN = 0.5 the
+        // per-pass verdicts are independent coin flips: across seeds we
+        // must observe at least one "missed then caught" run, and every
+        // run that reports the qubit eventually excises it.
+        let missed = Coord::new(5, 5);
+        let schedule = DefectSchedule::from_episodes([
+            DefectEpisode::permanent(2, DefectMap::from_qubits([missed], 0.5)),
+            DefectEpisode::permanent(10, DefectMap::from_qubits([Coord::new(3, 3)], 0.5)),
+        ]);
+        let detector = DefectDetector::imprecise(0.0, 0.5);
+        let mut caught_late = 0;
+        for seed in 0..40 {
+            let (timeline, passes) = PatchTimeline::adaptive_schedule(
+                Patch::rotated(5),
+                DefectMap::new(),
+                EnlargeBudget::uniform(2),
+                &schedule,
+                &detector,
+                1,
+                30,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let first = timeline.epoch_at(5);
+            let last = timeline.epochs().last().unwrap();
+            let missed_first = first.patch.contains_data(missed);
+            let caught_second = passes
+                .get(1)
+                .is_some_and(|p| p.report.removed.contains(&missed));
+            if missed_first && caught_second {
+                caught_late += 1;
+                assert!(
+                    !last.patch.contains_data(missed),
+                    "seed {seed}: late detection must excise the qubit"
+                );
+            }
+        }
+        // P(miss then catch) = 0.25 per run; 40 runs make a zero count
+        // astronomically unlikely.
+        assert!(caught_late > 0, "no missed-then-caught run in 40 seeds");
+    }
+
+    #[test]
+    fn noop_passes_add_no_epoch() {
+        // An episode healing and re-striking the very same qubit set:
+        // the heal pass restores the original patch, the re-strike pass
+        // re-excises it; a heal coinciding with an identical re-strike
+        // (same round) collapses to one unchanged-truth pass.
+        let q = Coord::new(5, 5);
+        let schedule = DefectSchedule::from_episodes([
+            DefectEpisode::temporary(2, 8, DefectMap::from_qubits([q], 0.5)),
+            DefectEpisode::permanent(8, DefectMap::from_qubits([q], 0.5)),
+        ]);
+        let (timeline, passes) = PatchTimeline::adaptive_schedule(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::uniform(1),
+            &schedule,
+            &DefectDetector::perfect(),
+            1,
+            30,
+            &mut StdRng::seed_from_u64(5),
+        );
+        // Round 8 is both heal and strike of the same qubit: the truth
+        // never changes, the pass changes nothing, no epoch appears.
+        assert_eq!(passes.len(), 2);
+        assert!(passes[0].changed);
+        assert!(!passes[1].changed);
+        assert_eq!(timeline.num_epochs(), 2);
+    }
+
+    #[test]
+    fn passes_landing_after_the_horizon_are_dropped() {
+        let schedule = DefectSchedule::from_episodes([
+            DefectEpisode::permanent(3, DefectMap::from_qubits([Coord::new(5, 5)], 0.5)),
+            DefectEpisode::permanent(25, DefectMap::from_qubits([Coord::new(1, 1)], 0.5)),
+        ]);
+        let (timeline, passes) = PatchTimeline::adaptive_schedule(
+            Patch::rotated(5),
+            DefectMap::new(),
+            EnlargeBudget::uniform(2),
+            &schedule,
+            &DefectDetector::perfect(),
+            4,
+            26, // second pass would land at 29 >= 26
+            &mut StdRng::seed_from_u64(6),
+        );
+        assert_eq!(passes.len(), 1);
+        assert_eq!(timeline.num_epochs(), 2);
+        assert!(timeline.epochs()[1].patch.contains_data(Coord::new(1, 1)));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::DefectMap;
 
 /// A hardware defect detector.
 ///
-/// The paper assumes hardware detectors ([31], [32]) that locate defective
+/// The paper assumes hardware detectors (its refs. \[31\], \[32\]) that locate defective
 /// qubits at runtime. [`DefectDetector::perfect`] reports ground truth;
 /// [`DefectDetector::imprecise`] flips each per-qubit verdict with the
 /// configured false-positive / false-negative probability (paper Fig. 14b

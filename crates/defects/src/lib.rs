@@ -17,15 +17,19 @@
 //!   code deformation unit.
 //! * [`DefectEvent`] — a defect set arriving mid-experiment at a specific
 //!   QEC round, the input of the streaming-decoding pipeline.
+//! * [`DefectSchedule`] — a whole timeline of [`DefectEpisode`]s (strike
+//!   *and* healing rounds), the input of the multi-event adaptive loop.
 
 mod detector;
 mod models;
+mod schedule;
 
 pub use detector::DefectDetector;
 pub use models::{
     sample_clustered_defects, sample_poisson, sample_static_faults, sample_uniform_defects,
     CosmicRayEvent, CosmicRayModel, DriftModel,
 };
+pub use schedule::{DefectEpisode, DefectSchedule};
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,352 @@
+//! Timelines of defect activity: *when* defects strike and *when* they
+//! heal.
+//!
+//! A [`DefectEvent`] describes one defect set arriving mid-experiment; a
+//! [`DefectSchedule`] generalises it to the paper's sustained-operation
+//! setting — a sequence of [`DefectEpisode`]s, each hot over a round
+//! window `[start, end)` (cosmic rays heal after ~25 ms; fabrication
+//! faults never do). The schedule answers the two questions the rest of
+//! the pipeline asks:
+//!
+//! * [`DefectSchedule::active_at`] — which qubits run at elevated rates
+//!   during a given round (the *physical* truth the sampler uses);
+//! * [`DefectSchedule::change_rounds`] — the rounds at which that answer
+//!   changes (the moments an adaptive deformation unit reacts to).
+//!
+//! [`DefectSchedule::from_cosmic_rays`] compiles the Poisson strike
+//! process of [`CosmicRayModel::sample_events`] into a schedule clipped
+//! to one experiment's horizon, which
+//! `PatchTimeline::adaptive_schedule` then turns into a multi-epoch
+//! geometry timeline (strike → deform → recover → next strike).
+
+use rand::Rng;
+
+use surf_lattice::Coord;
+
+use crate::models::{CosmicRayEvent, CosmicRayModel};
+use crate::{DefectEvent, DefectMap};
+
+/// One episode of defect activity: `defects` run at their elevated rates
+/// during rounds `[start, end)`; `end == None` means the defects are
+/// permanent (never heal within any horizon).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefectEpisode {
+    /// First QEC round the defects are active at.
+    pub start: u32,
+    /// First round the defects are healed again (exclusive), or `None`
+    /// for permanent defects.
+    pub end: Option<u32>,
+    /// The struck qubits and their elevated error rates.
+    pub defects: DefectMap,
+}
+
+impl DefectEpisode {
+    /// A permanent episode starting at `start`.
+    pub fn permanent(start: u32, defects: DefectMap) -> Self {
+        DefectEpisode {
+            start,
+            end: None,
+            defects,
+        }
+    }
+
+    /// A temporary episode hot during `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `end > start`.
+    pub fn temporary(start: u32, end: u32, defects: DefectMap) -> Self {
+        assert!(end > start, "episode [{start}, {end}) is empty");
+        DefectEpisode {
+            start,
+            end: Some(end),
+            defects,
+        }
+    }
+
+    /// Returns `true` if the episode is hot during `round`.
+    pub fn active_at(&self, round: u32) -> bool {
+        round >= self.start && self.end.is_none_or(|end| round < end)
+    }
+}
+
+/// A sequence of defect episodes over one experiment, sorted by start
+/// round — the multi-event generalisation of a single [`DefectEvent`].
+///
+/// # Example
+///
+/// ```
+/// use surf_defects::{DefectEpisode, DefectMap, DefectSchedule};
+/// use surf_lattice::Coord;
+///
+/// let mut schedule = DefectSchedule::new();
+/// schedule.push(DefectEpisode::temporary(
+///     3,
+///     10,
+///     DefectMap::from_qubits([Coord::new(5, 5)], 0.5),
+/// ));
+/// schedule.push(DefectEpisode::permanent(
+///     14,
+///     DefectMap::from_qubits([Coord::new(1, 1)], 0.5),
+/// ));
+/// assert!(schedule.active_at(4).contains(Coord::new(5, 5)));
+/// assert!(schedule.active_at(12).is_empty(), "healed at round 10");
+/// assert_eq!(schedule.change_rounds(25), vec![3, 10, 14]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DefectSchedule {
+    episodes: Vec<DefectEpisode>,
+}
+
+impl DefectSchedule {
+    /// An empty schedule (no defects ever).
+    pub fn new() -> Self {
+        DefectSchedule::default()
+    }
+
+    /// A schedule holding the episodes, sorted by start round.
+    pub fn from_episodes<I: IntoIterator<Item = DefectEpisode>>(episodes: I) -> Self {
+        let mut schedule = DefectSchedule {
+            episodes: episodes.into_iter().collect(),
+        };
+        schedule.episodes.sort_by_key(|e| (e.start, e.end));
+        schedule
+    }
+
+    /// The single-event schedule: `event`'s defects strike at
+    /// `event.round` and never heal — exactly the legacy
+    /// [`DefectEvent`] semantics of the one-shot streaming path.
+    pub fn permanent_event(event: &DefectEvent) -> Self {
+        DefectSchedule {
+            episodes: vec![DefectEpisode::permanent(event.round, event.defects.clone())],
+        }
+    }
+
+    /// Appends an episode, keeping episodes sorted by start round.
+    pub fn push(&mut self, episode: DefectEpisode) {
+        let at = self
+            .episodes
+            .partition_point(|e| (e.start, e.end) <= (episode.start, episode.end));
+        self.episodes.insert(at, episode);
+    }
+
+    /// The episodes, sorted by start round.
+    pub fn episodes(&self) -> &[DefectEpisode] {
+        &self.episodes
+    }
+
+    /// Number of episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Returns `true` if the schedule holds no episodes.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// The union of all defects hot during `round` (overlapping episodes
+    /// keep the larger rate per qubit).
+    pub fn active_at(&self, round: u32) -> DefectMap {
+        let mut map = DefectMap::new();
+        for e in self.episodes.iter().filter(|e| e.active_at(round)) {
+            for (q, info) in e.defects.iter() {
+                map.insert(q, info.error_rate);
+            }
+        }
+        map
+    }
+
+    /// The sorted, deduplicated rounds in `[0, horizon)` at which the
+    /// active defect set changes: every episode start and (within the
+    /// horizon) every healing round. These are the moments an adaptive
+    /// deformation unit re-runs detection.
+    pub fn change_rounds(&self, horizon: u32) -> Vec<u32> {
+        let mut rounds: Vec<u32> = self
+            .episodes
+            .iter()
+            .flat_map(|e| [Some(e.start), e.end].into_iter().flatten())
+            .filter(|&r| r < horizon)
+            .collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+
+    /// Compiles sampled [`CosmicRayEvent`]s into a schedule over one
+    /// experiment of `horizon` rounds: each ray becomes an episode
+    /// elevating its affected neighbourhood of `universe` for the model's
+    /// duration, clipped to the horizon (a ray healing past the horizon
+    /// is permanent for this experiment's purposes; rays starting at or
+    /// after the horizon are dropped).
+    pub fn from_cosmic_rays(
+        model: &CosmicRayModel,
+        rays: &[CosmicRayEvent],
+        universe: &[Coord],
+        horizon: u32,
+    ) -> Self {
+        DefectSchedule::from_episodes(
+            rays.iter()
+                .filter(|ray| ray.start_round < u64::from(horizon))
+                .map(|ray| {
+                    let start = ray.start_round as u32;
+                    let heal = ray.start_round + ray.duration_rounds;
+                    DefectEpisode {
+                        start,
+                        end: (heal < u64::from(horizon)).then_some(heal as u32),
+                        defects: DefectMap::from_qubits(
+                            model.affected_region(ray.center, universe),
+                            model.defect_error_rate,
+                        ),
+                    }
+                }),
+        )
+    }
+
+    /// Samples a Poisson strike schedule directly from `model` (see
+    /// [`CosmicRayModel::sample_events`]) over `universe` and `horizon`
+    /// rounds.
+    pub fn sample_cosmic_rays<R: Rng + ?Sized>(
+        model: &CosmicRayModel,
+        universe: &[Coord],
+        horizon: u32,
+        rng: &mut R,
+    ) -> Self {
+        let rays = model.sample_events(universe, u64::from(horizon), rng);
+        DefectSchedule::from_cosmic_rays(model, &rays, universe, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surf_lattice::Patch;
+
+    fn q(x: i32, y: i32) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn episode_activity_window() {
+        let e = DefectEpisode::temporary(3, 7, DefectMap::from_qubits([q(1, 1)], 0.5));
+        assert!(!e.active_at(2));
+        assert!(e.active_at(3));
+        assert!(e.active_at(6));
+        assert!(!e.active_at(7));
+        let p = DefectEpisode::permanent(4, DefectMap::from_qubits([q(1, 1)], 0.5));
+        assert!(p.active_at(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_episode_rejected() {
+        DefectEpisode::temporary(5, 5, DefectMap::new());
+    }
+
+    #[test]
+    fn active_at_unions_overlapping_episodes() {
+        let schedule = DefectSchedule::from_episodes([
+            DefectEpisode::temporary(2, 8, DefectMap::from_qubits([q(1, 1), q(3, 3)], 0.4)),
+            DefectEpisode::permanent(5, DefectMap::from_qubits([q(3, 3), q(5, 5)], 0.5)),
+        ]);
+        assert!(schedule.active_at(0).is_empty());
+        assert_eq!(schedule.active_at(2).qubits(), vec![q(1, 1), q(3, 3)]);
+        let mid = schedule.active_at(6);
+        assert_eq!(mid.qubits(), vec![q(1, 1), q(3, 3), q(5, 5)]);
+        // Overlap keeps the larger rate.
+        assert_eq!(mid.info(q(3, 3)).unwrap().error_rate, 0.5);
+        // After the first episode heals, only the permanent one remains.
+        assert_eq!(schedule.active_at(9).qubits(), vec![q(3, 3), q(5, 5)]);
+    }
+
+    #[test]
+    fn change_rounds_sorted_dedup_clipped() {
+        let schedule = DefectSchedule::from_episodes([
+            DefectEpisode::temporary(2, 8, DefectMap::from_qubits([q(1, 1)], 0.5)),
+            DefectEpisode::temporary(8, 40, DefectMap::from_qubits([q(3, 3)], 0.5)),
+            DefectEpisode::permanent(15, DefectMap::from_qubits([q(5, 5)], 0.5)),
+        ]);
+        // 8 appears once (heal of #1 == start of #2); 40 is past horizon.
+        assert_eq!(schedule.change_rounds(30), vec![2, 8, 15]);
+        assert_eq!(schedule.change_rounds(9), vec![2, 8]);
+        assert!(DefectSchedule::new().change_rounds(100).is_empty());
+    }
+
+    #[test]
+    fn permanent_event_matches_defect_event_semantics() {
+        let ev = DefectEvent::new(4, DefectMap::from_qubits([q(5, 5)], 0.5));
+        let schedule = DefectSchedule::permanent_event(&ev);
+        assert_eq!(schedule.len(), 1);
+        assert!(schedule.active_at(3).is_empty());
+        assert_eq!(schedule.active_at(4), ev.defects);
+        assert_eq!(schedule.active_at(10_000), ev.defects);
+        assert_eq!(schedule.change_rounds(100), vec![4]);
+    }
+
+    #[test]
+    fn cosmic_rays_clip_to_horizon() {
+        let patch = Patch::rotated(9);
+        let mut universe = patch.data_qubits();
+        universe.extend(patch.syndrome_qubits());
+        let model = CosmicRayModel {
+            duration_rounds: 10,
+            ..CosmicRayModel::paper()
+        };
+        let rays = [
+            CosmicRayEvent {
+                center: q(5, 5),
+                start_round: 3,
+                duration_rounds: 10,
+            },
+            // Heals past the horizon: permanent for this experiment.
+            CosmicRayEvent {
+                center: q(11, 11),
+                start_round: 18,
+                duration_rounds: 10,
+            },
+            // Starts past the horizon: dropped.
+            CosmicRayEvent {
+                center: q(1, 1),
+                start_round: 25,
+                duration_rounds: 10,
+            },
+        ];
+        let schedule = DefectSchedule::from_cosmic_rays(&model, &rays, &universe, 20);
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule.episodes()[0].start, 3);
+        assert_eq!(schedule.episodes()[0].end, Some(13));
+        assert_eq!(schedule.episodes()[1].start, 18);
+        assert_eq!(schedule.episodes()[1].end, None);
+        // The affected neighbourhood carries the model's burst rate.
+        let active = schedule.active_at(5);
+        assert_eq!(active, model.defect_map_at(&rays, &universe, 5));
+        assert_eq!(active.info(q(5, 5)).unwrap().error_rate, 0.5);
+    }
+
+    #[test]
+    fn sampled_schedule_is_deterministic_per_seed() {
+        let patch = Patch::rotated(9);
+        let mut universe = patch.data_qubits();
+        universe.extend(patch.syndrome_qubits());
+        let model = CosmicRayModel::paper().scaled(2e4);
+        let a = DefectSchedule::sample_cosmic_rays(
+            &model,
+            &universe,
+            500,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = DefectSchedule::sample_cosmic_rays(
+            &model,
+            &universe,
+            500,
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(a, b);
+        assert!(
+            !a.is_empty(),
+            "2e4-scaled rate must strike within 500 rounds"
+        );
+    }
+}

@@ -52,7 +52,7 @@ pub use timeline::{DetectorRemap, TimelineModel};
 
 // Re-exported so downstream pipeline code can name the shared batch and
 // decoder abstractions without extra dependency lines.
-pub use surf_defects::DefectEvent;
+pub use surf_defects::{DefectEpisode, DefectEvent, DefectSchedule};
 pub use surf_deformer_core::PatchTimeline;
 pub use surf_matching::{Decoder, GraphEpoch, WindowConfig, WindowedDecoder};
 pub use surf_pauli::BitBatch;

@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use surf_defects::{DefectEvent, DefectMap};
+use surf_defects::{DefectEvent, DefectMap, DefectSchedule};
 use surf_deformer_core::PatchTimeline;
 use surf_lattice::{Basis, Patch};
 use surf_matching::{
@@ -330,7 +330,7 @@ impl MemoryExperiment {
             config,
             self.decoder.factory(),
         );
-        stream_batches(shots, seed, threads, &model, &windowed)
+        stream_batches(shots, seed, threads, Shard::solo(), &model, &windowed)
     }
 
     /// Runs one basis through the streaming pipeline over *time-varying*
@@ -364,12 +364,74 @@ impl MemoryExperiment {
         event: Option<&DefectEvent>,
         threads: usize,
     ) -> u64 {
-        let tm = TimelineModel::build(
+        let schedule = event.map_or_else(DefectSchedule::new, DefectSchedule::permanent_event);
+        self.run_streaming_schedule_shard(
+            memory_basis,
+            shots,
+            seed,
+            config,
+            timeline,
+            &schedule,
+            threads,
+            Shard::solo(),
+        )
+    }
+
+    /// [`run_streaming_timeline`](Self::run_streaming_timeline)
+    /// generalised to a whole [`DefectSchedule`]: episodes elevate their
+    /// qubits' true rates over their active windows (healed defects stop
+    /// hurting), compiled once into the multi-epoch model by
+    /// [`TimelineModel::build_scheduled`]. This is the full multi-event
+    /// pipeline — pair it with a
+    /// [`PatchTimeline::adaptive_schedule`] timeline built from the same
+    /// schedule to stream the strike → deform → recover → next-strike
+    /// loop end to end.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streaming_schedule(
+        &self,
+        memory_basis: Basis,
+        shots: u64,
+        seed: u64,
+        config: WindowConfig,
+        timeline: &PatchTimeline,
+        schedule: &DefectSchedule,
+        threads: usize,
+    ) -> u64 {
+        self.run_streaming_schedule_shard(
+            memory_basis,
+            shots,
+            seed,
+            config,
+            timeline,
+            schedule,
+            threads,
+            Shard::solo(),
+        )
+    }
+
+    /// [`run_streaming_schedule`](Self::run_streaming_schedule) restricted
+    /// to the 64-shot batches owned by `shard` (see
+    /// [`run_shard`](Self::run_shard)): per-batch RNG is drawn by *global*
+    /// batch index, so shard failure counts sum to the single-host result
+    /// exactly — the streamed figure binaries shard across hosts this way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streaming_schedule_shard(
+        &self,
+        memory_basis: Basis,
+        shots: u64,
+        seed: u64,
+        config: WindowConfig,
+        timeline: &PatchTimeline,
+        schedule: &DefectSchedule,
+        threads: usize,
+        shard: Shard,
+    ) -> u64 {
+        let tm = TimelineModel::build_scheduled(
             timeline,
             memory_basis,
             self.rounds,
             self.noise,
-            event,
+            schedule,
             self.prior,
         );
         let windowed = WindowedDecoder::from_epochs(
@@ -379,7 +441,7 @@ impl MemoryExperiment {
             config,
             self.decoder.factory(),
         );
-        stream_batches(shots, seed, threads, &tm.model, &windowed)
+        stream_batches(shots, seed, threads, shard, &tm.model, &windowed)
     }
 
     /// The detector model of one basis, spliced with a mid-stream defect
@@ -428,15 +490,17 @@ fn count_failures(predictions: &[u64], true_obs: u64, mask: u64) -> u64 {
 
 /// The shared streamed-pipeline loop: each batch is replayed round-major
 /// by a fresh per-worker [`RoundStream`] over `model` and decoded on the
-/// fly by a [`WindowedDecoder`] session.
+/// fly by a [`WindowedDecoder`] session. Only the batches owned by
+/// `shard` run (pass [`Shard::solo`] for the whole run).
 fn stream_batches(
     shots: u64,
     seed: u64,
     threads: usize,
+    shard: Shard,
     model: &DetectorModel,
     windowed: &WindowedDecoder,
 ) -> u64 {
-    run_batches(shots, seed, threads, || {
+    run_batches_shard(shots, seed, threads, shard, || {
         let mut stream = RoundStream::new(model);
         move |rng: &mut StdRng, lanes: usize| {
             stream.begin(rng, lanes);
@@ -452,15 +516,6 @@ fn stream_batches(
             )
         }
     })
-}
-
-/// [`run_batches_shard`] over the whole run.
-fn run_batches<S, F>(shots: u64, seed: u64, threads: usize, setup: S) -> u64
-where
-    S: Fn() -> F + Sync,
-    F: FnMut(&mut StdRng, usize) -> u64,
-{
-    run_batches_shard(shots, seed, threads, Shard::solo(), setup)
 }
 
 /// Runs the `shard`-owned 64-lane batches of a `shots`-shot run spread

@@ -38,7 +38,23 @@
 //! deformations by absorbing the measured stabilizer values that relate
 //! consecutive representatives (standard Pauli-frame practice). Sampler
 //! and decoder share the channel definitions, so the simulation is
-//! self-consistent under this convention.
+//! self-consistent under this convention — *provided consecutive
+//! representatives agree on every qubit both epochs share*. If they
+//! disagreed on a surviving qubit, an error just before and just after
+//! the boundary would produce the same syndrome with opposite observable
+//! bits, which no decoder can tell apart (the physical statement: the
+//! absorbed values relating such representatives include discarded
+//! killed-group measurements). The builder therefore *threads* the
+//! representative across each boundary: epoch `e+1` reuses epoch `e`'s
+//! representative re-expressed in the new stabilizer group (a GF(2)
+//! solve over the new epoch's stabilizer products, matching membership
+//! on all shared qubits). A boundary with no such re-expression — the
+//! deformation genuinely severed every frame-trackable reroute — falls
+//! back to the canonical representative and clears
+//! [`TimelineModel::observable_threaded`]; treat results built on such a
+//! timeline as frame-unreliable. (Measurement errors on the absorbed
+//! boundary values themselves are still neglected; that refinement
+//! remains open.)
 //!
 //! A one-epoch timeline compiles to a model that is **bit-identical** to
 //! [`DetectorModel::build`] (same channels, same detector indices, same
@@ -48,7 +64,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 
-use surf_defects::DefectEvent;
+use surf_defects::{DefectEvent, DefectSchedule};
 use surf_deformer_core::PatchTimeline;
 use surf_lattice::{
     diff_stabilizers, Basis, Coord, GroupId, GroupOrigin, MeasurementSchedule, Patch,
@@ -104,6 +120,13 @@ pub struct TimelineModel {
     /// One remap per epoch boundary (`remaps[i]` sits between epochs `i`
     /// and `i + 1`).
     pub remaps: Vec<DetectorRemap>,
+    /// `true` when every epoch's observable representative was threaded
+    /// from the previous epoch's (agreeing on all shared qubits), so the
+    /// frame-tracking convention is consistent at every boundary. `false`
+    /// means some deformation severed every frame-trackable reroute of
+    /// the logical operator — failure counts over such a timeline are
+    /// unreliable (expect ~50 %).
+    pub observable_threaded: bool,
 }
 
 /// One gauge-group measurement segment: the measurements of one group in
@@ -150,10 +173,11 @@ struct EpochCtx<'a> {
     observable: BTreeSet<Coord>,
     groups: Vec<GroupId>,
     schedule: MeasurementSchedule,
-    /// Epoch defects at their elevated rates.
-    noise: QubitNoise,
-    /// Epoch defects plus the mid-stream event's strike.
-    struck: QubitNoise,
+    /// Piecewise-constant noise over the epoch's slots: segment `k`
+    /// (epoch defects plus every episode active at its start) applies to
+    /// rounds in `[segments[k].0, segments[k+1].0)`; the first segment
+    /// starts at the epoch start, the last runs to `slot_end`.
+    noise_segments: Vec<(u32, QubitNoise)>,
 }
 
 impl TimelineModel {
@@ -176,6 +200,30 @@ impl TimelineModel {
         rounds: u32,
         params: NoiseParams,
         event: Option<&DefectEvent>,
+        prior: DecoderPrior,
+    ) -> TimelineModel {
+        let schedule = event.map_or_else(DefectSchedule::new, DefectSchedule::permanent_event);
+        Self::build_scheduled(timeline, memory_basis, rounds, params, &schedule, prior)
+    }
+
+    /// [`TimelineModel::build`] generalised to a whole [`DefectSchedule`]:
+    /// every episode elevates its qubits' true rates during its active
+    /// window `[start, end)` — for as long as each qubit remains in the
+    /// current epoch's patch — and a healed episode's rates drop back to
+    /// the epoch baseline, so temporary defects (cosmic rays) stop
+    /// hurting once they heal *or* once the deformation excises them,
+    /// whichever comes first. A single permanent episode reproduces the
+    /// [`TimelineModel::build`] event overlay bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or an epoch starts at or after `rounds`.
+    pub fn build_scheduled(
+        timeline: &PatchTimeline,
+        memory_basis: Basis,
+        rounds: u32,
+        params: NoiseParams,
+        schedule: &DefectSchedule,
         prior: DecoderPrior,
     ) -> TimelineModel {
         assert!(rounds > 0, "at least one measurement round required");
@@ -202,25 +250,46 @@ impl TimelineModel {
                     .into_iter()
                     .filter(|&g| epoch.patch.group_basis(g) == Some(memory_basis))
                     .collect();
-                let mut struck_defects = epoch.defects.clone();
-                if let Some(ev) = event {
-                    for (q, info) in ev.defects.iter() {
-                        struck_defects.insert(q, info.error_rate);
-                    }
-                }
+                let slot_end = if last { rounds + 1 } else { meas_end };
+                // One noise segment per stretch of constant episode
+                // activity (readout at round `rounds` belongs to the last
+                // segment reaching it, hence the `rounds + 1` horizon).
+                let mut breaks = vec![epoch.start];
+                breaks.extend(
+                    schedule
+                        .change_rounds(rounds + 1)
+                        .into_iter()
+                        .filter(|&r| r > epoch.start && r < slot_end),
+                );
+                let noise_segments = breaks
+                    .into_iter()
+                    .map(|from| {
+                        let mut defects = epoch.defects.clone();
+                        for (q, info) in schedule.active_at(from).iter() {
+                            defects.insert(q, info.error_rate);
+                        }
+                        (from, QubitNoise::new(params, defects))
+                    })
+                    .collect();
                 EpochCtx {
                     start: epoch.start,
                     meas_end,
-                    slot_end: if last { rounds + 1 } else { meas_end },
+                    slot_end,
                     patch: &epoch.patch,
                     observable,
                     groups,
                     schedule: MeasurementSchedule::for_patch(&epoch.patch),
-                    noise: QubitNoise::new(params, epoch.defects.clone()),
-                    struck: QubitNoise::new(params, struck_defects),
+                    noise_segments,
                 }
             })
             .collect();
+
+        // --- Observable threading: choose per-epoch logical
+        // representatives that agree on shared qubits at every boundary
+        // (see the module docs' observable convention).
+        let mut ctxs = ctxs;
+        let observable_threaded = thread_observables(&mut ctxs, &nominal);
+        let ctxs = ctxs;
 
         // --- Chain construction: thread each stabilizer product through
         // the epoch boundaries via the patch diff.
@@ -394,8 +463,9 @@ impl TimelineModel {
         // --- Channels: data, correlated pairs, measurement, readout —
         // mirroring `DetectorModel::build`'s order channel for channel.
         let rate = |p_of: &dyn Fn(&QubitNoise) -> f64, ctx: &EpochCtx, round: u32| -> (f64, f64) {
-            let active = event.is_some_and(|ev| round >= ev.round);
-            let p_true = p_of(if active { &ctx.struck } else { &ctx.noise });
+            let segments = &ctx.noise_segments;
+            let k = segments.partition_point(|&(from, _)| from <= round) - 1;
+            let p_true = p_of(&segments[k].1);
             let p_prior = match prior {
                 DecoderPrior::Nominal => p_of(&nominal),
                 DecoderPrior::Informed => p_true,
@@ -515,6 +585,7 @@ impl TimelineModel {
             epoch_starts: epochs.iter().map(|e| e.start).collect(),
             epoch_detectors,
             remaps,
+            observable_threaded,
         }
     }
 
@@ -594,6 +665,231 @@ impl TimelineModel {
         }
         pieces
     }
+}
+
+/// Chooses per-epoch logical representatives that agree on every qubit
+/// consecutive epochs share, replacing the canonical per-patch choice
+/// where needed. Each epoch's representative is its canonical one ⊕ a
+/// combination of that epoch's stabilizer products; the combinations for
+/// *all* epochs are solved as one joint GF(2) system (the canonical
+/// representatives themselves may hug a boundary a later deformation
+/// moves, so no single epoch can be threaded in isolation — e.g. epoch 0
+/// must route around a region a later strike removes). Returns `false`
+/// and leaves the canonical representatives in place when no joint
+/// solution exists — the timeline's deformations severed every
+/// frame-trackable reroute (relating the representatives would need
+/// discarded killed-group values), so observable parities across some
+/// boundary are unreliable.
+///
+/// Only qubits present on both sides of a boundary constrain it: newly
+/// born qubits are free, and removed qubits' contributions were absorbed
+/// by their measure-out.
+fn thread_observables(ctxs: &mut [EpochCtx], nominal: &QubitNoise) -> bool {
+    let num_epochs = ctxs.len();
+    if num_epochs <= 1 {
+        return true;
+    }
+    // Per boundary b (between epochs b and b+1): shared qubits constrain
+    // rep_b == rep_{b+1}; *hot* dying qubits constrain rep_b == 0 and
+    // *hot* newly-born qubits constrain rep_{b+1} == 0. Both fringes
+    // have invisible slots — a dying qubit's final-slot errors vanish
+    // with its discarded measure-out, a born qubit's first slots predate
+    // any detector of its created chains — which at a defect's ~50 %
+    // rate would randomise the observable; so the logical must be routed
+    // off hot qubits before a cut and kept off hot arrivals, exactly as
+    // control software would. Healthy fringe qubits (whole layers
+    // retired or added by a recovery resize) only cost a nominal-rate
+    // slot and are merely penalised: a representative must still be
+    // allowed to reach a moving boundary.
+    let shared: Vec<Vec<Coord>> = (0..num_epochs - 1)
+        .map(|b| {
+            ctxs[b + 1]
+                .patch
+                .data_qubits()
+                .into_iter()
+                .filter(|&q| ctxs[b].patch.contains_data(q))
+                .collect()
+        })
+        .collect();
+    let dying: Vec<Vec<Coord>> = (0..num_epochs - 1)
+        .map(|b| {
+            let last_noise = &ctxs[b].noise_segments.last().expect("nonempty").1;
+            ctxs[b]
+                .patch
+                .data_qubits()
+                .into_iter()
+                .filter(|&q| !ctxs[b + 1].patch.contains_data(q))
+                .filter(|&q| last_noise.data_flip(q) > nominal.data_flip(q))
+                .collect()
+        })
+        .collect();
+    let born_hot: Vec<Vec<Coord>> = (0..num_epochs - 1)
+        .map(|b| {
+            let first_noise = &ctxs[b + 1].noise_segments.first().expect("nonempty").1;
+            ctxs[b + 1]
+                .patch
+                .data_qubits()
+                .into_iter()
+                .filter(|&q| !ctxs[b].patch.contains_data(q))
+                .filter(|&q| first_noise.data_flip(q) > nominal.data_flip(q))
+                .collect()
+        })
+        .collect();
+    let block_len = |b: usize| -> usize { shared[b].len() + dying[b].len() + born_hot[b].len() };
+    let offsets: Vec<usize> = (0..num_epochs - 1)
+        .scan(0, |acc, b| {
+            let at = *acc;
+            *acc += block_len(b);
+            Some(at)
+        })
+        .collect();
+    let cols = offsets.last().unwrap() + block_len(num_epochs - 2);
+    let target: surf_pauli::BitVec = (0..num_epochs - 1)
+        .flat_map(|b| {
+            let (early, late) = (&ctxs[b].observable, &ctxs[b + 1].observable);
+            shared[b]
+                .iter()
+                .map(move |q| early.contains(q) != late.contains(q))
+                .chain(dying[b].iter().map(move |q| early.contains(q)))
+                .chain(born_hot[b].iter().map(move |q| late.contains(q)))
+        })
+        .collect();
+    if target.count_ones() == 0 {
+        return true; // canonical representatives already comply
+    }
+    // Epoch e's products enter boundary e-1 (as the late side of the
+    // shared block) and boundary e (as the early side of both blocks).
+    let mut rows: Vec<surf_pauli::BitVec> = Vec::new();
+    let mut row_owner: Vec<(usize, usize)> = Vec::new();
+    let products: Vec<Vec<BTreeSet<Coord>>> = ctxs
+        .iter()
+        .map(|ctx| {
+            ctx.groups
+                .iter()
+                .map(|&g| ctx.patch.group_product(g))
+                .collect()
+        })
+        .collect();
+    for (e, eps) in products.iter().enumerate() {
+        for (gi, p) in eps.iter().enumerate() {
+            let mut row = surf_pauli::BitVec::zeros(cols);
+            if e > 0 {
+                let b = e - 1; // late side of boundary b: shared + born-hot
+                for (i, q) in shared[b].iter().enumerate() {
+                    if p.contains(q) {
+                        row.set(offsets[b] + i, true);
+                    }
+                }
+                let born_base = offsets[b] + shared[b].len() + dying[b].len();
+                for (i, q) in born_hot[b].iter().enumerate() {
+                    if p.contains(q) {
+                        row.set(born_base + i, true);
+                    }
+                }
+            }
+            if e < num_epochs - 1 {
+                let b = e; // early side of boundary b: shared + dying
+                for (i, q) in shared[b].iter().enumerate() {
+                    if p.contains(q) {
+                        row.set(offsets[b] + i, true);
+                    }
+                }
+                for (i, q) in dying[b].iter().enumerate() {
+                    if p.contains(q) {
+                        row.set(offsets[b] + shared[b].len() + i, true);
+                    }
+                }
+            }
+            rows.push(row);
+            row_owner.push((e, gi));
+        }
+    }
+    let mat = surf_pauli::gf2::Mat::from_rows(cols, rows);
+    let Some(combo) = mat.solve_combination(&target) else {
+        return false;
+    };
+    // Any solution satisfies the boundary constraints, but an arbitrary
+    // one tends to thread thick bands through freshly-created regions —
+    // and newly-born qubits still carry a small invisible window (their
+    // first slots predate any detector of their created chains), as do
+    // healthy dying qubits (final slot before their discarded
+    // measure-out). Prefer representatives that are light and avoid
+    // both: greedy descent over the constraint kernel (row subsets
+    // XORing to zero).
+    let fringe: Vec<BTreeSet<Coord>> = (0..num_epochs)
+        .map(|e| {
+            let mut f = BTreeSet::new();
+            if e > 0 {
+                f.extend(
+                    ctxs[e]
+                        .patch
+                        .data_qubits()
+                        .into_iter()
+                        .filter(|&q| !ctxs[e - 1].patch.contains_data(q)),
+                );
+            }
+            if e + 1 < num_epochs {
+                f.extend(
+                    ctxs[e]
+                        .patch
+                        .data_qubits()
+                        .into_iter()
+                        .filter(|&q| !ctxs[e + 1].patch.contains_data(q)),
+                );
+            }
+            f
+        })
+        .collect();
+    let reps_for = |x: &[bool]| -> Vec<BTreeSet<Coord>> {
+        let mut reps: Vec<BTreeSet<Coord>> = ctxs.iter().map(|c| c.observable.clone()).collect();
+        for (i, &on) in x.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            let (e, gi) = row_owner[i];
+            for &q in &products[e][gi] {
+                if !reps[e].remove(&q) {
+                    reps[e].insert(q);
+                }
+            }
+        }
+        reps
+    };
+    let penalty = |reps: &[BTreeSet<Coord>]| -> usize {
+        reps.iter()
+            .enumerate()
+            .map(|(e, rep)| rep.len() + 4 * rep.intersection(&fringe[e]).count())
+            .sum()
+    };
+    let mut x = vec![false; row_owner.len()];
+    for i in combo {
+        x[i] = true;
+    }
+    let kernel = mat.row_nullspace();
+    let mut best = penalty(&reps_for(&x));
+    loop {
+        let mut improved = false;
+        for k in &kernel {
+            let mut candidate = x.clone();
+            for (i, c) in candidate.iter_mut().enumerate() {
+                *c ^= k.get(i);
+            }
+            let p = penalty(&reps_for(&candidate));
+            if p < best {
+                best = p;
+                x = candidate;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let reps = reps_for(&x);
+    for (ctx, rep) in ctxs.iter_mut().zip(reps) {
+        ctx.observable = rep;
+    }
+    true
 }
 
 /// Appends a fresh chain and returns its index.

@@ -18,6 +18,12 @@
 //! distrusting it, so it beats both baselines; sweeping the reaction
 //! delay shows the latency cost the paper's Fig. 14b ablates.
 //!
+//! This example is the single-event teaching version; the figure-grade
+//! reproduction — multi-event Poisson schedules, imprecise detection,
+//! recovery epochs, `--shard k/n`, availability mode — is the
+//! `fig14b_streamed` binary (`cargo run --release -p surf-bench --bin
+//! fig14b_streamed`).
+//!
 //! ```bash
 //! cargo run --release --example adaptive_streaming -- [shots]
 //! ```

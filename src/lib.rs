@@ -48,10 +48,12 @@ pub use surf_stabilizer as stabilizer;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use surf_defects::{CosmicRayModel, DefectDetector, DefectEvent, DefectMap};
+    pub use surf_defects::{
+        CosmicRayModel, DefectDetector, DefectEpisode, DefectEvent, DefectMap, DefectSchedule,
+    };
     pub use surf_deformer_core::{
         AscS, Deformer, EnlargeBudget, MitigationStrategy, PatchTimeline, Q3de,
-        SurfDeformerStrategy, Untreated,
+        ScheduledMitigation, SurfDeformerStrategy, Untreated,
     };
     pub use surf_lattice::{diff_stabilizers, Basis, BoundarySide, Coord, Distances, Patch};
     pub use surf_layout::{LayoutParams, LayoutScheme, ThroughputSim};

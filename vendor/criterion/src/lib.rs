@@ -10,11 +10,18 @@
 //! fixed number of samples with the median wall-clock time per iteration
 //! reported to stdout. No statistical analysis, plots, or HTML reports —
 //! just stable, comparable numbers suitable for spotting regressions.
+//!
+//! With `CRITERION_JSON_DIR=<dir>` set, each bench binary additionally
+//! writes `<dir>/<bench>.json` holding every label's median in
+//! nanoseconds — the machine-readable perf trajectory CI archives per
+//! commit (real criterion writes `target/criterion/**/estimates.json`;
+//! this flat single file is the offline stand-in's equivalent).
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
@@ -38,6 +45,88 @@ fn cli_filters() -> &'static [String] {
 
 /// Benchmarks actually run under an active filter.
 static FILTER_MATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// `(label, median ns)` of every benchmark this process ran, in run
+/// order, for the end-of-process JSON report.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Writes `$CRITERION_JSON_DIR/<bench>.json` with the medians of every
+/// benchmark the process ran (no-op without the env var or when nothing
+/// ran, e.g. under a non-matching filter — `check_filters_matched`
+/// already aborts that case). The bench name is the executable's file
+/// stem minus cargo's trailing `-<hash>`. Called by [`criterion_main!`];
+/// not user-facing API.
+#[doc(hidden)]
+pub fn write_json_results() {
+    let Ok(dir) = std::env::var("CRITERION_JSON_DIR") else {
+        return;
+    };
+    write_json_results_to(&dir);
+}
+
+/// [`write_json_results`] with an explicit directory (kept separate so
+/// tests need not mutate the process environment, which races with
+/// concurrent `getenv` calls from sibling test threads).
+fn write_json_results_to(dir: &str) {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    if results.is_empty() {
+        return;
+    }
+    let bench = std::env::args()
+        .next()
+        .map(PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|stem| match stem.rsplit_once('-') {
+            // cargo names bench executables `<target>-<16 hex chars>`.
+            Some((name, hash))
+                if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                name.to_string()
+            }
+            _ => stem,
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut json = format!("{{\"bench\":\"{}\",\"results\":[", escape(&bench));
+    for (i, (label, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"label\":\"{}\",\"median_ns\":{ns}}}",
+            escape(label)
+        ));
+    }
+    json.push_str("]}\n");
+    // Cargo runs bench binaries with the *package* directory as CWD, so
+    // a relative dir (the usual `target/bench-results`) is resolved
+    // against the workspace root (nearest ancestor holding Cargo.lock) —
+    // one directory collects every bench's file no matter which member
+    // crate owns it.
+    let dir = PathBuf::from(dir);
+    let dir = if dir.is_absolute() {
+        dir
+    } else {
+        let mut cur = std::env::current_dir().unwrap_or_default();
+        loop {
+            if cur.join("Cargo.lock").exists() {
+                break cur.join(&dir);
+            }
+            if !cur.pop() {
+                break dir;
+            }
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{bench}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("criterion: wrote {}", path.display()),
+        Err(e) => eprintln!("criterion: cannot write {}: {e}", path.display()),
+    }
+}
 
 /// Exits non-zero when filters were given but matched nothing, so a CI
 /// step pinning a benchmark group by name fails loudly if the group is
@@ -265,7 +354,12 @@ impl Criterion {
         }
         let mut b = Bencher::new(samples);
         f(&mut b);
-        println!("bench: {label:<48} median {:?}", b.median());
+        let median = b.median();
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((label.to_string(), median.as_nanos()));
+        println!("bench: {label:<48} median {median:?}");
     }
 }
 
@@ -296,6 +390,7 @@ macro_rules! criterion_main {
             }
             $($group();)+
             $crate::check_filters_matched();
+            $crate::write_json_results();
         }
     };
 }
@@ -323,5 +418,22 @@ mod tests {
     #[test]
     fn group_runs_to_completion() {
         benches();
+    }
+
+    #[test]
+    fn json_results_written_when_dir_is_set() {
+        benches(); // ensure at least one recorded result
+        let dir = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        write_json_results_to(dir.to_str().unwrap());
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1, "one json file per bench binary");
+        let path = entries[0].as_ref().unwrap().path();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"bench\":\""), "{json}");
+        assert!(json.contains("\"results\":["));
+        assert!(json.contains("\"label\":\"trivial/1\""));
+        assert!(json.contains("\"median_ns\":"));
+        assert!(json.trim_end().ends_with("]}"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
