@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the decode-as-a-service stack: the
+//! in-process per-round `push_round` cost of a [`DecodeSession`] (the
+//! floor any serving layer builds on), and the full client → daemon →
+//! client round-trip latency of one pushed round at 1/8/64 concurrent
+//! sessions multiplexed over a single connection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_service::{Daemon, DaemonConfig, Frame, ServiceClient, SessionSpec};
+use surf_sim::DecodeSession;
+
+/// A d-distance spec with a 2d/d window split (the streaming default).
+fn spec_for(distance: u16, rounds: u32) -> SessionSpec {
+    let mut spec = SessionSpec::standard(distance, rounds);
+    spec.window = 2 * u32::from(distance);
+    spec.commit = u32::from(distance);
+    spec
+}
+
+/// Samples one 64-lane syndrome stream for `spec`.
+fn sample_slices(spec: &SessionSpec, seed: u64) -> Vec<Vec<u64>> {
+    let session = spec.to_config().expect("valid spec").open(64);
+    let mut stream = session.round_stream();
+    stream.begin(&mut StdRng::seed_from_u64(seed), 64);
+    let mut slices = Vec::new();
+    while let Some(slice) = stream.next_round() {
+        slices.push(slice.words.to_vec());
+    }
+    slices
+}
+
+/// In-process floor: pushing a full 64-lane stream round by round
+/// through an owned session (compile amortised away via `fork`).
+fn bench_session_push_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_push_round");
+    for d in [3u16, 5] {
+        let spec = spec_for(d, 4 * u32::from(d));
+        let proto: DecodeSession = spec.to_config().expect("valid spec").open(64);
+        let slices = sample_slices(&spec, 17);
+        group.bench_with_input(
+            BenchmarkId::new("session_stream_64_lanes", d),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    let mut session = proto.fork(64);
+                    for words in &slices {
+                        std::hint::black_box(session.push_round(words).expect("push"));
+                    }
+                    std::hint::black_box(session.committed_through())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One concurrently-served decode step: a client pushing one round to
+/// each of N sessions and waiting for each `Corrections` reply.
+struct Rig {
+    client: ServiceClient,
+    spec: SessionSpec,
+    slices: Vec<Vec<u64>>,
+    /// `(session id, next round to push)` per concurrent session.
+    cursors: Vec<(u32, usize)>,
+    next_id: u32,
+}
+
+impl Rig {
+    fn new(path: &std::path::Path, concurrency: usize, spec: SessionSpec) -> Rig {
+        let slices = sample_slices(&spec, 23);
+        let mut rig = Rig {
+            client: ServiceClient::connect(path).expect("connect"),
+            spec,
+            slices,
+            cursors: Vec::new(),
+            next_id: 0,
+        };
+        for _ in 0..concurrency {
+            let id = rig.open_fresh();
+            rig.cursors.push((id, 0));
+        }
+        rig
+    }
+
+    fn open_fresh(&mut self) -> u32 {
+        self.next_id += 1;
+        self.client
+            .open_session(self.next_id, 64, self.spec.clone())
+            .expect("open");
+        self.next_id
+    }
+
+    /// Pushes one round to every session (recycling exhausted ones) and
+    /// blocks until every `Corrections` reply lands.
+    fn step(&mut self) {
+        for i in 0..self.cursors.len() {
+            let (id, cursor) = self.cursors[i];
+            if cursor >= self.slices.len() {
+                self.client.close_session(id).expect("close");
+                let id = self.open_fresh();
+                self.cursors[i] = (id, 0);
+            }
+            let (id, cursor) = self.cursors[i];
+            self.client
+                .push_rounds(id, vec![self.slices[cursor].clone()])
+                .expect("push");
+            self.cursors[i].1 = cursor + 1;
+        }
+        for &(id, _) in &self.cursors {
+            loop {
+                match self.client.recv_for(id).expect("reply") {
+                    Frame::Corrections { .. } => break,
+                    Frame::Availability { .. } | Frame::Deformed { .. } => continue,
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) {
+        for &(id, _) in &self.cursors.clone() {
+            self.client.close_session(id).expect("close");
+        }
+        self.client.shutdown_daemon().expect("shutdown");
+    }
+}
+
+fn bench_daemon_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_daemon_round_trip");
+    for concurrency in [1usize, 8, 64] {
+        let socket = std::env::temp_dir().join(format!(
+            "surf-bench-service-{}-{concurrency}.sock",
+            std::process::id()
+        ));
+        let daemon = Daemon::bind(
+            &socket,
+            DaemonConfig {
+                workers: 4,
+                queue_capacity: 16,
+            },
+        )
+        .expect("bind");
+        let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+        let mut rig = Rig::new(&socket, concurrency, spec_for(3, 40));
+        group.bench_with_input(
+            BenchmarkId::new("push_round_all_sessions", concurrency),
+            &concurrency,
+            |b, _| b.iter(|| rig.step()),
+        );
+        rig.finish();
+        server.join().expect("daemon thread");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_push_round, bench_daemon_round_trip);
+criterion_main!(benches);

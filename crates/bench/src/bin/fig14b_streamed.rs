@@ -35,7 +35,7 @@ use surf_defects::{CosmicRayModel, DefectDetector, DefectMap, DefectSchedule};
 use surf_deformer_core::{EnlargeBudget, PatchTimeline};
 use surf_lattice::{Basis, Coord, Patch};
 use surf_matching::WindowConfig;
-use surf_sim::{DecoderPrior, MemoryExperiment, NoiseParams, Shard, TimelineModel};
+use surf_sim::{DecoderPrior, MemoryExperiment, NoiseParams, Shard, StreamConfig, TimelineModel};
 
 /// The fixed experiment seed (shots shard deterministically under it).
 const SEED: u64 = 0x14BB;
@@ -167,16 +167,13 @@ impl Setup {
         schedule: &DefectSchedule,
     ) -> u64 {
         let exp = self.experiment(rounds, prior);
-        let failures = exp.run_streaming_schedule_shard(
-            Basis::Z,
-            self.shots,
-            SEED,
-            self.window,
-            timeline,
-            schedule,
-            self.threads,
-            self.shard,
-        );
+        let stream = StreamConfig::new(self.shots, SEED, self.window.window)
+            .with_window(self.window)
+            .with_threads(self.threads)
+            .with_shard(self.shard)
+            .with_timeline(timeline.clone())
+            .with_schedule(schedule.clone());
+        let failures = exp.run_stream_basis(Basis::Z, &stream);
         eprintln!(
             "[fig14b_streamed shard {}] case={case} failures={failures} shots={}",
             self.shard,

@@ -48,4 +48,7 @@ pub use decoder::Decoder;
 pub use graph::{DecodingGraph, Edge};
 pub use mwpm::{MwpmDecoder, MwpmScratch};
 pub use unionfind::{UfScratch, UnionFindDecoder};
-pub use windowed::{DecoderFactory, GraphEpoch, WindowConfig, WindowedDecoder, WindowedSession};
+pub use windowed::{
+    DecoderFactory, GraphEpoch, OwnedWindowedSession, WindowConfig, WindowedDecoder,
+    WindowedSession,
+};

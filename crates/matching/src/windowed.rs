@@ -36,6 +36,8 @@
 //! bit-identical — while `w = rounds` reduces exactly to the inner
 //! decoder and `w = 1` degenerates to greedy round-by-round commitment.
 
+use std::sync::Arc;
+
 use surf_pauli::BitBatch;
 
 use crate::decoder::Decoder;
@@ -417,21 +419,30 @@ impl WindowedDecoder {
     /// Starts a streaming session over up to `lanes` parallel shots; feed
     /// it rounds in order via [`WindowedSession::push_round`].
     pub fn session(&self, lanes: usize) -> WindowedSession<'_> {
-        assert!(
-            (1..=BitBatch::LANES).contains(&lanes),
-            "lanes {lanes} out of range 1..={}",
-            BitBatch::LANES
-        );
         WindowedSession {
+            core: SessionCore::new(self, lanes),
             decoder: self,
-            defects: vec![0u64; self.graph.num_nodes()],
-            lane_mask: BitBatch::mask_for(lanes),
-            lanes,
-            filled_rounds: 0,
-            next_plan: 0,
-            observables: vec![0u64; lanes],
-            predictions: Vec::new(),
-            window_batch: BitBatch::with_lanes(0, lanes),
+        }
+    }
+
+    /// [`session`](Self::session) for an `Arc`-held decoder: the returned
+    /// [`OwnedWindowedSession`] keeps the decoder alive itself, so it can
+    /// outlive the scope (e.g. a daemon request handler) that created it
+    /// and move freely across threads.
+    pub fn into_session(self: Arc<Self>, lanes: usize) -> OwnedWindowedSession {
+        OwnedWindowedSession {
+            core: SessionCore::new(&self, lanes),
+            decoder: self,
+        }
+    }
+
+    /// One past the last round that is final after `windows_committed`
+    /// windows: every round below it has its corrections committed.
+    pub fn commit_horizon(&self, windows_committed: usize) -> u32 {
+        if windows_committed >= self.plans.len() {
+            self.total_rounds
+        } else {
+            windows_committed as u32 * self.config.commit
         }
     }
 
@@ -480,15 +491,13 @@ impl Decoder for WindowedDecoder {
     }
 
     fn decode(&self, syndrome: &[usize]) -> u64 {
-        let mut session = self.session(1);
-        let mut defects = vec![0u64; self.graph.num_nodes()];
+        let mut core = SessionCore::new(self, 1);
         for &d in syndrome {
-            defects[d] ^= 1; // duplicates cancel pairwise
+            core.defects[d] ^= 1; // duplicates cancel pairwise
         }
-        session.defects = defects;
-        session.filled_rounds = self.total_rounds;
-        session.drain_ready();
-        session.finish()[0]
+        core.filled_rounds = self.total_rounds;
+        core.drain_ready(self);
+        core.finish(self)[0]
     }
 
     fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
@@ -497,24 +506,21 @@ impl Decoder for WindowedDecoder {
             self.graph.num_nodes(),
             "batch shape does not match the decoding graph"
         );
-        let mut session = self.session(batch.lanes());
-        session
-            .defects
+        let mut core = SessionCore::new(self, batch.lanes());
+        core.defects
             .copy_from_slice(&batch.words()[..batch.num_bits()]);
-        session.filled_rounds = self.total_rounds;
-        session.drain_ready();
+        core.filled_rounds = self.total_rounds;
+        core.drain_ready(self);
         predictions.clear();
-        predictions.extend_from_slice(&session.finish());
+        predictions.extend_from_slice(&core.finish(self));
     }
 }
 
-/// An in-flight streaming decode over up to 64 parallel shots.
-///
-/// Rounds are pushed in order; as soon as all rounds of the next window
-/// have arrived, the window is decoded and its commit region is final —
-/// the *commit latency* is one window of rounds, not the whole experiment.
-pub struct WindowedSession<'a> {
-    decoder: &'a WindowedDecoder,
+/// The per-session state behind both session handles: residual defects,
+/// fill cursor, and committed observables. Every method takes the decoder
+/// explicitly so the state can be owned next to either a borrowed or an
+/// `Arc`-held [`WindowedDecoder`].
+struct SessionCore {
     /// Current residual defects, one word per global detector.
     defects: Vec<u64>,
     lane_mask: u64,
@@ -531,15 +537,101 @@ pub struct WindowedSession<'a> {
     window_batch: BitBatch,
 }
 
+impl SessionCore {
+    fn new(decoder: &WindowedDecoder, lanes: usize) -> Self {
+        assert!(
+            (1..=BitBatch::LANES).contains(&lanes),
+            "lanes {lanes} out of range 1..={}",
+            BitBatch::LANES
+        );
+        SessionCore {
+            defects: vec![0u64; decoder.graph.num_nodes()],
+            lane_mask: BitBatch::mask_for(lanes),
+            lanes,
+            filled_rounds: 0,
+            next_plan: 0,
+            observables: vec![0u64; lanes],
+            predictions: Vec::new(),
+            window_batch: BitBatch::with_lanes(0, lanes),
+        }
+    }
+
+    fn push_round(
+        &mut self,
+        decoder: &WindowedDecoder,
+        round: u32,
+        detectors: &[u32],
+        words: &[u64],
+    ) {
+        assert_eq!(round, self.filled_rounds, "rounds must be pushed in order");
+        assert_eq!(detectors.len(), words.len(), "one word per detector");
+        for (&det, &word) in detectors.iter().zip(words) {
+            assert_eq!(
+                decoder.rounds_of[det as usize], round,
+                "detector {det} does not belong to round {round}"
+            );
+            self.defects[det as usize] ^= word & self.lane_mask;
+        }
+        self.filled_rounds = round + 1;
+        self.drain_ready(decoder);
+    }
+
+    /// Decodes every plan whose window is fully streamed.
+    fn drain_ready(&mut self, decoder: &WindowedDecoder) {
+        while let Some(plan) = decoder.plans.get(self.next_plan) {
+            if plan.end > self.filled_rounds {
+                break;
+            }
+            decoder.decode_plan(
+                plan,
+                &mut self.defects,
+                &mut self.window_batch,
+                &mut self.observables,
+                &mut self.predictions,
+            );
+            self.next_plan += 1;
+        }
+    }
+
+    fn finish(self, decoder: &WindowedDecoder) -> Vec<u64> {
+        assert_eq!(
+            self.filled_rounds, decoder.total_rounds,
+            "stream ended early: {} of {} rounds pushed",
+            self.filled_rounds, decoder.total_rounds
+        );
+        debug_assert_eq!(self.next_plan, decoder.plans.len());
+        self.observables
+    }
+}
+
+/// An in-flight streaming decode over up to 64 parallel shots.
+///
+/// Rounds are pushed in order; as soon as all rounds of the next window
+/// have arrived, the window is decoded and its commit region is final —
+/// the *commit latency* is one window of rounds, not the whole experiment.
+///
+/// This handle borrows its decoder; [`WindowedDecoder::into_session`]
+/// returns the [`OwnedWindowedSession`] twin for sessions that must own
+/// their decoder (long-lived server sessions).
+pub struct WindowedSession<'a> {
+    decoder: &'a WindowedDecoder,
+    core: SessionCore,
+}
+
 impl WindowedSession<'_> {
     /// Number of parallel shot lanes.
     pub fn lanes(&self) -> usize {
-        self.lanes
+        self.core.lanes
     }
 
     /// Number of windows already committed.
     pub fn windows_committed(&self) -> usize {
-        self.next_plan
+        self.core.next_plan
+    }
+
+    /// Per-lane committed observable masks accumulated so far.
+    pub fn observables(&self) -> &[u64] {
+        &self.core.observables
     }
 
     /// Feeds the detector words of `round` (`detectors[i]`'s word is
@@ -551,34 +643,7 @@ impl WindowedSession<'_> {
     /// Panics if rounds arrive out of order or a detector does not belong
     /// to `round`.
     pub fn push_round(&mut self, round: u32, detectors: &[u32], words: &[u64]) {
-        assert_eq!(round, self.filled_rounds, "rounds must be pushed in order");
-        assert_eq!(detectors.len(), words.len(), "one word per detector");
-        for (&det, &word) in detectors.iter().zip(words) {
-            assert_eq!(
-                self.decoder.rounds_of[det as usize], round,
-                "detector {det} does not belong to round {round}"
-            );
-            self.defects[det as usize] ^= word & self.lane_mask;
-        }
-        self.filled_rounds = round + 1;
-        self.drain_ready();
-    }
-
-    /// Decodes every plan whose window is fully streamed.
-    fn drain_ready(&mut self) {
-        while let Some(plan) = self.decoder.plans.get(self.next_plan) {
-            if plan.end > self.filled_rounds {
-                break;
-            }
-            self.decoder.decode_plan(
-                plan,
-                &mut self.defects,
-                &mut self.window_batch,
-                &mut self.observables,
-                &mut self.predictions,
-            );
-            self.next_plan += 1;
-        }
+        self.core.push_round(self.decoder, round, detectors, words);
     }
 
     /// Completes the stream and returns the per-lane predicted
@@ -588,13 +653,53 @@ impl WindowedSession<'_> {
     ///
     /// Panics if not all rounds have been pushed.
     pub fn finish(self) -> Vec<u64> {
-        assert_eq!(
-            self.filled_rounds, self.decoder.total_rounds,
-            "stream ended early: {} of {} rounds pushed",
-            self.filled_rounds, self.decoder.total_rounds
-        );
-        debug_assert_eq!(self.next_plan, self.decoder.plans.len());
-        self.observables
+        self.core.finish(self.decoder)
+    }
+}
+
+/// The owning twin of [`WindowedSession`]: holds its decoder through an
+/// [`Arc`], so the session can outlive the scope that created it and be
+/// sent across threads — the shape a decode server needs, where one
+/// request handler opens a session and later ones keep feeding it.
+pub struct OwnedWindowedSession {
+    decoder: Arc<WindowedDecoder>,
+    core: SessionCore,
+}
+
+impl OwnedWindowedSession {
+    /// Number of parallel shot lanes.
+    pub fn lanes(&self) -> usize {
+        self.core.lanes
+    }
+
+    /// Number of windows already committed.
+    pub fn windows_committed(&self) -> usize {
+        self.core.next_plan
+    }
+
+    /// Rounds `0..filled_rounds()` have been pushed.
+    pub fn filled_rounds(&self) -> u32 {
+        self.core.filled_rounds
+    }
+
+    /// Per-lane committed observable masks accumulated so far.
+    pub fn observables(&self) -> &[u64] {
+        &self.core.observables
+    }
+
+    /// The shared decoder this session feeds.
+    pub fn decoder(&self) -> &Arc<WindowedDecoder> {
+        &self.decoder
+    }
+
+    /// See [`WindowedSession::push_round`].
+    pub fn push_round(&mut self, round: u32, detectors: &[u32], words: &[u64]) {
+        self.core.push_round(&self.decoder, round, detectors, words);
+    }
+
+    /// See [`WindowedSession::finish`].
+    pub fn finish(self) -> Vec<u64> {
+        self.core.finish(&self.decoder)
     }
 }
 
@@ -860,6 +965,58 @@ mod tests {
     #[should_panic(expected = "outside 1..=")]
     fn commit_above_window_panics() {
         WindowConfig::new(2).with_commit(3);
+    }
+
+    #[test]
+    fn owned_session_matches_borrowed_and_outlives_its_scope() {
+        let rounds = 8usize;
+        let decoder = Arc::new(windowed(rounds, WindowConfig::new(4)));
+        // Lane 0 carries the syndrome {1, 2}; lane 1 the syndrome {0}.
+        let word_of = |t: usize| -> u64 {
+            let mut w = 0u64;
+            if t == 1 || t == 2 {
+                w |= 1;
+            }
+            if t == 0 {
+                w |= 2;
+            }
+            w
+        };
+
+        let mut owned = {
+            // The borrowing `session()` could not escape this block; the
+            // owned one can, and keeps the decoder alive through its Arc.
+            let handle = Arc::clone(&decoder);
+            handle.into_session(2)
+        };
+        let mut borrowed = decoder.session(2);
+        for t in 0..rounds {
+            let (det, words) = ([t as u32], [word_of(t)]);
+            owned.push_round(t as u32, &det, &words);
+            borrowed.push_round(t as u32, &det, &words);
+            assert_eq!(owned.windows_committed(), borrowed.windows_committed());
+            assert_eq!(owned.observables(), borrowed.observables());
+        }
+        assert_eq!(owned.filled_rounds(), rounds as u32);
+
+        // Owned sessions are Send: finish on another thread.
+        let expect = borrowed.finish();
+        let got = std::thread::spawn(move || owned.finish()).join().unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(got, vec![0, decoder.decode(&[0])]);
+    }
+
+    #[test]
+    fn commit_horizon_tracks_committed_windows() {
+        // 8 rounds, window 4, commit 2: windows end at rounds 4, 6, 8 but
+        // each *commits* only its first 2 rounds (the last commits to the
+        // end of time).
+        let d = windowed(8, WindowConfig::new(4));
+        assert_eq!(d.commit_horizon(0), 0);
+        assert_eq!(d.commit_horizon(1), 2);
+        assert_eq!(d.commit_horizon(2), 4);
+        assert_eq!(d.commit_horizon(3), 8);
+        assert_eq!(d.commit_horizon(99), 8);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! `surf-deformer-client` — demo client: drive several concurrent
+//! logical-qubit sessions against a running daemon with interleaved
+//! pushes, and check the served corrections against a directly-driven
+//! `DecodeSession` on the same syndrome words.
+//!
+//! ```bash
+//! surf-deformer-client /tmp/surf-deformer.sock [--sessions N] \
+//!     [--distance D] [--rounds R] [--seed S] [--p RATE] [--shutdown]
+//! ```
+//!
+//! Prints one line per session:
+//! `[surf-deformer-client] session=K failures=F served=X direct=X agree=true`
+//! — `agree` is the daemon ≡ direct bit-identity check, `failures` the
+//! number of shot lanes whose served correction missed the true
+//! observable flip.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_service::{ServiceClient, SessionSpec};
+
+struct DrivenSession {
+    id: u32,
+    slices: Vec<Vec<u64>>,
+    true_observables: u64,
+    direct_flips: u64,
+    cursor: usize,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!(
+            "usage: surf-deformer-client <socket-path> [--sessions N] [--distance D] \
+             [--rounds R] [--seed S] [--p RATE] [--shutdown]"
+        );
+        std::process::exit(2);
+    };
+    let (mut sessions, mut distance, mut rounds, mut seed, mut shutdown) =
+        (2u32, 5u16, 10u32, 7u64, false);
+    let mut p: Option<f64> = None;
+    while let Some(flag) = args.next() {
+        if flag == "--shutdown" {
+            shutdown = true;
+            continue;
+        }
+        let value = args.next();
+        match (flag.as_str(), value) {
+            ("--sessions", Some(v)) => sessions = v.parse().expect("--sessions N"),
+            ("--distance", Some(v)) => distance = v.parse().expect("--distance D"),
+            ("--rounds", Some(v)) => rounds = v.parse().expect("--rounds R"),
+            ("--seed", Some(v)) => seed = v.parse().expect("--seed S"),
+            ("--p", Some(v)) => p = Some(v.parse().expect("--p RATE")),
+            _ => {
+                eprintln!("unrecognised option: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut spec = SessionSpec::standard(distance, rounds);
+    spec.window = 2 * distance as u32;
+    spec.commit = distance as u32;
+    if let Some(p) = p {
+        spec.p_data = p;
+        spec.p_meas = p;
+    }
+    let mut client = ServiceClient::connect(&path).expect("connect to daemon");
+
+    // Sample each session's syndrome batch locally (the Monte-Carlo
+    // stand-in for hardware) and pre-compute the direct, in-process
+    // decode the daemon must match bit for bit.
+    let mut driven: Vec<DrivenSession> = (1..=sessions)
+        .map(|id| {
+            let config = spec.to_config().expect("spec is valid");
+            let mut direct = config.open(64);
+            let mut stream = direct.round_stream();
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(u64::from(id)));
+            stream.begin(&mut rng, 64);
+            let mut slices = Vec::new();
+            while let Some(slice) = stream.next_round() {
+                slices.push(slice.words.to_vec());
+            }
+            for words in &slices {
+                direct.push_round(words).expect("direct push");
+            }
+            let mut direct_flips = 0u64;
+            for (lane, &mask) in direct.finish().expect("complete").iter().enumerate() {
+                direct_flips |= (mask & 1) << lane;
+            }
+            let opened = client
+                .open_session(id, 64, spec.clone())
+                .expect("open session");
+            assert_eq!(opened.total_rounds as usize, slices.len());
+            DrivenSession {
+                id,
+                slices,
+                true_observables: stream.true_observables(),
+                direct_flips,
+                cursor: 0,
+            }
+        })
+        .collect();
+
+    // Interleave pushes round-robin with varying chunk sizes: results
+    // must not depend on frame chunking or on which sessions share the
+    // daemon.
+    let mut chunk = 1usize;
+    loop {
+        let mut progressed = false;
+        for s in &mut driven {
+            if s.cursor >= s.slices.len() {
+                continue;
+            }
+            let end = (s.cursor + chunk).min(s.slices.len());
+            client
+                .push_rounds(s.id, s.slices[s.cursor..end].to_vec())
+                .expect("push rounds");
+            s.cursor = end;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+        chunk = 1 + (chunk + 1) % 3;
+    }
+
+    let mut all_agree = true;
+    for s in &driven {
+        let (complete, served) = client.close_session(s.id).expect("close session");
+        assert!(complete, "session {} closed before completing", s.id);
+        let agree = served == s.direct_flips;
+        all_agree &= agree;
+        let failures = (served ^ s.true_observables).count_ones();
+        println!(
+            "[surf-deformer-client] session={} failures={} served={:#018x} direct={:#018x} agree={}",
+            s.id, failures, served, s.direct_flips, agree
+        );
+    }
+    if shutdown {
+        client.shutdown_daemon().expect("shutdown daemon");
+        println!("[surf-deformer-client] daemon shut down cleanly");
+    }
+    if !all_agree {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,41 @@
+//! `surf-deformer-daemon` — serve streaming decode sessions on a unix
+//! socket until a `Shutdown` frame arrives.
+//!
+//! ```bash
+//! surf-deformer-daemon /tmp/surf-deformer.sock [--workers N] [--queue N]
+//! ```
+
+use surf_service::{Daemon, DaemonConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: surf-deformer-daemon <socket-path> [--workers N] [--queue N]");
+        std::process::exit(2);
+    };
+    let mut config = DaemonConfig::default();
+    while let Some(flag) = args.next() {
+        let value = args.next().and_then(|v| v.parse::<usize>().ok());
+        match (flag.as_str(), value) {
+            ("--workers", Some(n)) => config.workers = n,
+            ("--queue", Some(n)) if n > 0 => config.queue_capacity = n,
+            _ => {
+                eprintln!("unrecognised option: {flag}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let daemon = match Daemon::bind(&path, config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("failed to bind {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("[surf-deformer-daemon] serving on {path}");
+    if let Err(e) = daemon.run() {
+        eprintln!("daemon error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[surf-deformer-daemon] shut down cleanly");
+}

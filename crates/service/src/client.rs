@@ -1,0 +1,176 @@
+//! A small blocking client for the decode daemon.
+//!
+//! One [`ServiceClient`] multiplexes any number of logical-qubit
+//! sessions over a single unix-socket connection. Responses for
+//! different sessions interleave on the wire;
+//! [`recv_for`](ServiceClient::recv_for) buffers frames for other sessions so
+//! callers can drive sessions in any order.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::wire::{read_frame, write_frame, Frame, SessionSpec};
+
+/// What the daemon reported when a session opened.
+#[derive(Clone, Debug)]
+pub struct OpenedSession {
+    /// The session id.
+    pub session: u32,
+    /// Rounds the stream spans.
+    pub total_rounds: u32,
+    /// Detector words expected per round.
+    pub round_counts: Vec<u32>,
+}
+
+/// A blocking connection to the decode daemon.
+pub struct ServiceClient {
+    writer: BufWriter<UnixStream>,
+    reader: BufReader<UnixStream>,
+    /// Frames received while waiting for a different session's response.
+    pending: Vec<Frame>,
+}
+
+/// The session id a response frame addresses (`None` for connection-wide
+/// frames like [`Frame::ShuttingDown`]).
+pub fn session_of(frame: &Frame) -> Option<u32> {
+    match frame {
+        Frame::Opened { session, .. }
+        | Frame::Corrections { session, .. }
+        | Frame::Availability { session, .. }
+        | Frame::Deformed { session, .. }
+        | Frame::Closed { session, .. }
+        | Frame::Error { session, .. } => Some(*session),
+        _ => None,
+    }
+}
+
+impl ServiceClient {
+    /// Connects to the daemon socket at `path`.
+    pub fn connect<P: AsRef<Path>>(path: P) -> io::Result<ServiceClient> {
+        let stream = UnixStream::connect(path)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(ServiceClient {
+            writer,
+            reader: BufReader::new(stream),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Sends one frame and flushes.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()
+    }
+
+    /// Receives the next frame (buffered or from the socket).
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        if !self.pending.is_empty() {
+            return Ok(self.pending.remove(0));
+        }
+        match read_frame(&mut self.reader)? {
+            Some(frame) => Ok(frame),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )),
+        }
+    }
+
+    /// Receives the next frame addressed to `session`, buffering frames
+    /// for other sessions in arrival order.
+    pub fn recv_for(&mut self, session: u32) -> io::Result<Frame> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|f| session_of(f) == Some(session))
+        {
+            return Ok(self.pending.remove(i));
+        }
+        loop {
+            match read_frame(&mut self.reader)? {
+                Some(frame) if session_of(&frame) == Some(session) => return Ok(frame),
+                Some(frame) => self.pending.push(frame),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Opens session `session` and waits for the daemon's layout reply.
+    pub fn open_session(
+        &mut self,
+        session: u32,
+        lanes: u8,
+        spec: SessionSpec,
+    ) -> io::Result<OpenedSession> {
+        self.send(&Frame::Open {
+            session,
+            lanes,
+            spec,
+        })?;
+        match self.recv_for(session)? {
+            Frame::Opened {
+                session,
+                total_rounds,
+                round_counts,
+            } => Ok(OpenedSession {
+                session,
+                total_rounds,
+                round_counts,
+            }),
+            Frame::Error { message, .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("daemon rejected session: {message}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply to Open: {other:?}"),
+            )),
+        }
+    }
+
+    /// Pushes a chunk of rounds without waiting for the reply.
+    pub fn push_rounds(&mut self, session: u32, rounds: Vec<Vec<u64>>) -> io::Result<()> {
+        self.send(&Frame::Push { session, rounds })
+    }
+
+    /// Closes `session` and returns its final lane-packed observable
+    /// flips plus whether the stream completed, draining (and
+    /// discarding) any interim frames still in flight for it.
+    pub fn close_session(&mut self, session: u32) -> io::Result<(bool, u64)> {
+        self.send(&Frame::Close { session })?;
+        loop {
+            match self.recv_for(session)? {
+                Frame::Closed {
+                    complete,
+                    observable_flips,
+                    ..
+                } => return Ok((complete, observable_flips)),
+                Frame::Error { message, .. } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, message))
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Asks the daemon to stop and waits for the acknowledgement.
+    pub fn shutdown_daemon(&mut self) -> io::Result<()> {
+        self.send(&Frame::Shutdown)?;
+        loop {
+            match self.recv() {
+                Ok(Frame::ShuttingDown) => return Ok(()),
+                Ok(_) => continue,
+                // The daemon may tear the socket down right after (or
+                // while) acknowledging.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The decode daemon: a hand-rolled thread-pool reactor multiplexing
+//! many [`DecodeSession`]s over unix-domain sockets.
+//!
+//! The container this project builds in is offline, so there is no tokio
+//! — the reactor is ~300 lines of std: one acceptor thread, one reader
+//! thread per connection, and a fixed pool of decode workers.
+//!
+//! * Each session owns a **bounded request queue**. The reader thread
+//!   blocks when a session's queue is full, which stops draining the
+//!   socket — backpressure propagates to the client through the kernel's
+//!   socket buffer instead of ballooning daemon memory.
+//! * A per-session `scheduled` flag guarantees at most one worker
+//!   processes a given session at a time, so requests execute strictly
+//!   in arrival order per session while different sessions decode
+//!   concurrently across the pool.
+//! * Responses go through a per-connection `Mutex<BufWriter>`, so
+//!   workers serving different sessions of one connection interleave
+//!   whole frames, never bytes.
+//!
+//! Deform-in-flight is graceful by construction: a
+//! [`Frame::Inject`] is just another queued request
+//! — the windows already committed keep their old-epoch decode, and the
+//! session recompiles and replays before the next push is consumed.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use surf_sim::service::{Availability, DecodeSession};
+
+use crate::wire::{read_frame, write_frame, Frame, SessionSpec, WireDefect};
+
+/// Tuning knobs of the daemon reactor.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Decode worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Bounded per-session request queue length; a full queue blocks the
+    /// connection's reader (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 0,
+            queue_capacity: 16,
+        }
+    }
+}
+
+/// One queued request for a session's worker.
+enum Op {
+    Open {
+        lanes: u8,
+        spec: SessionSpec,
+    },
+    Push(Vec<Vec<u64>>),
+    Inject {
+        round: u32,
+        defects: Vec<WireDefect>,
+    },
+    Close,
+}
+
+/// A bounded MPSC queue: producers (the connection reader) block when
+/// full, the consumer (a pool worker) drains without blocking.
+struct BoundedQueue {
+    ops: Mutex<VecDeque<Op>>,
+    space: Condvar,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            ops: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocks until there is room (unless the daemon is stopping, in
+    /// which case the op is dropped — the socket is about to die anyway).
+    fn push(&self, op: Op, stopping: &AtomicBool) {
+        let mut ops = self.ops.lock().unwrap();
+        while ops.len() >= self.capacity {
+            if stopping.load(Ordering::Acquire) {
+                return;
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(ops, std::time::Duration::from_millis(50))
+                .unwrap();
+            ops = guard;
+        }
+        ops.push_back(op);
+    }
+
+    fn pop(&self) -> Option<Op> {
+        let mut ops = self.ops.lock().unwrap();
+        let op = ops.pop_front();
+        if op.is_some() {
+            self.space.notify_one();
+        }
+        op
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ops.lock().unwrap().is_empty()
+    }
+}
+
+/// Shared write half of one client connection.
+struct Conn {
+    writer: Mutex<BufWriter<UnixStream>>,
+    /// Live sessions opened over this connection.
+    sessions: Mutex<HashMap<u32, Arc<SessionTask>>>,
+    /// Kept so shutdown can unblock the connection's reader thread.
+    stream: UnixStream,
+}
+
+impl Conn {
+    /// Writes and flushes one frame; errors are swallowed (a dying
+    /// client cannot take the daemon with it).
+    fn send(&self, frame: &Frame) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = write_frame(&mut *w, frame).and_then(|()| w.flush());
+    }
+}
+
+/// One logical-qubit session: its request queue, its scheduling state,
+/// and (once opened) the decode session itself.
+struct SessionTask {
+    id: u32,
+    conn: Arc<Conn>,
+    queue: BoundedQueue,
+    /// True while the task sits in the runnable queue or a worker holds
+    /// it — at most one worker per session, requests strictly in order.
+    scheduled: AtomicBool,
+    work: Mutex<SessionWork>,
+}
+
+#[derive(Default)]
+struct SessionWork {
+    session: Option<DecodeSession>,
+    /// Last availability reported, so the daemon only streams changes.
+    reported: Option<Availability>,
+    closed: bool,
+}
+
+struct DaemonState {
+    config: DaemonConfig,
+    runnable: Mutex<VecDeque<Arc<SessionTask>>>,
+    wake: Condvar,
+    stopping: AtomicBool,
+    conns: Mutex<Vec<Arc<Conn>>>,
+}
+
+impl DaemonState {
+    /// Marks `task` runnable unless it already is; at most one instance
+    /// of a session sits in the pool at a time.
+    fn schedule(&self, task: &Arc<SessionTask>) {
+        if !task.scheduled.swap(true, Ordering::AcqRel) {
+            self.runnable.lock().unwrap().push_back(Arc::clone(task));
+            self.wake.notify_one();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::Release);
+        self.wake.notify_all();
+        for conn in self.conns.lock().unwrap().iter() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A bound decode daemon; [`run`](Daemon::run) serves until a
+/// [`Frame::Shutdown`] arrives.
+pub struct Daemon {
+    listener: UnixListener,
+    path: PathBuf,
+    state: Arc<DaemonState>,
+}
+
+impl Daemon {
+    /// Binds the daemon's unix socket at `path` (replacing a stale
+    /// socket file from a previous run).
+    pub fn bind<P: AsRef<Path>>(path: P, config: DaemonConfig) -> std::io::Result<Daemon> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(Daemon {
+            listener,
+            path,
+            state: Arc::new(DaemonState {
+                config,
+                runnable: Mutex::new(VecDeque::new()),
+                wake: Condvar::new(),
+                stopping: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The socket path the daemon is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Serves connections until a [`Frame::Shutdown`] frame arrives,
+    /// then joins every thread and removes the socket file.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers = if self.state.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        } else {
+            self.state.config.workers
+        };
+        let mut pool: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        let mut readers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.state.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            let path = self.path.clone();
+            readers.push(std::thread::spawn(move || {
+                if let Ok(conn) = Conn::over(stream) {
+                    state.conns.lock().unwrap().push(Arc::clone(&conn));
+                    reader_loop(&state, &conn, &path);
+                }
+            }));
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+        for w in pool.drain(..) {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+impl Conn {
+    fn over(stream: UnixStream) -> std::io::Result<Arc<Conn>> {
+        let write_half = stream.try_clone()?;
+        Ok(Arc::new(Conn {
+            writer: Mutex::new(BufWriter::new(write_half)),
+            sessions: Mutex::new(HashMap::new()),
+            stream,
+        }))
+    }
+}
+
+/// Parses frames off one connection and enqueues them onto the target
+/// session's queue. Runs until EOF, a protocol error, or shutdown.
+fn reader_loop(state: &Arc<DaemonState>, conn: &Arc<Conn>, path: &Path) {
+    let mut reader = BufReader::new(match conn.stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => {
+                conn.send(&Frame::Error {
+                    session: 0,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        };
+        match frame {
+            Frame::Open {
+                session,
+                lanes,
+                spec,
+            } => {
+                let task = {
+                    let mut sessions = conn.sessions.lock().unwrap();
+                    if sessions.contains_key(&session) {
+                        conn.send(&Frame::Error {
+                            session,
+                            message: format!("session {session} already open"),
+                        });
+                        continue;
+                    }
+                    let task = Arc::new(SessionTask {
+                        id: session,
+                        conn: Arc::clone(conn),
+                        queue: BoundedQueue::new(state.config.queue_capacity),
+                        scheduled: AtomicBool::new(false),
+                        work: Mutex::new(SessionWork::default()),
+                    });
+                    sessions.insert(session, Arc::clone(&task));
+                    task
+                };
+                task.queue.push(Op::Open { lanes, spec }, &state.stopping);
+                state.schedule(&task);
+            }
+            Frame::Push { session, rounds } => {
+                enqueue(state, conn, session, Op::Push(rounds));
+            }
+            Frame::Inject {
+                session,
+                round,
+                defects,
+            } => {
+                enqueue(state, conn, session, Op::Inject { round, defects });
+            }
+            Frame::Close { session } => {
+                enqueue(state, conn, session, Op::Close);
+            }
+            Frame::Shutdown => {
+                conn.send(&Frame::ShuttingDown);
+                state.begin_shutdown();
+                // Unblock the acceptor, which checks the stopping flag
+                // once per accepted connection.
+                let _ = UnixStream::connect(path);
+                break;
+            }
+            // Response frames arriving at the daemon are client bugs.
+            other => {
+                conn.send(&Frame::Error {
+                    session: 0,
+                    message: format!("unexpected frame {:?} sent to daemon", other),
+                });
+            }
+        }
+        if state.stopping.load(Ordering::Acquire) {
+            break;
+        }
+    }
+}
+
+fn enqueue(state: &Arc<DaemonState>, conn: &Arc<Conn>, session: u32, op: Op) {
+    let task = conn.sessions.lock().unwrap().get(&session).cloned();
+    match task {
+        Some(task) => {
+            task.queue.push(op, &state.stopping);
+            state.schedule(&task);
+        }
+        None => conn.send(&Frame::Error {
+            session,
+            message: format!("unknown session {session}"),
+        }),
+    }
+}
+
+/// One pool worker: pops runnable sessions, drains their queues, and
+/// reschedules sessions that received more work while being processed.
+fn worker_loop(state: &Arc<DaemonState>) {
+    loop {
+        let task = {
+            let mut runnable = state.runnable.lock().unwrap();
+            loop {
+                if let Some(task) = runnable.pop_front() {
+                    break task;
+                }
+                if state.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                runnable = state.wake.wait(runnable).unwrap();
+            }
+        };
+        while let Some(op) = task.queue.pop() {
+            process(&task, op);
+            if state.stopping.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        task.scheduled.store(false, Ordering::Release);
+        // A request may have landed between the final pop and the flag
+        // clear; reschedule so it is not stranded.
+        if !task.queue.is_empty() {
+            state.schedule(&task);
+        }
+    }
+}
+
+/// Lane-packs the committed observable-flip predictions (bit `b` = lane
+/// `b`'s observable 0).
+fn packed_flips(session: &DecodeSession) -> u64 {
+    let mut flips = 0u64;
+    for (lane, &mask) in session.observables().iter().enumerate() {
+        flips |= (mask & 1) << lane;
+    }
+    flips
+}
+
+/// Executes one request against one session, streaming response frames.
+fn process(task: &SessionTask, op: Op) {
+    let mut work = task.work.lock().unwrap();
+    if work.closed {
+        return;
+    }
+    match op {
+        Op::Open { lanes, spec } => {
+            if work.session.is_some() {
+                task.conn.send(&Frame::Error {
+                    session: task.id,
+                    message: "session already compiled".into(),
+                });
+                return;
+            }
+            if !(1..=64).contains(&lanes) {
+                fail_open(task, &mut work, format!("lanes {lanes} outside 1..=64"));
+                return;
+            }
+            let config = match spec.to_config() {
+                Ok(config) => config,
+                Err(message) => {
+                    fail_open(task, &mut work, message);
+                    return;
+                }
+            };
+            let session = config.open(lanes as usize);
+            let total_rounds = session.total_rounds();
+            let round_counts = (0..total_rounds)
+                .map(|r| session.detectors_of(r).len() as u32)
+                .collect();
+            work.session = Some(session);
+            task.conn.send(&Frame::Opened {
+                session: task.id,
+                total_rounds,
+                round_counts,
+            });
+        }
+        Op::Push(rounds) => {
+            let SessionWork {
+                session, reported, ..
+            } = &mut *work;
+            let Some(session) = session.as_mut() else {
+                task.conn.send(&Frame::Error {
+                    session: task.id,
+                    message: "push before open completed".into(),
+                });
+                return;
+            };
+            let mut last = None;
+            for words in &rounds {
+                match session.push_round(words) {
+                    Ok(out) => {
+                        if *reported != Some(out.availability) {
+                            *reported = Some(out.availability);
+                            task.conn.send(&Frame::Availability {
+                                session: task.id,
+                                round: out.round,
+                                state: out.availability.into(),
+                            });
+                        }
+                        if let Some(notice) = out.deformation {
+                            task.conn.send(&Frame::Deformed {
+                                session: task.id,
+                                at_round: notice.at_round,
+                                epoch: notice.epoch,
+                            });
+                        }
+                        last = Some(out);
+                    }
+                    Err(e) => {
+                        task.conn.send(&Frame::Error {
+                            session: task.id,
+                            message: e.to_string(),
+                        });
+                        return;
+                    }
+                }
+            }
+            if let Some(out) = last {
+                task.conn.send(&Frame::Corrections {
+                    session: task.id,
+                    round: out.round,
+                    committed_through: out.committed_through,
+                    windows_committed: out.windows_committed,
+                    observable_flips: out.observable_flips,
+                });
+            }
+        }
+        Op::Inject { round, defects } => {
+            let Some(session) = work.session.as_mut() else {
+                task.conn.send(&Frame::Error {
+                    session: task.id,
+                    message: "inject before open completed".into(),
+                });
+                return;
+            };
+            let mut map = surf_defects::DefectMap::new();
+            for d in &defects {
+                map.insert(surf_lattice::Coord::new(d.x, d.y), d.rate);
+            }
+            let event = surf_defects::DefectEvent::new(round, map);
+            if let Err(e) = session.inject_event(&event) {
+                task.conn.send(&Frame::Error {
+                    session: task.id,
+                    message: e.to_string(),
+                });
+            }
+        }
+        Op::Close => {
+            let (complete, observable_flips) = match work.session.as_ref() {
+                Some(session) => (
+                    session.filled_rounds() == session.total_rounds(),
+                    packed_flips(session),
+                ),
+                None => (false, 0),
+            };
+            work.closed = true;
+            work.session = None;
+            task.conn.sessions.lock().unwrap().remove(&task.id);
+            task.conn.send(&Frame::Closed {
+                session: task.id,
+                complete,
+                observable_flips,
+            });
+        }
+    }
+}
+
+/// An Open that failed validation: report, then forget the session id so
+/// the client may retry it.
+fn fail_open(task: &SessionTask, work: &mut SessionWork, message: String) {
+    work.closed = true;
+    task.conn.sessions.lock().unwrap().remove(&task.id);
+    task.conn.send(&Frame::Error {
+        session: task.id,
+        message,
+    });
+}

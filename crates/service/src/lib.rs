@@ -1,0 +1,35 @@
+//! Decode as a service for Surf-Deformer.
+//!
+//! The sim layer's [`DecodeSession`](surf_sim::DecodeSession) turns the
+//! streamed Monte-Carlo pipeline into an owned, resumable per-logical-
+//! qubit decode loop; this crate puts that seam on a socket:
+//!
+//! * [`wire`] — the length-prefixed, versioned frame protocol
+//!   (`Open`/`Push`/`Inject`/`Close` requests; `Corrections`/
+//!   `Availability`/`Deformed` responses);
+//! * [`daemon`] — `surf-deformer-daemon`, a hand-rolled thread-pool
+//!   reactor multiplexing many sessions over unix-domain sockets with
+//!   bounded per-session queues for backpressure;
+//! * [`client`] — a small blocking client used by the example client
+//!   binary, the loopback tests and the CI smoke job.
+//!
+//! # Determinism contract
+//!
+//! Daemon-served results are bit-identical to driving a
+//! [`DecodeSession`](surf_sim::DecodeSession) directly: for
+//! Monte-Carlo traffic seeded by `(seed, batch_index)`, the served
+//! corrections are a pure function of those two values — independent of
+//! how rounds are chunked into `Push` frames, of how many sessions share
+//! the daemon, and of worker-thread scheduling. The loopback test in
+//! `tests/loopback.rs` pins this with interleaved concurrent sessions.
+
+pub mod client;
+pub mod daemon;
+pub mod wire;
+
+pub use client::{session_of, OpenedSession, ServiceClient};
+pub use daemon::{Daemon, DaemonConfig};
+pub use wire::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, SessionSpec, WireAvailability,
+    WireDefect, WireEpisode, WireError, MAX_FRAME_LEN, PERMANENT, WIRE_VERSION,
+};

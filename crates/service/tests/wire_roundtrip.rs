@@ -1,0 +1,213 @@
+//! Wire-protocol hardening: every frame survives an encode/decode
+//! round trip, and every way a peer can hand the daemon malformed
+//! bytes — truncation, trailing junk, hostile lengths, bad version or
+//! opcode — yields a typed error rather than a panic or allocation.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use surf_service::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, SessionSpec, WireAvailability,
+    WireDefect, WireEpisode, WireError, MAX_FRAME_LEN, PERMANENT,
+};
+
+fn arb_defects(rng: &mut StdRng) -> Vec<WireDefect> {
+    (0..rng.gen_range(0..4))
+        .map(|_| WireDefect {
+            x: rng.gen_range(-32..32),
+            y: rng.gen_range(-32..32),
+            rate: rng.gen_range(0.0..1.0),
+        })
+        .collect()
+}
+
+fn arb_spec(rng: &mut StdRng) -> SessionSpec {
+    let mut spec = SessionSpec::standard(rng.gen_range(2..13), rng.gen_range(1..50));
+    spec.basis = rng.gen_range(0..2);
+    spec.window = rng.gen_range(1..spec.rounds + 2);
+    spec.commit = rng.gen_range(1..spec.window + 1);
+    spec.decoder = rng.gen_range(0..2);
+    spec.prior = rng.gen_range(0..2);
+    spec.episodes = (0..rng.gen_range(0..3))
+        .map(|_| {
+            let start = rng.gen_range(0..spec.rounds);
+            WireEpisode {
+                start,
+                end: if rng.gen_bool(0.5) {
+                    PERMANENT
+                } else {
+                    rng.gen_range(start + 1..spec.rounds + 1)
+                },
+                defects: arb_defects(rng),
+            }
+        })
+        .collect();
+    spec
+}
+
+/// An arbitrary frame of every variant, driven by one seed.
+fn arb_frame(rng: &mut StdRng) -> Frame {
+    let session = rng.gen::<u32>();
+    match rng.gen_range(0..12) {
+        0 => Frame::Open {
+            session,
+            lanes: rng.gen_range(1..65),
+            spec: arb_spec(rng),
+        },
+        1 => Frame::Push {
+            session,
+            rounds: (0..rng.gen_range(0..5))
+                .map(|_| (0..rng.gen_range(0..9)).map(|_| rng.gen()).collect())
+                .collect(),
+        },
+        2 => Frame::Inject {
+            session,
+            round: rng.gen(),
+            defects: arb_defects(rng),
+        },
+        3 => Frame::Close { session },
+        4 => Frame::Shutdown,
+        5 => Frame::Opened {
+            session,
+            total_rounds: rng.gen(),
+            round_counts: (0..rng.gen_range(0..9)).map(|_| rng.gen()).collect(),
+        },
+        6 => Frame::Corrections {
+            session,
+            round: rng.gen(),
+            committed_through: rng.gen(),
+            windows_committed: rng.gen(),
+            observable_flips: rng.gen(),
+        },
+        7 => Frame::Availability {
+            session,
+            round: rng.gen(),
+            state: WireAvailability {
+                state: rng.gen_range(0..3),
+                arg: rng.gen(),
+            },
+        },
+        8 => Frame::Deformed {
+            session,
+            at_round: rng.gen(),
+            epoch: rng.gen(),
+        },
+        9 => Frame::Closed {
+            session,
+            complete: rng.gen_bool(0.5),
+            observable_flips: rng.gen(),
+        },
+        10 => Frame::ShuttingDown,
+        _ => Frame::Error {
+            session,
+            message: (0..rng.gen_range(0..24))
+                .map(|_| rng.gen_range(b' '..b'\x7f') as char)
+                .collect(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(f)) == f for every frame variant, both at the
+    /// payload level and through the stream reader/writer.
+    #[test]
+    fn every_frame_round_trips(seed in 0u64..1 << 48) {
+        let frame = arb_frame(&mut StdRng::seed_from_u64(seed));
+        let payload = frame.encode_payload();
+        prop_assert_eq!(decode_frame(&payload).unwrap(), frame.clone());
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = Cursor::new(buf);
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    /// Every strict prefix of a valid payload is rejected as an error —
+    /// never a panic, never a silently wrong frame.
+    #[test]
+    fn every_truncation_is_rejected(seed in 0u64..1 << 48) {
+        let frame = arb_frame(&mut StdRng::seed_from_u64(seed));
+        let payload = frame.encode_payload();
+        for cut in 0..payload.len() {
+            prop_assert!(
+                decode_frame(&payload[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                payload.len()
+            );
+        }
+    }
+
+    /// Appending junk to a valid payload is detected as trailing bytes.
+    #[test]
+    fn trailing_bytes_are_rejected(seed in 0u64..1 << 48) {
+        let frame = arb_frame(&mut StdRng::seed_from_u64(seed));
+        let mut payload = frame.encode_payload();
+        payload.push(0xAA);
+        prop_assert_eq!(decode_frame(&payload), Err(WireError::Trailing));
+    }
+}
+
+#[test]
+fn oversized_length_header_is_rejected_before_allocation() {
+    // A length header just past the cap, followed by nothing: read_frame
+    // must fail on the header alone instead of trying to allocate 16 MiB.
+    let mut bytes = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0u8; 8]);
+    let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("exceeds maximum"));
+}
+
+#[test]
+fn hostile_counts_cannot_force_huge_allocations() {
+    // A Push frame advertising u16::MAX rounds each of u32::MAX words,
+    // with no bytes behind the claim: the embedded counts must be checked
+    // against the remaining payload, not trusted.
+    let mut payload = vec![1u8, 0x02];
+    payload.extend_from_slice(&7u32.to_le_bytes()); // session
+    payload.extend_from_slice(&u16::MAX.to_le_bytes()); // round count
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // words in round 0
+    assert_eq!(decode_frame(&payload), Err(WireError::Truncated));
+}
+
+#[test]
+fn bad_version_and_opcode_are_typed_errors() {
+    let good = Frame::Close { session: 1 }.encode_payload();
+    let mut wrong_version = good.clone();
+    wrong_version[0] = 9;
+    assert_eq!(decode_frame(&wrong_version), Err(WireError::BadVersion(9)));
+
+    let mut wrong_opcode = good;
+    wrong_opcode[1] = 0x7F;
+    assert_eq!(decode_frame(&wrong_opcode), Err(WireError::BadOpcode(0x7F)));
+
+    let err = decode_frame(&[]).unwrap_err();
+    assert_eq!(err, WireError::Truncated);
+}
+
+#[test]
+fn error_frame_with_invalid_utf8_is_rejected() {
+    let mut payload = vec![1u8, 0x8F];
+    payload.extend_from_slice(&3u32.to_le_bytes()); // session
+    payload.extend_from_slice(&2u32.to_le_bytes()); // message length
+    payload.extend_from_slice(&[0xFF, 0xFE]);
+    assert_eq!(decode_frame(&payload), Err(WireError::BadUtf8));
+}
+
+#[test]
+fn full_frame_length_stays_within_bounds() {
+    // The biggest frame the client builder can produce (64-round push of
+    // wide rounds) still fits the cap with a wide margin.
+    let frame = Frame::Push {
+        session: 1,
+        rounds: vec![vec![0u64; 4096]; 64],
+    };
+    let bytes = encode_frame(&frame);
+    assert!(bytes.len() as u32 - 4 <= MAX_FRAME_LEN);
+    assert_eq!(read_frame(&mut Cursor::new(bytes)).unwrap(), Some(frame));
+}

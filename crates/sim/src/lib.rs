@@ -11,9 +11,13 @@
 //!   union-find), either whole-history
 //!   ([`run_basis`](MemoryExperiment::run_basis)) or streamed round by
 //!   round through a sliding-window decoder
-//!   ([`run_streaming`](MemoryExperiment::run_streaming), fed by a
-//!   round-major [`RoundStream`], with optional mid-stream
-//!   [`DefectEvent`]s);
+//!   ([`run_stream`](MemoryExperiment::run_stream) with a
+//!   [`StreamConfig`], fed by a round-major [`RoundStream`], with
+//!   defect schedules and time-varying geometry);
+//! * [`DecodeSession`] — the session-oriented streaming surface beneath
+//!   `run_stream`: an owned, resumable per-logical-qubit decode loop
+//!   (`push_round` → committed corrections, availability, deformation
+//!   notices) that the `surf-service` daemon serves over a socket;
 //! * [`LogicalRateModel`] — the `p_L = A·Λ^{-(d+1)/2}` scaling fit used to
 //!   project large-distance points (the paper uses the same methodology);
 //! * [`NoiseParams`]/[`QubitNoise`] — phenomenological noise with defect
@@ -37,16 +41,20 @@ mod memory;
 mod model;
 mod noise;
 mod sampler;
+pub mod service;
 mod stream;
 mod timeline;
 
 pub use circuit::{memory_circuit, Circuit, Detector, Instruction, MemoryCircuit};
 pub use fit::LogicalRateModel;
 pub use frame::{extract_dem, sample_batch, sample_batch_lanes, sample_shot};
-pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats, Shard};
+pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats, Shard, StreamConfig};
 pub use model::{Channel, DecoderPrior, DetectorModel};
 pub use noise::{NoiseParams, QubitNoise};
 pub use sampler::{bernoulli_mask, BatchSampler, GEOMETRIC_THRESHOLD};
+pub use service::{
+    Availability, DecodeSession, DeformationNotice, SessionConfig, SessionError, SessionOutput,
+};
 pub use stream::{RoundSlice, RoundStream};
 pub use timeline::{DetectorRemap, TimelineModel};
 

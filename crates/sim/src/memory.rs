@@ -12,15 +12,12 @@ use rand::SeedableRng;
 use surf_defects::{DefectEvent, DefectMap, DefectSchedule};
 use surf_deformer_core::PatchTimeline;
 use surf_lattice::{Basis, Patch};
-use surf_matching::{
-    Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder, WindowConfig, WindowedDecoder,
-};
+use surf_matching::{Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder, WindowConfig};
 use surf_pauli::BitBatch;
 
 use crate::model::{DecoderPrior, DetectorModel};
 use crate::noise::{NoiseParams, QubitNoise};
-use crate::stream::RoundStream;
-use crate::timeline::TimelineModel;
+use crate::service::SessionConfig;
 
 /// Which decoder backend to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,7 +40,8 @@ impl DecoderKind {
     }
 
     /// The same dispatch as a reusable factory, in the shape
-    /// [`WindowedDecoder`] consumes to build its per-window backends.
+    /// [`surf_matching::WindowedDecoder`] consumes to build its per-window
+    /// backends.
     pub fn factory(self) -> surf_matching::DecoderFactory {
         Box::new(move |graph| self.build(graph))
     }
@@ -116,6 +114,85 @@ impl Shard {
 impl std::fmt::Display for Shard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One streamed Monte-Carlo run, fully specified: shot budget, seeding,
+/// window split, worker threads, sharding, and the defect/geometry
+/// environment. Every legacy `run_streaming*` entry point is a one-line
+/// projection of this struct onto
+/// [`MemoryExperiment::run_stream_basis`].
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Shots per basis.
+    pub shots: u64,
+    /// RNG seed; failure counts are a pure function of
+    /// `(shots, seed, shard)`.
+    pub seed: u64,
+    /// Sliding-window split for the streamed decode.
+    pub window: WindowConfig,
+    /// Worker threads (`0` = one per available core, capped by shots).
+    pub threads: usize,
+    /// Which 64-shot batches this process owns.
+    pub shard: Shard,
+    /// Time-varying geometry; `None` streams the experiment's own patch
+    /// at fixed geometry.
+    pub timeline: Option<PatchTimeline>,
+    /// Defect episodes elevating true error rates (and, under an
+    /// informed prior, reweighting the decoder).
+    pub schedule: DefectSchedule,
+}
+
+impl StreamConfig {
+    /// `shots` per basis from `seed`, decoding over `window`-round
+    /// sliding windows: fixed geometry, no defects, auto threads, the
+    /// whole run.
+    pub fn new(shots: u64, seed: u64, window: u32) -> Self {
+        StreamConfig {
+            shots,
+            seed,
+            window: WindowConfig::new(window),
+            threads: 0,
+            shard: Shard::solo(),
+            timeline: None,
+            schedule: DefectSchedule::new(),
+        }
+    }
+
+    /// Replaces the window/commit split.
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Pins the worker-thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Restricts the run to the batches owned by `shard`.
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Streams over `timeline`'s time-varying geometry instead of the
+    /// experiment's fixed patch.
+    pub fn with_timeline(mut self, timeline: PatchTimeline) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Replaces the defect schedule.
+    pub fn with_schedule(mut self, schedule: DefectSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Replaces the schedule with one permanent mid-stream event.
+    pub fn with_event(self, event: &DefectEvent) -> Self {
+        self.with_schedule(DefectSchedule::permanent_event(event))
     }
 }
 
@@ -286,33 +363,103 @@ impl MemoryExperiment {
         })
     }
 
-    /// Runs one basis through the *streaming* pipeline: syndromes are
-    /// emitted round-major by a [`RoundStream`] and decoded on the fly by
-    /// a [`WindowedDecoder`] over sliding `window`-round windows
-    /// (committing half a window per step), exactly as a real-time
-    /// decoder would consume them. Returns the failure count.
+    /// The [`SessionConfig`] this experiment streams under: its patch at
+    /// fixed geometry (with `kept_defects` resident), its noise, prior,
+    /// decoder and round budget, and a default full-history window. The
+    /// bridge from the Monte-Carlo harness to the decode service — refine
+    /// with the `with_*` builders and [`SessionConfig::open`] a
+    /// [`DecodeSession`](crate::DecodeSession).
+    pub fn session_config(&self, memory_basis: Basis) -> SessionConfig {
+        let timeline = PatchTimeline::fixed(self.patch.clone(), self.kept_defects.clone());
+        let mut config = SessionConfig::new(timeline, memory_basis, self.rounds);
+        config.noise = self.noise;
+        config.prior = self.prior;
+        config.decoder = self.decoder;
+        config
+    }
+
+    /// Runs both bases through the *streaming* pipeline — syndromes
+    /// emitted round-major and decoded on the fly by sliding-window
+    /// [`DecodeSession`](crate::DecodeSession)s, exactly as a real-time
+    /// decoder would consume them — and returns the merged counts. The
+    /// X-basis seed is decorrelated from the Z-basis seed exactly as in
+    /// [`run_shard`](Self::run_shard).
+    pub fn run_stream(&self, config: &StreamConfig) -> MemoryStats {
+        let failures_z = self.run_stream_basis(Basis::Z, config);
+        let mut x_config = config.clone();
+        x_config.seed ^= 0x9E37_79B9_7F4A_7C15;
+        let failures_x = self.run_stream_basis(Basis::X, &x_config);
+        MemoryStats {
+            shots: config.shard.shots_of(config.shots),
+            failures_z_memory: failures_z,
+            failures_x_memory: failures_x,
+        }
+    }
+
+    /// Runs one basis through the streaming pipeline and returns the
+    /// failure count: the single convergent loop behind every legacy
+    /// `run_streaming*` entry point.
+    ///
+    /// The experiment (or `config.timeline`'s epochs) compiles once into
+    /// a [`SessionConfig`]; each worker thread
+    /// [forks](crate::DecodeSession::fork) a session per 64-shot batch,
+    /// replays the batch round-major through it, and counts
+    /// prediction/observable mismatches. Batches draw their RNG from a
+    /// SplitMix64 stream indexed by the *global* batch number, so the
+    /// count is a pure function of `(shots, seed, shard)` — thread count
+    /// and frame chunking never change it, and shard counts sum to the
+    /// single-host result exactly.
     ///
     /// For `window >= rounds + 1` the windowed decoder degenerates to one
     /// full-history window and the count is bit-identical to
     /// [`run_basis`](Self::run_basis) with the same seed; for
     /// `window >= 2·d` it remains bit-identical at realistic noise (the
     /// equivalence suite in `tests/streaming_equivalence.rs` proves both).
-    pub fn run_streaming(&self, memory_basis: Basis, shots: u64, seed: u64, window: u32) -> u64 {
-        self.run_streaming_with(
-            memory_basis,
-            shots,
-            seed,
-            WindowConfig::new(window),
-            None,
-            available_threads(shots),
-        )
+    pub fn run_stream_basis(&self, memory_basis: Basis, config: &StreamConfig) -> u64 {
+        let threads = if config.threads == 0 {
+            available_threads(config.shots)
+        } else {
+            config.threads
+        };
+        let mut session_config = self.session_config(memory_basis);
+        if let Some(timeline) = &config.timeline {
+            session_config.timeline = timeline.clone();
+        }
+        session_config.window = config.window;
+        session_config.schedule = config.schedule.clone();
+        let proto = session_config.open(1);
+        run_batches_shard(config.shots, config.seed, threads, config.shard, || {
+            let proto = &proto;
+            let mut stream = proto.round_stream();
+            move |rng: &mut StdRng, lanes: usize| {
+                stream.begin(rng, lanes);
+                let mut session = proto.fork(lanes);
+                while let Some(slice) = stream.next_round() {
+                    session
+                        .push_round(slice.words)
+                        .expect("round stream matches its own session layout");
+                }
+                let predictions = session.finish().expect("all rounds pushed");
+                count_failures(
+                    &predictions,
+                    stream.true_observables(),
+                    BitBatch::mask_for(lanes),
+                )
+            }
+        })
     }
 
-    /// [`run_streaming`](Self::run_streaming) with full control: an
-    /// explicit window/commit split, an optional mid-stream
-    /// [`DefectEvent`] (a defect landing at round `event.round` elevates
-    /// the true error rates *and* reweights the decoding graph for every
-    /// window containing it), and a pinned worker-thread count.
+    /// Legacy streaming entry point; see
+    /// [`run_stream_basis`](Self::run_stream_basis).
+    #[deprecated(note = "use run_stream_basis with a StreamConfig")]
+    pub fn run_streaming(&self, memory_basis: Basis, shots: u64, seed: u64, window: u32) -> u64 {
+        self.run_stream_basis(memory_basis, &StreamConfig::new(shots, seed, window))
+    }
+
+    /// Legacy streaming entry point with an explicit window split, an
+    /// optional mid-stream [`DefectEvent`] and a pinned thread count; see
+    /// [`run_stream_basis`](Self::run_stream_basis).
+    #[deprecated(note = "use run_stream_basis with a StreamConfig")]
     pub fn run_streaming_with(
         &self,
         memory_basis: Basis,
@@ -322,37 +469,21 @@ impl MemoryExperiment {
         event: Option<&DefectEvent>,
         threads: usize,
     ) -> u64 {
-        let model = self.streaming_model(memory_basis, event);
-        let windowed = WindowedDecoder::new(
-            model.graph.clone(),
-            model.detector_rounds.clone(),
-            1,
-            config,
-            self.decoder.factory(),
-        );
-        stream_batches(shots, seed, threads, Shard::solo(), &model, &windowed)
+        let schedule = event.map_or_else(DefectSchedule::new, DefectSchedule::permanent_event);
+        self.run_stream_basis(
+            memory_basis,
+            &StreamConfig::new(shots, seed, 1)
+                .with_window(config)
+                .with_schedule(schedule)
+                .with_threads(threads),
+        )
     }
 
-    /// Runs one basis through the streaming pipeline over *time-varying*
-    /// geometry: the patch of each [`PatchTimeline`] epoch is measured
-    /// during its rounds, with the deformation boundaries compiled into a
-    /// single spliced multi-epoch detector model
-    /// ([`TimelineModel::build`]). The windowed decoder is assembled from
-    /// the per-epoch graph pieces
-    /// ([`WindowedDecoder::from_epochs`]), so windows straddling a
-    /// deformation decode against the spliced two-epoch graph and carry
-    /// residual defects through the detector remap.
-    ///
-    /// The experiment's own `patch`/`kept_defects` are *not* consulted —
-    /// the timeline's epochs carry both — but `noise`, `prior`, `rounds`
-    /// and `decoder` apply as usual. An optional mid-stream `event`
-    /// elevates the struck qubits' rates from `event.round` on, for as
-    /// long as each remains in the current epoch's patch.
-    ///
-    /// Batches draw their RNG by global batch index exactly like every
-    /// other runner, so the count is thread-count independent and a
-    /// static timeline reproduces
-    /// [`run_streaming_with`](Self::run_streaming_with) bit for bit.
+    /// Legacy streaming entry point over time-varying geometry; see
+    /// [`run_stream_basis`](Self::run_stream_basis). The experiment's own
+    /// `patch`/`kept_defects` are not consulted — the timeline's epochs
+    /// carry both.
+    #[deprecated(note = "use run_stream_basis with StreamConfig::with_timeline")]
     #[allow(clippy::too_many_arguments)]
     pub fn run_streaming_timeline(
         &self,
@@ -365,27 +496,19 @@ impl MemoryExperiment {
         threads: usize,
     ) -> u64 {
         let schedule = event.map_or_else(DefectSchedule::new, DefectSchedule::permanent_event);
-        self.run_streaming_schedule_shard(
+        self.run_stream_basis(
             memory_basis,
-            shots,
-            seed,
-            config,
-            timeline,
-            &schedule,
-            threads,
-            Shard::solo(),
+            &StreamConfig::new(shots, seed, 1)
+                .with_window(config)
+                .with_timeline(timeline.clone())
+                .with_schedule(schedule)
+                .with_threads(threads),
         )
     }
 
-    /// [`run_streaming_timeline`](Self::run_streaming_timeline)
-    /// generalised to a whole [`DefectSchedule`]: episodes elevate their
-    /// qubits' true rates over their active windows (healed defects stop
-    /// hurting), compiled once into the multi-epoch model by
-    /// [`TimelineModel::build_scheduled`]. This is the full multi-event
-    /// pipeline — pair it with a
-    /// [`PatchTimeline::adaptive_schedule`] timeline built from the same
-    /// schedule to stream the strike → deform → recover → next-strike
-    /// loop end to end.
+    /// Legacy multi-event streaming entry point; see
+    /// [`run_stream_basis`](Self::run_stream_basis).
+    #[deprecated(note = "use run_stream_basis with StreamConfig::with_schedule")]
     #[allow(clippy::too_many_arguments)]
     pub fn run_streaming_schedule(
         &self,
@@ -397,23 +520,19 @@ impl MemoryExperiment {
         schedule: &DefectSchedule,
         threads: usize,
     ) -> u64 {
-        self.run_streaming_schedule_shard(
+        self.run_stream_basis(
             memory_basis,
-            shots,
-            seed,
-            config,
-            timeline,
-            schedule,
-            threads,
-            Shard::solo(),
+            &StreamConfig::new(shots, seed, 1)
+                .with_window(config)
+                .with_timeline(timeline.clone())
+                .with_schedule(schedule.clone())
+                .with_threads(threads),
         )
     }
 
-    /// [`run_streaming_schedule`](Self::run_streaming_schedule) restricted
-    /// to the 64-shot batches owned by `shard` (see
-    /// [`run_shard`](Self::run_shard)): per-batch RNG is drawn by *global*
-    /// batch index, so shard failure counts sum to the single-host result
-    /// exactly — the streamed figure binaries shard across hosts this way.
+    /// Legacy sharded multi-event streaming entry point; see
+    /// [`run_stream_basis`](Self::run_stream_basis).
+    #[deprecated(note = "use run_stream_basis with StreamConfig::with_shard")]
     #[allow(clippy::too_many_arguments)]
     pub fn run_streaming_schedule_shard(
         &self,
@@ -426,47 +545,15 @@ impl MemoryExperiment {
         threads: usize,
         shard: Shard,
     ) -> u64 {
-        let tm = TimelineModel::build_scheduled(
-            timeline,
+        self.run_stream_basis(
             memory_basis,
-            self.rounds,
-            self.noise,
-            schedule,
-            self.prior,
-        );
-        let windowed = WindowedDecoder::from_epochs(
-            tm.model.num_detectors,
-            &tm.graph_epochs(),
-            1,
-            config,
-            self.decoder.factory(),
-        );
-        stream_batches(shots, seed, threads, shard, &tm.model, &windowed)
-    }
-
-    /// The detector model of one basis, spliced with a mid-stream defect
-    /// event if one is given.
-    fn streaming_model(&self, memory_basis: Basis, event: Option<&DefectEvent>) -> DetectorModel {
-        let noise = QubitNoise::new(self.noise, self.kept_defects.clone());
-        let base = DetectorModel::build(&self.patch, memory_basis, self.rounds, &noise, self.prior);
-        match event {
-            None => base,
-            Some(ev) => {
-                let mut struck = self.kept_defects.clone();
-                for (q, info) in ev.defects.iter() {
-                    struck.insert(q, info.error_rate);
-                }
-                let late_noise = QubitNoise::new(self.noise, struck);
-                let late = DetectorModel::build(
-                    &self.patch,
-                    memory_basis,
-                    self.rounds,
-                    &late_noise,
-                    self.prior,
-                );
-                base.splice(&late, ev.round)
-            }
-        }
+            &StreamConfig::new(shots, seed, 1)
+                .with_window(config)
+                .with_timeline(timeline.clone())
+                .with_schedule(schedule.clone())
+                .with_threads(threads)
+                .with_shard(shard),
+        )
     }
 }
 
@@ -486,36 +573,6 @@ fn count_failures(predictions: &[u64], true_obs: u64, mask: u64) -> u64 {
         predicted |= (p & 1) << lane;
     }
     u64::from(((predicted ^ true_obs) & mask).count_ones())
-}
-
-/// The shared streamed-pipeline loop: each batch is replayed round-major
-/// by a fresh per-worker [`RoundStream`] over `model` and decoded on the
-/// fly by a [`WindowedDecoder`] session. Only the batches owned by
-/// `shard` run (pass [`Shard::solo`] for the whole run).
-fn stream_batches(
-    shots: u64,
-    seed: u64,
-    threads: usize,
-    shard: Shard,
-    model: &DetectorModel,
-    windowed: &WindowedDecoder,
-) -> u64 {
-    run_batches_shard(shots, seed, threads, shard, || {
-        let mut stream = RoundStream::new(model);
-        move |rng: &mut StdRng, lanes: usize| {
-            stream.begin(rng, lanes);
-            let mut session = windowed.session(lanes);
-            while let Some(slice) = stream.next_round() {
-                session.push_round(slice.round, slice.detectors, slice.words);
-            }
-            let predictions = session.finish();
-            count_failures(
-                &predictions,
-                stream.true_observables(),
-                BitBatch::mask_for(lanes),
-            )
-        }
-    })
 }
 
 /// Runs the `shard`-owned 64-lane batches of a `shots`-shot run spread

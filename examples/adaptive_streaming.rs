@@ -81,17 +81,26 @@ fn main() {
     exp.decoder = DecoderKind::Mwpm;
 
     // Reference: nothing strikes.
-    let clean = exp.run_streaming_with(Basis::Z, shots, seed, window, None, threads);
+    let stream = |exp: &MemoryExperiment, config: StreamConfig| {
+        exp.run_stream_basis(Basis::Z, &config.with_window(window).with_threads(threads))
+    };
+    let clean = stream(&exp, StreamConfig::new(shots, seed, window.window));
     println!("no strike:                         {clean:6} failures");
 
     // Blind: the decoder never learns about the defect.
     exp.prior = DecoderPrior::Nominal;
-    let blind = exp.run_streaming_with(Basis::Z, shots, seed, window, Some(&event), threads);
+    let blind = stream(
+        &exp,
+        StreamConfig::new(shots, seed, window.window).with_event(&event),
+    );
     println!("strike, blind decoder:             {blind:6} failures");
 
     // Reweight-only: priors switch at the event round, geometry fixed.
     exp.prior = DecoderPrior::Informed;
-    let reweight = exp.run_streaming_with(Basis::Z, shots, seed, window, Some(&event), threads);
+    let reweight = stream(
+        &exp,
+        StreamConfig::new(shots, seed, window.window).with_event(&event),
+    );
     println!("strike, reweight-only decoder:     {reweight:6} failures");
 
     // Adaptive: detector -> mitigate -> deformed geometry mid-stream.
@@ -109,14 +118,11 @@ fn main() {
     let late = &timeline.epochs()[1];
     println!(
         "strike, adaptive deformation:      {:6} failures",
-        exp.run_streaming_timeline(
-            Basis::Z,
-            shots,
-            seed,
-            window,
-            &timeline,
-            Some(&event),
-            threads
+        stream(
+            &exp,
+            StreamConfig::new(shots, seed, window.window)
+                .with_timeline(timeline.clone())
+                .with_event(&event),
         )
     );
     println!(
@@ -162,14 +168,11 @@ fn main() {
             reaction,
             &mut rng,
         );
-        let failures = exp.run_streaming_timeline(
-            Basis::Z,
-            shots,
-            seed,
-            window,
-            &timeline,
-            Some(&event),
-            threads,
+        let failures = stream(
+            &exp,
+            StreamConfig::new(shots, seed, window.window)
+                .with_timeline(timeline.clone())
+                .with_event(&event),
         );
         println!(
             "  deform at round {:2}: {failures:6} failures",

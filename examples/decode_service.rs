@@ -1,0 +1,146 @@
+//! Decode as a service, end to end in one process.
+//!
+//! Spins up the `surf-deformer-daemon` reactor on a unix socket, opens
+//! two concurrent logical-qubit sessions over one connection, streams
+//! each qubit's syndrome rounds in interleaved chunks, injects a
+//! mid-stream defect strike into one of them, and checks the served
+//! corrections against a directly-driven [`DecodeSession`] — the
+//! determinism contract the daemon ships under.
+//!
+//! ```bash
+//! cargo run --release --example decode_service
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surf_deformer::prelude::*;
+use surf_deformer::service::{Frame, WireDefect};
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("decode-service-{}.sock", std::process::id()));
+    let daemon = Daemon::bind(&socket, DaemonConfig::default()).expect("bind daemon");
+    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    println!("daemon serving on {}", socket.display());
+
+    // Two d=5 logical qubits, 15 rounds each, windows of 2d committing d.
+    let mut spec = SessionSpec::standard(5, 15);
+    spec.window = 10;
+    spec.commit = 5;
+    let strike_round = 8;
+
+    // Sample each qubit's syndrome stream locally (the Monte-Carlo
+    // stand-in for hardware) and drive a reference session in-process.
+    // Qubit 2's reference schedules the strike upfront; the daemon will
+    // instead learn about it mid-stream via an Inject frame.
+    let mut struck = spec.clone();
+    struck.episodes = vec![surf_deformer::service::WireEpisode {
+        start: strike_round,
+        end: surf_deformer::service::PERMANENT,
+        defects: vec![WireDefect {
+            x: 5,
+            y: 5,
+            rate: 0.3,
+        }],
+    }];
+    let qubits: Vec<(u32, SessionSpec)> = vec![(1, spec.clone()), (2, struck)];
+    let references: Vec<(Vec<Vec<u64>>, u64)> = qubits
+        .iter()
+        .map(|(id, qspec)| {
+            let config = qspec.to_config().expect("valid spec");
+            let mut session = config.open(64);
+            let mut stream = session.round_stream();
+            stream.begin(&mut StdRng::seed_from_u64(0xD5EA + u64::from(*id)), 64);
+            let mut slices = Vec::new();
+            while let Some(slice) = stream.next_round() {
+                slices.push(slice.words.to_vec());
+            }
+            for words in &slices {
+                session.push_round(words).expect("reference push");
+            }
+            let mut flips = 0u64;
+            for (lane, &mask) in session.observables().iter().enumerate() {
+                flips |= (mask & 1) << lane;
+            }
+            (slices, flips)
+        })
+        .collect();
+
+    // Serve both sessions over one connection, pushes interleaved.
+    let mut client = ServiceClient::connect(&socket).expect("connect");
+    for (id, _) in &qubits {
+        client.open_session(*id, 64, spec.clone()).expect("open");
+    }
+    let total = references[0].0.len();
+    let mut injected = false;
+    for round in 0..total {
+        for ((id, _), (slices, _)) in qubits.iter().zip(&references) {
+            if *id == 2 && round == 4 && !injected {
+                // The defect detector reports a strike coming at round 8:
+                // the daemon recompiles session 2's prior mid-flight.
+                client
+                    .send(&Frame::Inject {
+                        session: 2,
+                        round: strike_round,
+                        defects: vec![WireDefect {
+                            x: 5,
+                            y: 5,
+                            rate: 0.3,
+                        }],
+                    })
+                    .expect("inject");
+                injected = true;
+            }
+            client
+                .push_rounds(*id, vec![slices[round].clone()])
+                .expect("push");
+            // Drain the per-chunk progress frames.
+            loop {
+                match client.recv_for(*id).expect("reply") {
+                    Frame::Corrections {
+                        committed_through, ..
+                    } => {
+                        if round + 1 == total {
+                            println!(
+                                "qubit {id}: all {total} rounds pushed, \
+                                 corrections committed through round {committed_through}"
+                            );
+                        }
+                        break;
+                    }
+                    Frame::Availability { round, state, .. } => {
+                        println!(
+                            "qubit {id}: availability changed at round {round}: state {}",
+                            state.state
+                        );
+                    }
+                    Frame::Deformed {
+                        at_round, epoch, ..
+                    } => {
+                        println!(
+                            "qubit {id}: geometry deforms at round {at_round} (epoch {epoch})"
+                        );
+                    }
+                    other => panic!("unexpected frame {other:?}"),
+                }
+            }
+        }
+    }
+
+    for ((id, _), (_, direct)) in qubits.iter().zip(&references) {
+        let (complete, served) = client.close_session(*id).expect("close");
+        assert!(complete);
+        println!(
+            "qubit {id}: served flips {served:#018x}, direct {direct:#018x} — {}",
+            if served == *direct {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        assert_eq!(served, *direct, "daemon diverged from direct session");
+    }
+
+    client.shutdown_daemon().expect("shutdown");
+    server.join().expect("daemon thread");
+    println!("daemon shut down cleanly");
+}

@@ -51,13 +51,11 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let blind = exp.run_streaming_with(
+    let blind = exp.run_stream_basis(
         Basis::Z,
-        shots,
-        seed,
-        WindowConfig::new(rounds + 1),
-        Some(&event),
-        threads,
+        &StreamConfig::new(shots, seed, rounds + 1)
+            .with_event(&event)
+            .with_threads(threads),
     );
     println!("strike, defect-blind decoder:      {blind:6} failures");
 
@@ -66,13 +64,11 @@ fn main() {
     exp.prior = DecoderPrior::Informed;
     println!("strike, informed streaming decoder by window size:");
     for window in [2, d as u32, 2 * d as u32, rounds + 1] {
-        let failures = exp.run_streaming_with(
+        let failures = exp.run_stream_basis(
             Basis::Z,
-            shots,
-            seed,
-            WindowConfig::new(window),
-            Some(&event),
-            threads,
+            &StreamConfig::new(shots, seed, window)
+                .with_event(&event)
+                .with_threads(threads),
         );
         let label = if window > rounds {
             "full history".to_string()

@@ -17,7 +17,11 @@
 //!   adaptive-enlargement subroutines, and the ASC-S / Q3DE baselines.
 //! * [`matching`] — exact minimum-weight perfect matching and union-find
 //!   decoders.
-//! * [`sim`] — Monte-Carlo memory experiments over (deformed) patches.
+//! * [`sim`] — Monte-Carlo memory experiments over (deformed) patches,
+//!   including the session-oriented streaming API
+//!   ([`DecodeSession`](sim::DecodeSession)).
+//! * [`service`] — decode as a service: the `surf-deformer-daemon`
+//!   reactor, its length-prefixed wire protocol, and a blocking client.
 //! * [`layout`] — lattice-surgery layouts, routing, and throughput.
 //! * [`programs`] — quantum-program workloads and end-to-end retry risk.
 //!
@@ -43,6 +47,7 @@ pub use surf_layout as layout;
 pub use surf_matching as matching;
 pub use surf_pauli as pauli;
 pub use surf_programs as programs;
+pub use surf_service as service;
 pub use surf_sim as sim;
 pub use surf_stabilizer as stabilizer;
 
@@ -62,8 +67,10 @@ pub mod prelude {
     };
     pub use surf_pauli::BitBatch;
     pub use surf_programs::{Calibration, StrategyKind};
+    pub use surf_service::{Daemon, DaemonConfig, ServiceClient, SessionSpec};
     pub use surf_sim::{
-        BatchSampler, DecoderKind, DecoderPrior, DetectorRemap, MemoryExperiment, NoiseParams,
-        RoundStream, Shard, TimelineModel,
+        Availability, BatchSampler, DecodeSession, DecoderKind, DecoderPrior, DetectorRemap,
+        MemoryExperiment, NoiseParams, RoundStream, SessionConfig, SessionOutput, Shard,
+        StreamConfig, TimelineModel,
     };
 }
