@@ -36,6 +36,26 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Reads an environment variable as a `u32` with a default.
+///
+/// A value that parses as an integer but overflows `u32` aborts loudly:
+/// the old `env_u64(..) as u32` idiom silently truncated, so e.g.
+/// `ROUNDS=4294967336` would quietly run a 40-round experiment and
+/// report it as the requested horizon. Unparseable values keep the
+/// [`env_u64`] convention and fall back to the default.
+pub fn env_u32(name: &str, default: u32) -> u32 {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.parse::<u64>() {
+        Ok(v) => u32::try_from(v).unwrap_or_else(|_| {
+            eprintln!("{name}={raw} overflows u32 (max {})", u32::MAX);
+            std::process::exit(2);
+        }),
+        Err(_) => default,
+    }
+}
+
 /// Reads an environment variable as a float with a default.
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)

@@ -35,8 +35,38 @@
 //! `crates/sim/tests/streaming_equivalence.rs` proves the logical outcome
 //! bit-identical — while `w = rounds` reduces exactly to the inner
 //! decoder and `w = 1` degenerates to greedy round-by-round commitment.
+//!
+//! # Sparse mode
+//!
+//! [`WindowedDecoder::sparse`] / [`from_epochs_sparse`]
+//! (WindowedDecoder::from_epochs_sparse) build the same decoder in an
+//! event-driven shape for very long, mostly-silent streams (the 10⁵–10⁶
+//! round availability horizons of the cosmic-ray ride-through scenario):
+//!
+//! * **Lazy window plans.** Window sub-graphs and inner decoders are built
+//!   on first use instead of eagerly for every window, and windows whose
+//!   instrumented sub-graphs are structurally identical (the steady state
+//!   between geometry epochs — almost all of a long stream) *share* one
+//!   inner decoder. A 10⁵-round session compiles a handful of backends
+//!   instead of tens of thousands.
+//! * **Fast-forward.** Sessions track which rounds have ever seen a
+//!   nonzero defect word (including carry targets). A ready window whose
+//!   rounds are all clean must decode to an empty matching with zero
+//!   observable flips, so it is committed trivially without touching the
+//!   backend — the skip is *exact*, not approximate. Dense-built decoders
+//!   never skip, so the eager path remains a bit-identical baseline.
+//! * **Bulk advance.** [`WindowedSession::advance_silent`] /
+//!   [`OwnedWindowedSession::advance_silent`] feed `n` defect-free rounds
+//!   in one call, letting sparse samplers jump from event to event in
+//!   O(windows touched) instead of O(rounds).
+//!
+//! Both modes run the identical window assembly and decode sequence, so
+//! eager and sparse decoders agree bit for bit on every stream (see the
+//! `sparse_*` tests below); the eager path additionally surfaces carry-bit
+//! overflow at construction time, while the sparse path surfaces it on
+//! first decode of the offending window.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use surf_pauli::BitBatch;
 
@@ -105,19 +135,41 @@ impl WindowConfig {
     }
 }
 
-/// One precomputed window: its sub-graph decoder plus the bookkeeping to
-/// translate between global detectors and window-local node ids.
+/// One window's bookkeeping: its sub-graph decoder (possibly shared with
+/// structurally identical windows in sparse mode) plus the translation
+/// between global detectors and window-local node ids.
 struct WindowPlan {
-    /// One past the last round of the window.
-    end: u32,
     /// Window detectors in global ids; local node `i` = `globals[i]`.
     globals: Vec<u32>,
     /// Inner decoder over the instrumented window sub-graph.
-    decoder: Box<dyn Decoder>,
+    decoder: Arc<dyn Decoder>,
     /// Carry instrumentation: `(observable bit, global detector)` — if the
     /// decode result has the bit set, the detector's defect is flipped
     /// before the next window.
     carries: Vec<(u32, u32)>,
+}
+
+/// Where window plans come from: built eagerly up front (dense mode) or
+/// resolved on demand with structural decoder sharing (sparse mode).
+enum PlanStore {
+    Eager(Vec<Arc<WindowPlan>>),
+    Lazy(Mutex<PlanTable>),
+}
+
+/// The lazy-plan state behind sparse mode.
+struct PlanTable {
+    factory: DecoderFactory,
+    /// Plans already resolved, indexed by window.
+    resolved: Vec<Option<Arc<WindowPlan>>>,
+    /// Distinct inner decoders built so far, most recently used first;
+    /// a candidate window whose instrumented sub-graph equals a canonical
+    /// decoder's graph reuses it instead of compiling a new backend.
+    canon: Vec<Arc<dyn Decoder>>,
+    /// All detectors sorted by `(round, detector)`.
+    dets: Vec<u32>,
+    /// `dets[round_start[r]..round_start[r + 1]]` are round `r`'s
+    /// detectors in ascending id order.
+    round_start: Vec<u32>,
 }
 
 /// A streaming decoder: decodes overlapping round-windows of a decoding
@@ -158,8 +210,9 @@ pub struct WindowedDecoder {
     /// One past the largest round label.
     total_rounds: u32,
     obs_mask: u64,
+    num_observables: u32,
     config: WindowConfig,
-    plans: Vec<WindowPlan>,
+    store: PlanStore,
 }
 
 impl WindowedDecoder {
@@ -181,6 +234,36 @@ impl WindowedDecoder {
         config: WindowConfig,
         factory: DecoderFactory,
     ) -> Self {
+        WindowedDecoder::build(graph, rounds_of, num_observables, config, factory, false)
+    }
+
+    /// [`new`](WindowedDecoder::new) in sparse mode: window plans are
+    /// resolved lazily on first use, structurally identical windows share
+    /// one inner decoder, and sessions fast-forward through defect-free
+    /// windows without invoking the backend.
+    ///
+    /// Decodes bit-identically to the eager construction on every stream;
+    /// the only behavioural difference is that a carry-bit overflow (see
+    /// [`new`](WindowedDecoder::new)) panics on first decode of the
+    /// offending window instead of at construction.
+    pub fn sparse(
+        graph: DecodingGraph,
+        rounds_of: Vec<u32>,
+        num_observables: u32,
+        config: WindowConfig,
+        factory: DecoderFactory,
+    ) -> Self {
+        WindowedDecoder::build(graph, rounds_of, num_observables, config, factory, true)
+    }
+
+    fn build(
+        graph: DecodingGraph,
+        rounds_of: Vec<u32>,
+        num_observables: u32,
+        config: WindowConfig,
+        factory: DecoderFactory,
+        sparse: bool,
+    ) -> Self {
         assert_eq!(
             rounds_of.len(),
             graph.num_nodes(),
@@ -192,8 +275,8 @@ impl WindowedDecoder {
         );
         // Re-validate the config: its fields are `pub`, so a struct
         // literal can bypass the constructor asserts. commit = 0 would
-        // loop forever below; commit > window would leave rounds that
-        // belong to no window (silently undecoded defects).
+        // produce infinitely many windows; commit > window would leave
+        // rounds that belong to no window (silently undecoded defects).
         assert!(config.window > 0, "window must be at least one round");
         assert!(
             (1..=config.window).contains(&config.commit),
@@ -208,26 +291,40 @@ impl WindowedDecoder {
             rounds_of,
             total_rounds,
             obs_mask,
+            num_observables,
             config,
-            plans: Vec::new(),
+            store: PlanStore::Eager(Vec::new()),
         };
-        let mut start = 0u32;
-        loop {
-            let end = (start + config.window).min(decoder.total_rounds);
-            let last = end == decoder.total_rounds;
-            let cut = if last {
-                u32::MAX
-            } else {
-                start + config.commit
-            };
-            decoder
-                .plans
-                .push(decoder.build_plan(start, end, cut, num_observables, &factory));
-            if last {
-                break;
+        decoder.store = if sparse {
+            let mut dets: Vec<u32> = (0..decoder.graph.num_nodes() as u32).collect();
+            dets.sort_unstable_by_key(|&d| (decoder.rounds_of[d as usize], d));
+            let mut round_start = vec![0u32; total_rounds as usize + 1];
+            for &d in &dets {
+                round_start[decoder.rounds_of[d as usize] as usize + 1] += 1;
             }
-            start += config.commit;
-        }
+            for r in 0..total_rounds as usize {
+                round_start[r + 1] += round_start[r];
+            }
+            PlanStore::Lazy(Mutex::new(PlanTable {
+                factory,
+                resolved: vec![None; decoder.num_windows()],
+                canon: Vec::new(),
+                dets,
+                round_start,
+            }))
+        } else {
+            let mut plans = Vec::with_capacity(decoder.num_windows());
+            for index in 0..decoder.num_windows() {
+                let (start, end, cut) = decoder.window_bounds(index);
+                let (globals, window_graph, carries) = decoder.build_parts_eager(start, end, cut);
+                plans.push(Arc::new(WindowPlan {
+                    globals,
+                    decoder: Arc::from(factory(window_graph)),
+                    carries,
+                }));
+            }
+            PlanStore::Eager(plans)
+        };
         decoder
     }
 
@@ -254,6 +351,24 @@ impl WindowedDecoder {
         config: WindowConfig,
         factory: DecoderFactory,
     ) -> Self {
+        let (graph, rounds_of) = WindowedDecoder::splice_epochs(num_detectors, epochs);
+        WindowedDecoder::new(graph, rounds_of, num_observables, config, factory)
+    }
+
+    /// [`from_epochs`](WindowedDecoder::from_epochs) in sparse mode; see
+    /// [`sparse`](WindowedDecoder::sparse).
+    pub fn from_epochs_sparse(
+        num_detectors: usize,
+        epochs: &[GraphEpoch],
+        num_observables: u32,
+        config: WindowConfig,
+        factory: DecoderFactory,
+    ) -> Self {
+        let (graph, rounds_of) = WindowedDecoder::splice_epochs(num_detectors, epochs);
+        WindowedDecoder::sparse(graph, rounds_of, num_observables, config, factory)
+    }
+
+    fn splice_epochs(num_detectors: usize, epochs: &[GraphEpoch]) -> (DecodingGraph, Vec<u32>) {
         let mut graph = DecodingGraph::new(num_detectors);
         let mut rounds_of = vec![u32::MAX; num_detectors];
         for (i, epoch) in epochs.iter().enumerate() {
@@ -291,10 +406,152 @@ impl WindowedDecoder {
             rounds_of.iter().all(|&r| r != u32::MAX),
             "every global detector needs a round label from some epoch"
         );
-        WindowedDecoder::new(graph, rounds_of, num_observables, config, factory)
+        (graph, rounds_of)
     }
 
-    /// Builds the instrumented sub-graph and decoder of one window.
+    /// Whether this decoder was built in sparse (lazy-plan, fast-forward)
+    /// mode.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.store, PlanStore::Lazy(_))
+    }
+
+    /// Number of distinct inner decoder backends compiled so far: eager
+    /// decoders compile one per window up front; sparse decoders compile
+    /// one per *structurally distinct* window, on demand. Useful for
+    /// asserting (and benchmarking) plan sharing.
+    pub fn compiled_backends(&self) -> usize {
+        match &self.store {
+            PlanStore::Eager(plans) => plans.len(),
+            PlanStore::Lazy(table) => table.lock().unwrap().canon.len(),
+        }
+    }
+
+    /// `(start, end, cut)` of window `index`: it decodes rounds
+    /// `[start, end)` and commits matches whose earlier endpoint is below
+    /// `cut` (`u32::MAX` for the last window, which commits everything).
+    fn window_bounds(&self, index: usize) -> (u32, u32, u32) {
+        let start = index as u32 * self.config.commit;
+        let end = start
+            .saturating_add(self.config.window)
+            .min(self.total_rounds);
+        let cut = if index + 1 == self.num_windows() {
+            u32::MAX
+        } else {
+            start + self.config.commit
+        };
+        (start, end, cut)
+    }
+
+    /// Resolves window `index`'s plan: a direct lookup for eager
+    /// decoders; for sparse ones, builds (or re-uses a structurally
+    /// identical) plan on first touch.
+    fn plan(&self, index: usize) -> Arc<WindowPlan> {
+        match &self.store {
+            PlanStore::Eager(plans) => Arc::clone(&plans[index]),
+            PlanStore::Lazy(table) => {
+                let mut table = table.lock().unwrap();
+                if let Some(plan) = &table.resolved[index] {
+                    return Arc::clone(plan);
+                }
+                let (start, end, cut) = self.window_bounds(index);
+                let (globals, window_graph, carries) =
+                    self.build_parts_lazy(&table, start, end, cut);
+                let decoder = match table.canon.iter().position(|c| {
+                    c.graph().num_nodes() == window_graph.num_nodes()
+                        && c.graph().edges() == window_graph.edges()
+                }) {
+                    Some(i) => {
+                        // Move the hit to the front: neighbouring windows
+                        // overwhelmingly share the steady-state graph.
+                        let decoder = table.canon.remove(i);
+                        table.canon.insert(0, Arc::clone(&decoder));
+                        decoder
+                    }
+                    None => {
+                        let decoder: Arc<dyn Decoder> = Arc::from((table.factory)(window_graph));
+                        table.canon.insert(0, Arc::clone(&decoder));
+                        decoder
+                    }
+                };
+                let plan = Arc::new(WindowPlan {
+                    globals,
+                    decoder,
+                    carries,
+                });
+                table.resolved[index] = Some(Arc::clone(&plan));
+                plan
+            }
+        }
+    }
+
+    /// Eager window-part construction: O(detectors + edges) scans, used
+    /// once per window at build time.
+    fn build_parts_eager(
+        &self,
+        start: u32,
+        end: u32,
+        cut: u32,
+    ) -> (Vec<u32>, DecodingGraph, Vec<(u32, u32)>) {
+        let mut globals: Vec<u32> = Vec::new();
+        let mut local_vec = vec![u32::MAX; self.graph.num_nodes()];
+        for (det, &round) in self.rounds_of.iter().enumerate() {
+            if (start..end).contains(&round) {
+                local_vec[det] = globals.len() as u32;
+                globals.push(det as u32);
+            }
+        }
+        let num_edges = self.graph.num_edges();
+        let (window_graph, carries) = self.assemble_window(
+            start,
+            end,
+            cut,
+            &globals,
+            &mut |det| local_vec[det],
+            &mut (0..num_edges),
+        );
+        (globals, window_graph, carries)
+    }
+
+    /// Lazy window-part construction: O(window detectors · log) via the
+    /// round-major detector index, independent of the stream length.
+    /// Produces node and edge orderings identical to the eager path
+    /// (detectors ascending; candidate edges visited in ascending edge-id
+    /// order), so the resulting plans are bit-identical.
+    fn build_parts_lazy(
+        &self,
+        table: &PlanTable,
+        start: u32,
+        end: u32,
+        cut: u32,
+    ) -> (Vec<u32>, DecodingGraph, Vec<(u32, u32)>) {
+        let lo = table.round_start[start as usize] as usize;
+        let hi = table.round_start[end as usize] as usize;
+        let mut globals: Vec<u32> = table.dets[lo..hi].to_vec();
+        globals.sort_unstable();
+        let mut edge_ids: Vec<usize> = Vec::new();
+        for &det in &globals {
+            edge_ids.extend_from_slice(self.graph.incident(det as usize));
+        }
+        edge_ids.sort_unstable();
+        edge_ids.dedup();
+        let (window_graph, carries) = self.assemble_window(
+            start,
+            end,
+            cut,
+            &globals,
+            &mut |det| {
+                globals
+                    .binary_search(&(det as u32))
+                    .map_or(u32::MAX, |i| i as u32)
+            },
+            &mut edge_ids.iter().copied(),
+        );
+        (globals, window_graph, carries)
+    }
+
+    /// Builds the instrumented sub-graph (and carry table) of one window
+    /// from a candidate edge set — the shared core of both the eager and
+    /// lazy paths.
     ///
     /// Edge placement rules (rounds `ra <= rb` of the endpoints):
     /// * `ra < start` — already committed by an earlier window: skipped;
@@ -306,22 +563,16 @@ impl WindowedDecoder {
     /// * An endpoint with `rb >= end` is not a window node: the edge
     ///   becomes a boundary edge from `a` (an open time boundary when not
     ///   committed).
-    fn build_plan(
+    fn assemble_window(
         &self,
         start: u32,
         end: u32,
         cut: u32,
-        num_observables: u32,
-        factory: &DecoderFactory,
-    ) -> WindowPlan {
-        let mut globals: Vec<u32> = Vec::new();
-        let mut local_of = vec![u32::MAX; self.graph.num_nodes()];
-        for (det, &round) in self.rounds_of.iter().enumerate() {
-            if (start..end).contains(&round) {
-                local_of[det] = globals.len() as u32;
-                globals.push(det as u32);
-            }
-        }
+        globals: &[u32],
+        local_of: &mut dyn FnMut(usize) -> u32,
+        edge_ids: &mut dyn Iterator<Item = usize>,
+    ) -> (DecodingGraph, Vec<(u32, u32)>) {
+        let num_observables = self.num_observables;
         let mut window_graph = DecodingGraph::new(globals.len());
         let mut carries: Vec<(u32, u32)> = Vec::new();
         let carry_bit_of = |target: u32, carries: &mut Vec<(u32, u32)>| -> u64 {
@@ -340,7 +591,9 @@ impl WindowedDecoder {
             };
             1u64 << bit
         };
-        for edge in self.graph.edges() {
+        let edges = self.graph.edges();
+        for id in edge_ids {
+            let edge = &edges[id];
             let ra = self.rounds_of[edge.a];
             match edge.b {
                 None => {
@@ -353,7 +606,7 @@ impl WindowedDecoder {
                     } else {
                         0
                     };
-                    window_graph.add_edge(local_of[edge.a] as usize, None, edge.probability, obs);
+                    window_graph.add_edge(local_of(edge.a) as usize, None, edge.probability, obs);
                 }
                 Some(b) => {
                     let rb = self.rounds_of[b];
@@ -376,24 +629,19 @@ impl WindowedDecoder {
                     }
                     if rhi < end {
                         window_graph.add_edge(
-                            local_of[lo] as usize,
-                            Some(local_of[hi] as usize),
+                            local_of(lo) as usize,
+                            Some(local_of(hi) as usize),
                             edge.probability,
                             obs,
                         );
                     } else {
                         // Partner not yet streamed: open time boundary.
-                        window_graph.add_edge(local_of[lo] as usize, None, edge.probability, obs);
+                        window_graph.add_edge(local_of(lo) as usize, None, edge.probability, obs);
                     }
                 }
             }
         }
-        WindowPlan {
-            end,
-            globals,
-            decoder: factory(window_graph),
-            carries,
-        }
+        (window_graph, carries)
     }
 
     /// The sliding-window shape.
@@ -408,7 +656,11 @@ impl WindowedDecoder {
 
     /// Number of windows the history is decoded in.
     pub fn num_windows(&self) -> usize {
-        self.plans.len()
+        if self.total_rounds <= self.config.window {
+            1
+        } else {
+            1 + (self.total_rounds - self.config.window).div_ceil(self.config.commit) as usize
+        }
     }
 
     /// Round labels of the detectors.
@@ -439,48 +691,10 @@ impl WindowedDecoder {
     /// One past the last round that is final after `windows_committed`
     /// windows: every round below it has its corrections committed.
     pub fn commit_horizon(&self, windows_committed: usize) -> u32 {
-        if windows_committed >= self.plans.len() {
+        if windows_committed >= self.num_windows() {
             self.total_rounds
         } else {
             windows_committed as u32 * self.config.commit
-        }
-    }
-
-    /// Decodes window `plan` against the global per-detector defect words
-    /// (lane `b` = shot `b`), XOR-ing each lane's committed observables
-    /// into `observables` and applying carry flips back into `defects`.
-    /// `window_batch` is caller-owned scratch (reshaped here), reused
-    /// across the whole stream; inside the call, the backend's
-    /// `decode_batch` carries one PR 2 scratch workspace across all 64
-    /// lanes, so the per-shot decode is allocation-free (one workspace
-    /// setup is paid per window, not per shot — making it persist across
-    /// windows needs a scratch-passing decode entry point, tracked with
-    /// the allocation-free-blossom ROADMAP item).
-    fn decode_plan(
-        &self,
-        plan: &WindowPlan,
-        defects: &mut [u64],
-        window_batch: &mut BitBatch,
-        observables: &mut [u64],
-        predictions: &mut Vec<u64>,
-    ) {
-        if plan.globals.is_empty() {
-            return;
-        }
-        window_batch.reset_rows(plan.globals.len());
-        for (local, &global) in plan.globals.iter().enumerate() {
-            window_batch.set_word(local, defects[global as usize]);
-        }
-        plan.decoder.decode_batch(window_batch, predictions);
-        for (lane, &prediction) in predictions.iter().enumerate() {
-            observables[lane] ^= prediction & self.obs_mask;
-            if prediction & !self.obs_mask != 0 {
-                for &(bit, target) in &plan.carries {
-                    if (prediction >> bit) & 1 == 1 {
-                        defects[target as usize] ^= 1u64 << lane;
-                    }
-                }
-            }
         }
     }
 }
@@ -495,6 +709,7 @@ impl Decoder for WindowedDecoder {
         for &d in syndrome {
             core.defects[d] ^= 1; // duplicates cancel pairwise
         }
+        core.mark_dirty_defects(self);
         core.filled_rounds = self.total_rounds;
         core.drain_ready(self);
         core.finish(self)[0]
@@ -509,6 +724,7 @@ impl Decoder for WindowedDecoder {
         let mut core = SessionCore::new(self, batch.lanes());
         core.defects
             .copy_from_slice(&batch.words()[..batch.num_bits()]);
+        core.mark_dirty_defects(self);
         core.filled_rounds = self.total_rounds;
         core.drain_ready(self);
         predictions.clear();
@@ -531,6 +747,13 @@ struct SessionCore {
     next_plan: usize,
     /// Per-lane committed observable masks.
     observables: Vec<u64>,
+    /// One bit per round: set once the round has ever held a nonzero
+    /// defect word in any lane (pushed or carried). Sticky and
+    /// conservative — a clear bit *proves* the round is defect-free, so a
+    /// sparse decoder may fast-forward a ready window whose rounds are
+    /// all clear (empty matching, zero flips) without touching the
+    /// backend.
+    dirty: Vec<u64>,
     /// Scratch for the inner `decode_batch` calls.
     predictions: Vec<u64>,
     /// Reusable window sub-batch (reshaped per window, allocated once).
@@ -551,9 +774,30 @@ impl SessionCore {
             filled_rounds: 0,
             next_plan: 0,
             observables: vec![0u64; lanes],
+            dirty: vec![0u64; (decoder.total_rounds as usize).div_ceil(64)],
             predictions: Vec::new(),
             window_batch: BitBatch::with_lanes(0, lanes),
         }
+    }
+
+    fn mark_dirty(&mut self, round: u32) {
+        self.dirty[(round / 64) as usize] |= 1u64 << (round % 64);
+    }
+
+    /// Marks the round of every currently nonzero defect word dirty —
+    /// used by the whole-history [`Decoder`] entry points, which fill
+    /// `defects` directly instead of round by round.
+    fn mark_dirty_defects(&mut self, decoder: &WindowedDecoder) {
+        for det in 0..self.defects.len() {
+            if self.defects[det] != 0 {
+                let round = decoder.rounds_of[det];
+                self.dirty[(round / 64) as usize] |= 1u64 << (round % 64);
+            }
+        }
+    }
+
+    fn window_is_clean(&self, start: u32, end: u32) -> bool {
+        (start..end).all(|r| self.dirty[(r / 64) as usize] & (1u64 << (r % 64)) == 0)
     }
 
     fn push_round(
@@ -570,26 +814,93 @@ impl SessionCore {
                 decoder.rounds_of[det as usize], round,
                 "detector {det} does not belong to round {round}"
             );
-            self.defects[det as usize] ^= word & self.lane_mask;
+            let masked = word & self.lane_mask;
+            if masked != 0 {
+                self.mark_dirty(round);
+            }
+            self.defects[det as usize] ^= masked;
         }
         self.filled_rounds = round + 1;
         self.drain_ready(decoder);
     }
 
-    /// Decodes every plan whose window is fully streamed.
+    /// Feeds `rounds` defect-free rounds in one step (the bulk twin of
+    /// pushing that many empty rounds) and decodes every window that
+    /// becomes ready. With a sparse decoder, ready windows whose rounds
+    /// never saw a defect (including carries) commit without invoking the
+    /// backend, so skipping a long silent stretch costs O(windows), not
+    /// O(rounds · backend).
+    fn advance_silent(&mut self, decoder: &WindowedDecoder, rounds: u32) {
+        let target = self
+            .filled_rounds
+            .checked_add(rounds)
+            .expect("advance_silent round overflow");
+        assert!(
+            target <= decoder.total_rounds,
+            "advance_silent past the stream end: {} + {rounds} > {}",
+            self.filled_rounds,
+            decoder.total_rounds
+        );
+        self.filled_rounds = target;
+        self.drain_ready(decoder);
+    }
+
+    /// Decodes every plan whose window is fully streamed. Sparse decoders
+    /// skip windows proven clean by the dirty bitmap — exact, because an
+    /// all-zero window batch decodes to an empty matching with zero
+    /// observable flips and no carries.
     fn drain_ready(&mut self, decoder: &WindowedDecoder) {
-        while let Some(plan) = decoder.plans.get(self.next_plan) {
-            if plan.end > self.filled_rounds {
+        let sparse = decoder.is_sparse();
+        while self.next_plan < decoder.num_windows() {
+            let (start, end, _cut) = decoder.window_bounds(self.next_plan);
+            if end > self.filled_rounds {
                 break;
             }
-            decoder.decode_plan(
-                plan,
-                &mut self.defects,
-                &mut self.window_batch,
-                &mut self.observables,
-                &mut self.predictions,
-            );
+            if sparse && self.window_is_clean(start, end) {
+                self.next_plan += 1;
+                continue;
+            }
+            let plan = decoder.plan(self.next_plan);
+            self.decode_plan(decoder, &plan);
             self.next_plan += 1;
+        }
+    }
+
+    /// Decodes window `plan` against the global per-detector defect words
+    /// (lane `b` = shot `b`), XOR-ing each lane's committed observables
+    /// into `observables` and applying carry flips back into `defects`.
+    /// `window_batch` is session-owned scratch (reshaped here), reused
+    /// across the whole stream; inside the call, the backend's
+    /// `decode_batch` carries one PR 2 scratch workspace across all 64
+    /// lanes, so the per-shot decode is allocation-free (one workspace
+    /// setup is paid per window, not per shot — making it persist across
+    /// windows needs a scratch-passing decode entry point, tracked with
+    /// the allocation-free-blossom ROADMAP item).
+    fn decode_plan(&mut self, decoder: &WindowedDecoder, plan: &WindowPlan) {
+        if plan.globals.is_empty() {
+            return;
+        }
+        self.window_batch.reset_rows(plan.globals.len());
+        for (local, &global) in plan.globals.iter().enumerate() {
+            self.window_batch
+                .set_word(local, self.defects[global as usize]);
+        }
+        plan.decoder
+            .decode_batch(&self.window_batch, &mut self.predictions);
+        for (lane, &prediction) in self.predictions.iter().enumerate() {
+            self.observables[lane] ^= prediction & decoder.obs_mask;
+            if prediction & !decoder.obs_mask != 0 {
+                for &(bit, target) in &plan.carries {
+                    if (prediction >> bit) & 1 == 1 {
+                        self.defects[target as usize] ^= 1u64 << lane;
+                        // A carry re-dirties its target round, which may
+                        // sit arbitrarily far ahead (open-boundary commits
+                        // carry into not-yet-streamed rounds).
+                        let round = decoder.rounds_of[target as usize];
+                        self.dirty[(round / 64) as usize] |= 1u64 << (round % 64);
+                    }
+                }
+            }
         }
     }
 
@@ -599,7 +910,7 @@ impl SessionCore {
             "stream ended early: {} of {} rounds pushed",
             self.filled_rounds, decoder.total_rounds
         );
-        debug_assert_eq!(self.next_plan, decoder.plans.len());
+        debug_assert_eq!(self.next_plan, decoder.num_windows());
         self.observables
     }
 }
@@ -644,6 +955,18 @@ impl WindowedSession<'_> {
     /// to `round`.
     pub fn push_round(&mut self, round: u32, detectors: &[u32], words: &[u64]) {
         self.core.push_round(self.decoder, round, detectors, words);
+    }
+
+    /// Feeds `rounds` defect-free rounds in one step — equivalent to that
+    /// many empty [`push_round`](Self::push_round) calls, but with a
+    /// sparse decoder the windows that become ready and are proven clean
+    /// commit without invoking the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the advance runs past the end of the stream.
+    pub fn advance_silent(&mut self, rounds: u32) {
+        self.core.advance_silent(self.decoder, rounds);
     }
 
     /// Completes the stream and returns the per-lane predicted
@@ -697,6 +1020,11 @@ impl OwnedWindowedSession {
         self.core.push_round(&self.decoder, round, detectors, words);
     }
 
+    /// See [`WindowedSession::advance_silent`].
+    pub fn advance_silent(&mut self, rounds: u32) {
+        self.core.advance_silent(&self.decoder, rounds);
+    }
+
     /// See [`WindowedSession::finish`].
     pub fn finish(self) -> Vec<u64> {
         self.core.finish(&self.decoder)
@@ -731,6 +1059,11 @@ mod tests {
         WindowedDecoder::new(g, r, 1, config, mwpm_factory())
     }
 
+    fn windowed_sparse(rounds: usize, config: WindowConfig) -> WindowedDecoder {
+        let (g, r) = time_strip(rounds);
+        WindowedDecoder::sparse(g, r, 1, config, mwpm_factory())
+    }
+
     #[test]
     fn full_window_is_one_plan() {
         let d = windowed(6, WindowConfig::new(6));
@@ -749,6 +1082,44 @@ mod tests {
         assert_eq!(d.num_windows(), 3);
         // Greedy single-round windows: one per round.
         assert_eq!(windowed(8, WindowConfig::new(1)).num_windows(), 8);
+    }
+
+    #[test]
+    fn window_bounds_match_the_eager_sweep() {
+        // The closed-form window arithmetic must reproduce the original
+        // eager loop (start += commit until the window reaches the end)
+        // for every shape, including commit == window and window > total.
+        for total in [1u32, 2, 5, 8, 9, 16] {
+            for window in 1..=total + 2 {
+                for commit in 1..=window {
+                    let d = windowed(total as usize, WindowConfig { window, commit });
+                    let mut expected = Vec::new();
+                    let mut start = 0u32;
+                    loop {
+                        let end = (start + window).min(total);
+                        let last = end == total;
+                        let cut = if last { u32::MAX } else { start + commit };
+                        expected.push((start, end, cut));
+                        if last {
+                            break;
+                        }
+                        start += commit;
+                    }
+                    assert_eq!(
+                        d.num_windows(),
+                        expected.len(),
+                        "t={total} w={window} c={commit}"
+                    );
+                    for (i, &want) in expected.iter().enumerate() {
+                        assert_eq!(
+                            d.window_bounds(i),
+                            want,
+                            "t={total} w={window} c={commit} i={i}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -1036,5 +1407,130 @@ mod tests {
             },
             mwpm_factory(),
         );
+    }
+
+    #[test]
+    fn sparse_decodes_bit_identically_to_eager() {
+        // The lazy window-plan path must reproduce the eager decoder's
+        // node order, edge order, and instrumentation exactly — decode
+        // results agree bit for bit across window shapes and syndromes.
+        for rounds in [5usize, 8, 12] {
+            for window in 1..=6u32 {
+                let eager = windowed(rounds, WindowConfig::new(window));
+                let sparse = windowed_sparse(rounds, WindowConfig::new(window));
+                assert!(sparse.is_sparse() && !eager.is_sparse());
+                let last = rounds - 1;
+                for s in [
+                    vec![],
+                    vec![0],
+                    vec![last],
+                    vec![1, 2],
+                    vec![0, last],
+                    vec![2, 3, last - 1],
+                ] {
+                    assert_eq!(
+                        sparse.decode(&s),
+                        eager.decode(&s),
+                        "rounds={rounds} w={window} {s:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structurally_identical_windows_share_one_backend() {
+        // A long uniform time strip has three distinct window shapes: the
+        // first (initial boundary + observable), the steady-state
+        // interior, and the final (cut = MAX, end boundary). 14 windows
+        // must compile far fewer backends than the eager path's
+        // one-per-window.
+        let d = windowed_sparse(30, WindowConfig::new(4));
+        assert_eq!(d.num_windows(), 14);
+        assert_eq!(d.compiled_backends(), 0, "plans are lazy");
+        // Touch every window via a full-history decode.
+        assert_eq!(d.decode(&[7, 8]), 0);
+        assert!(
+            d.compiled_backends() <= 4,
+            "expected ≤ 4 distinct window graphs, got {}",
+            d.compiled_backends()
+        );
+        // The eager twin really pays one backend per window.
+        assert_eq!(windowed(30, WindowConfig::new(4)).compiled_backends(), 14);
+    }
+
+    #[test]
+    fn advance_silent_matches_empty_pushes() {
+        let rounds = 20usize;
+        for sparse in [false, true] {
+            let cfg = WindowConfig::new(4);
+            let d = if sparse {
+                windowed_sparse(rounds, cfg)
+            } else {
+                windowed(rounds, cfg)
+            };
+            let mut bulk = d.session(2);
+            let mut dense = d.session(2);
+            // A defect pair mid-stream, silence elsewhere.
+            for t in 0..rounds as u32 {
+                let word = if t == 9 || t == 10 { 0b01 } else { 0 };
+                dense.push_round(t, &[t], &[word]);
+            }
+            bulk.advance_silent(9);
+            bulk.push_round(9, &[9], &[0b01]);
+            bulk.push_round(10, &[10], &[0b01]);
+            bulk.advance_silent(rounds as u32 - 11);
+            assert_eq!(bulk.windows_committed(), dense.windows_committed());
+            assert_eq!(bulk.finish(), dense.finish(), "sparse={sparse}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_clean_windows_exactly() {
+        // Defects confined to one window of a long stream: the sparse
+        // session must decode only the windows overlapping the event (and
+        // any carries) yet agree with the eager decode bit for bit.
+        let rounds = 40usize;
+        let eager = windowed(rounds, WindowConfig::new(4));
+        let sparse = windowed_sparse(rounds, WindowConfig::new(4));
+        for pair_at in [0u32, 13, 21, 38] {
+            let s = vec![pair_at as usize, pair_at as usize + 1];
+            assert_eq!(sparse.decode(&s), eager.decode(&s), "pair at {pair_at}");
+        }
+        // Only the windows near the last touched rounds compiled a plan.
+        assert!(sparse.compiled_backends() <= 4);
+    }
+
+    #[test]
+    fn carry_propagates_across_a_skipped_stretch() {
+        // A cross-cut pair right after a long silent stretch: the carry
+        // produced by the committing window re-dirties the partner round,
+        // so fast-forwarding must not skip the follow-up window that
+        // consumes the carry.
+        let rounds = 32usize;
+        let d = windowed_sparse(rounds, WindowConfig::new(2).with_commit(1));
+        let mut session = d.session(1);
+        session.advance_silent(20);
+        // Pair split exactly across the commit cut of window [20, 22).
+        session.push_round(20, &[20], &[1]);
+        session.push_round(21, &[21], &[1]);
+        session.advance_silent(rounds as u32 - 22);
+        assert_eq!(
+            session.finish(),
+            vec![0],
+            "pair must cancel through the carry"
+        );
+        // Same but the defect-free twin: everything skips, no flip.
+        let mut quiet = d.session(1);
+        quiet.advance_silent(rounds as u32);
+        assert_eq!(quiet.windows_committed(), d.num_windows());
+        assert_eq!(quiet.finish(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the stream end")]
+    fn advance_silent_past_the_end_panics() {
+        let d = windowed(4, WindowConfig::new(2));
+        d.session(1).advance_silent(5);
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! ```bash
 //! surf-deformer-client /tmp/surf-deformer.sock [--sessions N] \
-//!     [--distance D] [--rounds R] [--seed S] [--p RATE] [--shutdown]
+//!     [--distance D] [--rounds R] [--seed S] [--p RATE] [--sparse] \
+//!     [--shutdown]
 //! ```
 //!
 //! Prints one line per session:
@@ -31,16 +32,21 @@ fn main() {
     let Some(path) = args.next() else {
         eprintln!(
             "usage: surf-deformer-client <socket-path> [--sessions N] [--distance D] \
-             [--rounds R] [--seed S] [--p RATE] [--shutdown]"
+             [--rounds R] [--seed S] [--p RATE] [--sparse] [--shutdown]"
         );
         std::process::exit(2);
     };
     let (mut sessions, mut distance, mut rounds, mut seed, mut shutdown) =
         (2u32, 5u16, 10u32, 7u64, false);
     let mut p: Option<f64> = None;
+    let mut sparse = false;
     while let Some(flag) = args.next() {
         if flag == "--shutdown" {
             shutdown = true;
+            continue;
+        }
+        if flag == "--sparse" {
+            sparse = true;
             continue;
         }
         let value = args.next();
@@ -64,6 +70,7 @@ fn main() {
         spec.p_data = p;
         spec.p_meas = p;
     }
+    spec.sparse = u8::from(sparse);
     let mut client = ServiceClient::connect(&path).expect("connect to daemon");
 
     // Sample each session's syndrome batch locally (the Monte-Carlo
@@ -126,6 +133,11 @@ fn main() {
 
     let mut all_agree = true;
     for s in &driven {
+        let stats = client.stats(s.id).expect("session stats");
+        println!(
+            "[surf-deformer-client] session={} filled={} committed={} lag={} queued={}",
+            s.id, stats.filled_rounds, stats.committed_through, stats.commit_lag, stats.queue_depth
+        );
         let (complete, served) = client.close_session(s.id).expect("close session");
         assert!(complete, "session {} closed before completing", s.id);
         let agree = served == s.direct_flips;

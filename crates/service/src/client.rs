@@ -23,6 +23,20 @@ pub struct OpenedSession {
     pub round_counts: Vec<u32>,
 }
 
+/// Per-session decode-progress metrics served by
+/// [`ServiceClient::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests still queued behind the stats request (backpressure).
+    pub queue_depth: u32,
+    /// Rounds of syndrome the session has consumed.
+    pub filled_rounds: u32,
+    /// Corrections final for rounds `0..committed_through`.
+    pub committed_through: u32,
+    /// Rounds consumed but not yet irrevocably decoded.
+    pub commit_lag: u32,
+}
+
 /// A blocking connection to the decode daemon.
 pub struct ServiceClient {
     writer: BufWriter<UnixStream>,
@@ -40,6 +54,7 @@ pub fn session_of(frame: &Frame) -> Option<u32> {
         | Frame::Availability { session, .. }
         | Frame::Deformed { session, .. }
         | Frame::Closed { session, .. }
+        | Frame::SessionStats { session, .. }
         | Frame::Error { session, .. } => Some(*session),
         _ => None,
     }
@@ -137,6 +152,41 @@ impl ServiceClient {
     /// Pushes a chunk of rounds without waiting for the reply.
     pub fn push_rounds(&mut self, session: u32, rounds: Vec<Vec<u64>>) -> io::Result<()> {
         self.send(&Frame::Push { session, rounds })
+    }
+
+    /// Fetches a metrics snapshot for `session`. The daemon answers
+    /// after every request queued ahead of this one has executed, so the
+    /// reported horizons cover all rounds pushed so far. Interim frames
+    /// (corrections, availability) arriving first are re-buffered for
+    /// later `recv_for` calls, not discarded.
+    pub fn stats(&mut self, session: u32) -> io::Result<SessionStats> {
+        self.send(&Frame::Stats { session })?;
+        let mut skipped = Vec::new();
+        loop {
+            match self.recv_for(session)? {
+                Frame::SessionStats {
+                    queue_depth,
+                    filled_rounds,
+                    committed_through,
+                    commit_lag,
+                    ..
+                } => {
+                    for (i, frame) in skipped.into_iter().enumerate() {
+                        self.pending.insert(i, frame);
+                    }
+                    return Ok(SessionStats {
+                        queue_depth,
+                        filled_rounds,
+                        committed_through,
+                        commit_lag,
+                    });
+                }
+                Frame::Error { message, .. } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, message))
+                }
+                other => skipped.push(other),
+            }
+        }
     }
 
     /// Closes `session` and returns its final lane-packed observable

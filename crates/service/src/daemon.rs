@@ -64,6 +64,7 @@ enum Op {
         round: u32,
         defects: Vec<WireDefect>,
     },
+    Stats,
     Close,
 }
 
@@ -112,6 +113,10 @@ impl BoundedQueue {
 
     fn is_empty(&self) -> bool {
         self.ops.lock().unwrap().is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.ops.lock().unwrap().len()
     }
 }
 
@@ -326,6 +331,9 @@ fn reader_loop(state: &Arc<DaemonState>, conn: &Arc<Conn>, path: &Path) {
             } => {
                 enqueue(state, conn, session, Op::Inject { round, defects });
             }
+            Frame::Stats { session } => {
+                enqueue(state, conn, session, Op::Stats);
+            }
             Frame::Close { session } => {
                 enqueue(state, conn, session, Op::Close);
             }
@@ -514,6 +522,24 @@ fn process(task: &SessionTask, op: Op) {
                     message: e.to_string(),
                 });
             }
+        }
+        Op::Stats => {
+            let Some(session) = work.session.as_ref() else {
+                task.conn.send(&Frame::Error {
+                    session: task.id,
+                    message: "stats before open completed".into(),
+                });
+                return;
+            };
+            let filled_rounds = session.filled_rounds();
+            let committed_through = session.committed_through();
+            task.conn.send(&Frame::SessionStats {
+                session: task.id,
+                queue_depth: task.queue.len() as u32,
+                filled_rounds,
+                committed_through,
+                commit_lag: filled_rounds.saturating_sub(committed_through),
+            });
         }
         Op::Close => {
             let (complete, observable_flips) = match work.session.as_ref() {

@@ -5,8 +5,8 @@
 //! qubit decode loop; this crate puts that seam on a socket:
 //!
 //! * [`wire`] — the length-prefixed, versioned frame protocol
-//!   (`Open`/`Push`/`Inject`/`Close` requests; `Corrections`/
-//!   `Availability`/`Deformed` responses);
+//!   (`Open`/`Push`/`Inject`/`Stats`/`Close` requests; `Corrections`/
+//!   `Availability`/`Deformed`/`SessionStats` responses);
 //! * [`daemon`] — `surf-deformer-daemon`, a hand-rolled thread-pool
 //!   reactor multiplexing many sessions over unix-domain sockets with
 //!   bounded per-session queues for backpressure;
@@ -27,7 +27,7 @@ pub mod client;
 pub mod daemon;
 pub mod wire;
 
-pub use client::{session_of, OpenedSession, ServiceClient};
+pub use client::{session_of, OpenedSession, ServiceClient, SessionStats};
 pub use daemon::{Daemon, DaemonConfig};
 pub use wire::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, SessionSpec, WireAvailability,

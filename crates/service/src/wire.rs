@@ -14,12 +14,14 @@
 //! | `0x03` | [`Frame::Inject`]      | → daemon | session, mid-stream defect event |
 //! | `0x04` | [`Frame::Close`]       | → daemon | session |
 //! | `0x05` | [`Frame::Shutdown`]    | → daemon | — |
+//! | `0x06` | [`Frame::Stats`]       | → daemon | session |
 //! | `0x81` | [`Frame::Opened`]      | ← daemon | session, round layout |
 //! | `0x82` | [`Frame::Corrections`] | ← daemon | session, committed horizon, flips |
 //! | `0x83` | [`Frame::Availability`]| ← daemon | session, round, state |
 //! | `0x84` | [`Frame::Deformed`]    | ← daemon | session, deformation round, epoch |
 //! | `0x85` | [`Frame::Closed`]      | ← daemon | session, final flips |
 //! | `0x86` | [`Frame::ShuttingDown`]| ← daemon | — |
+//! | `0x87` | [`Frame::SessionStats`]| ← daemon | session, queue depth, horizons |
 //! | `0x8F` | [`Frame::Error`]       | ← daemon | session, message |
 
 use std::io::{self, Read, Write};
@@ -31,8 +33,10 @@ use surf_matching::WindowConfig;
 use surf_sim::service::{Availability, SessionConfig};
 use surf_sim::{DecoderKind, DecoderPrior, NoiseParams};
 
-/// Protocol version carried by every frame.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version carried by every frame. Version 2 added the
+/// [`SessionSpec::sparse`] flag and the [`Frame::Stats`] /
+/// [`Frame::SessionStats`] metrics pair.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame payload; larger advertised lengths are
 /// rejected before any allocation.
@@ -84,6 +88,10 @@ pub struct SessionSpec {
     pub decoder: u8,
     /// Decoder prior: 0 = informed, 1 = nominal.
     pub prior: u8,
+    /// 1 = sparse event-driven streaming (lazily compiled window plans,
+    /// syndrome-silent windows fast-forwarded); 0 = dense. Results are
+    /// bit-identical either way.
+    pub sparse: u8,
     /// Per-round data-qubit depolarizing probability.
     pub p_data: f64,
     /// Measurement flip probability.
@@ -107,6 +115,7 @@ impl SessionSpec {
             commit: (rounds + 1).div_ceil(2),
             decoder: 0,
             prior: 0,
+            sparse: 0,
             p_data: noise.p_data,
             p_meas: noise.p_meas,
             p_correlated: noise.p_correlated,
@@ -152,6 +161,11 @@ impl SessionSpec {
             1 => DecoderPrior::Nominal,
             p => return Err(format!("unknown prior code {p}")),
         };
+        let sparse = match self.sparse {
+            0 => false,
+            1 => true,
+            s => return Err(format!("unknown sparse code {s}")),
+        };
         for &p in &[self.p_data, self.p_meas, self.p_correlated] {
             if !(0.0..=0.5).contains(&p) {
                 return Err(format!("noise probability {p} outside 0..=0.5"));
@@ -190,6 +204,7 @@ impl SessionSpec {
         };
         config.decoder = decoder;
         config.prior = prior;
+        config.sparse = sparse;
         config.noise = NoiseParams {
             p_data: self.p_data,
             p_meas: self.p_meas,
@@ -265,6 +280,11 @@ pub enum Frame {
     /// Stop the daemon (drain your sessions first: pending queued work
     /// on other connections is dropped).
     Shutdown,
+    /// Ask for a [`Frame::SessionStats`] snapshot of one session.
+    Stats {
+        /// Target session.
+        session: u32,
+    },
     /// The session is compiled and ready for [`Frame::Push`].
     Opened {
         /// Echoed id.
@@ -316,6 +336,24 @@ pub enum Frame {
     },
     /// The daemon acknowledges [`Frame::Shutdown`] and stops.
     ShuttingDown,
+    /// Snapshot of one session's decode progress, answering a
+    /// [`Frame::Stats`] request. Taken after every request queued ahead
+    /// of the `Stats` has executed, so the horizons reflect all pushes
+    /// the client sent first.
+    SessionStats {
+        /// Echoed id.
+        session: u32,
+        /// Requests still queued for this session when the snapshot was
+        /// taken (backpressure indicator).
+        queue_depth: u32,
+        /// Rounds of syndrome consumed so far.
+        filled_rounds: u32,
+        /// Corrections final for rounds `0..committed_through`.
+        committed_through: u32,
+        /// `filled_rounds - committed_through`: rounds consumed but not
+        /// yet irrevocably decoded (bounded by the window split).
+        commit_lag: u32,
+    },
     /// A request failed; the session (if any) survives unless opening
     /// it is what failed.
     Error {
@@ -399,6 +437,7 @@ fn put_spec(out: &mut Vec<u8>, spec: &SessionSpec) {
     put_u32(out, spec.commit);
     out.push(spec.decoder);
     out.push(spec.prior);
+    out.push(spec.sparse);
     put_f64(out, spec.p_data);
     put_f64(out, spec.p_meas);
     put_f64(out, spec.p_correlated);
@@ -418,12 +457,14 @@ impl Frame {
             Frame::Inject { .. } => 0x03,
             Frame::Close { .. } => 0x04,
             Frame::Shutdown => 0x05,
+            Frame::Stats { .. } => 0x06,
             Frame::Opened { .. } => 0x81,
             Frame::Corrections { .. } => 0x82,
             Frame::Availability { .. } => 0x83,
             Frame::Deformed { .. } => 0x84,
             Frame::Closed { .. } => 0x85,
             Frame::ShuttingDown => 0x86,
+            Frame::SessionStats { .. } => 0x87,
             Frame::Error { .. } => 0x8F,
         }
     }
@@ -462,6 +503,7 @@ impl Frame {
                 put_defects(&mut out, defects);
             }
             Frame::Close { session } => put_u32(&mut out, *session),
+            Frame::Stats { session } => put_u32(&mut out, *session),
             Frame::Shutdown | Frame::ShuttingDown => {}
             Frame::Opened {
                 session,
@@ -515,6 +557,19 @@ impl Frame {
                 put_u32(&mut out, *session);
                 out.push(u8::from(*complete));
                 put_u64(&mut out, *observable_flips);
+            }
+            Frame::SessionStats {
+                session,
+                queue_depth,
+                filled_rounds,
+                committed_through,
+                commit_lag,
+            } => {
+                put_u32(&mut out, *session);
+                put_u32(&mut out, *queue_depth);
+                put_u32(&mut out, *filled_rounds);
+                put_u32(&mut out, *committed_through);
+                put_u32(&mut out, *commit_lag);
             }
             Frame::Error { session, message } => {
                 put_u32(&mut out, *session);
@@ -598,6 +653,7 @@ impl<'a> Reader<'a> {
         let commit = self.u32()?;
         let decoder = self.u8()?;
         let prior = self.u8()?;
+        let sparse = self.u8()?;
         let p_data = self.f64()?;
         let p_meas = self.f64()?;
         let p_correlated = self.f64()?;
@@ -619,6 +675,7 @@ impl<'a> Reader<'a> {
             commit,
             decoder,
             prior,
+            sparse,
             p_data,
             p_meas,
             p_correlated,
@@ -662,6 +719,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         },
         0x04 => Frame::Close { session: r.u32()? },
         0x05 => Frame::Shutdown,
+        0x06 => Frame::Stats { session: r.u32()? },
         0x81 => {
             let session = r.u32()?;
             let total_rounds = r.u32()?;
@@ -699,6 +757,13 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             observable_flips: r.u64()?,
         },
         0x86 => Frame::ShuttingDown,
+        0x87 => Frame::SessionStats {
+            session: r.u32()?,
+            queue_depth: r.u32()?,
+            filled_rounds: r.u32()?,
+            committed_through: r.u32()?,
+            commit_lag: r.u32()?,
+        },
         0x8F => {
             let session = r.u32()?;
             let n = r.count(1)?;

@@ -197,6 +197,69 @@ fn mid_stream_inject_matches_direct_session() {
     daemon.join().expect("daemon thread");
 }
 
+/// The metrics frame: `stats()` snapshots reflect every push queued
+/// ahead of the request, match the directly-driven session's horizons,
+/// and work over a sparse session — which must also serve committed
+/// chunks bit-identical to the dense direct drive.
+#[test]
+fn stats_snapshots_match_direct_horizons_over_a_sparse_session() {
+    let (path, daemon) = start_daemon("stats", 2);
+    let mut spec = SessionSpec::standard(3, 12);
+    spec.window = 6;
+    spec.commit = 3;
+
+    // Dense direct reference; the daemon session decodes the same words
+    // in sparse mode, which the pipeline guarantees is bit-identical.
+    let reference = reference_for(&spec, 64, 77);
+    spec.sparse = 1;
+
+    let mut client = ServiceClient::connect(&path).expect("connect");
+
+    // Stats for a session that does not exist is an error frame.
+    let err = client.stats(3).unwrap_err();
+    assert!(err.to_string().contains("unknown session"), "{err}");
+
+    client.open_session(3, 64, spec).expect("open");
+    let head = reference.slices.len() / 2;
+    client
+        .push_rounds(3, reference.slices[..head].to_vec())
+        .expect("push head");
+    let stats = client.stats(3).expect("stats mid-stream");
+    let direct = reference.outputs[head - 1];
+    assert_eq!(stats.filled_rounds, head as u32);
+    assert_eq!(stats.committed_through, direct.committed_through);
+    assert_eq!(
+        stats.commit_lag,
+        head as u32 - direct.committed_through,
+        "lag must be filled - committed"
+    );
+    assert_eq!(stats.queue_depth, 0, "nothing queued behind the request");
+    // The interim Corrections frame was re-buffered, not eaten.
+    let (_, committed, _, flips) = corrections_for(&mut client, 3);
+    assert_eq!(committed, direct.committed_through);
+    assert_eq!(flips, direct.observable_flips, "sparse ≠ dense mid-stream");
+
+    client
+        .push_rounds(3, reference.slices[head..].to_vec())
+        .expect("push tail");
+    let stats = client.stats(3).expect("stats at end");
+    assert_eq!(stats.filled_rounds as usize, reference.slices.len());
+    assert_eq!(
+        stats.commit_lag,
+        stats.filled_rounds - stats.committed_through
+    );
+
+    let (complete, served) = client.close_session(3).expect("close");
+    assert!(complete);
+    assert_eq!(
+        served, reference.final_flips,
+        "sparse served ≠ dense direct"
+    );
+
+    client.shutdown_daemon().expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
+
 /// Hostile input gets an `Error` frame, never a daemon crash — and the
 /// connection keeps serving valid sessions afterwards.
 #[test]

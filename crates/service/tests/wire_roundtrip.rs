@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use surf_service::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, SessionSpec, WireAvailability,
-    WireDefect, WireEpisode, WireError, MAX_FRAME_LEN, PERMANENT,
+    WireDefect, WireEpisode, WireError, MAX_FRAME_LEN, PERMANENT, WIRE_VERSION,
 };
 
 fn arb_defects(rng: &mut StdRng) -> Vec<WireDefect> {
@@ -30,6 +30,7 @@ fn arb_spec(rng: &mut StdRng) -> SessionSpec {
     spec.commit = rng.gen_range(1..spec.window + 1);
     spec.decoder = rng.gen_range(0..2);
     spec.prior = rng.gen_range(0..2);
+    spec.sparse = rng.gen_range(0..2);
     spec.episodes = (0..rng.gen_range(0..3))
         .map(|_| {
             let start = rng.gen_range(0..spec.rounds);
@@ -50,7 +51,7 @@ fn arb_spec(rng: &mut StdRng) -> SessionSpec {
 /// An arbitrary frame of every variant, driven by one seed.
 fn arb_frame(rng: &mut StdRng) -> Frame {
     let session = rng.gen::<u32>();
-    match rng.gen_range(0..12) {
+    match rng.gen_range(0..14) {
         0 => Frame::Open {
             session,
             lanes: rng.gen_range(1..65),
@@ -100,6 +101,14 @@ fn arb_frame(rng: &mut StdRng) -> Frame {
             observable_flips: rng.gen(),
         },
         10 => Frame::ShuttingDown,
+        11 => Frame::Stats { session },
+        12 => Frame::SessionStats {
+            session,
+            queue_depth: rng.gen(),
+            filled_rounds: rng.gen(),
+            committed_through: rng.gen(),
+            commit_lag: rng.gen(),
+        },
         _ => Frame::Error {
             session,
             message: (0..rng.gen_range(0..24))
@@ -168,7 +177,7 @@ fn hostile_counts_cannot_force_huge_allocations() {
     // A Push frame advertising u16::MAX rounds each of u32::MAX words,
     // with no bytes behind the claim: the embedded counts must be checked
     // against the remaining payload, not trusted.
-    let mut payload = vec![1u8, 0x02];
+    let mut payload = vec![WIRE_VERSION, 0x02];
     payload.extend_from_slice(&7u32.to_le_bytes()); // session
     payload.extend_from_slice(&u16::MAX.to_le_bytes()); // round count
     payload.extend_from_slice(&u32::MAX.to_le_bytes()); // words in round 0
@@ -192,7 +201,7 @@ fn bad_version_and_opcode_are_typed_errors() {
 
 #[test]
 fn error_frame_with_invalid_utf8_is_rejected() {
-    let mut payload = vec![1u8, 0x8F];
+    let mut payload = vec![WIRE_VERSION, 0x8F];
     payload.extend_from_slice(&3u32.to_le_bytes()); // session
     payload.extend_from_slice(&2u32.to_le_bytes()); // message length
     payload.extend_from_slice(&[0xFF, 0xFE]);

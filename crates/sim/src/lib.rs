@@ -51,11 +51,11 @@ pub use frame::{extract_dem, sample_batch, sample_batch_lanes, sample_shot};
 pub use memory::{per_round, DecoderKind, MemoryExperiment, MemoryStats, Shard, StreamConfig};
 pub use model::{Channel, DecoderPrior, DetectorModel};
 pub use noise::{NoiseParams, QubitNoise};
-pub use sampler::{bernoulli_mask, BatchSampler, GEOMETRIC_THRESHOLD};
+pub use sampler::{bernoulli_mask, BatchSampler, SparseBatch, GEOMETRIC_THRESHOLD};
 pub use service::{
     Availability, DecodeSession, DeformationNotice, SessionConfig, SessionError, SessionOutput,
 };
-pub use stream::{RoundSlice, RoundStream};
+pub use stream::{RoundSlice, RoundStream, SparseRoundStream};
 pub use timeline::{DetectorRemap, TimelineModel};
 
 // Re-exported so downstream pipeline code can name the shared batch and

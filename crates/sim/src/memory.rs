@@ -141,6 +141,15 @@ pub struct StreamConfig {
     /// Defect episodes elevating true error rates (and, under an
     /// informed prior, reweighting the decoder).
     pub schedule: DefectSchedule,
+    /// Sparse event-driven streaming: sample rounds through a
+    /// [`SparseRoundStream`](crate::SparseRoundStream), skip
+    /// syndrome-silent stretches with
+    /// [`advance_silent`](crate::DecodeSession::advance_silent), and
+    /// fast-forward defect-free windows in the decoder. Failure counts
+    /// are bit-identical to the dense path at the same `(shots, seed,
+    /// shard)` — the sparse sampler consumes RNG draw-for-draw like the
+    /// dense one and empty windows decode trivially.
+    pub sparse: bool,
 }
 
 impl StreamConfig {
@@ -156,6 +165,7 @@ impl StreamConfig {
             shard: Shard::solo(),
             timeline: None,
             schedule: DefectSchedule::new(),
+            sparse: false,
         }
     }
 
@@ -193,6 +203,13 @@ impl StreamConfig {
     /// Replaces the schedule with one permanent mid-stream event.
     pub fn with_event(self, event: &DefectEvent) -> Self {
         self.with_schedule(DefectSchedule::permanent_event(event))
+    }
+
+    /// Enables (or disables) sparse event-driven streaming — see
+    /// [`StreamConfig::sparse`].
+    pub fn with_sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
+        self
     }
 }
 
@@ -415,6 +432,11 @@ impl MemoryExperiment {
     /// [`run_basis`](Self::run_basis) with the same seed; for
     /// `window >= 2·d` it remains bit-identical at realistic noise (the
     /// equivalence suite in `tests/streaming_equivalence.rs` proves both).
+    ///
+    /// With [`StreamConfig::sparse`] set, rounds are sampled as sparse
+    /// events, silent stretches are bulk-advanced, and defect-free
+    /// windows fast-forward past the decoder backend — the count stays
+    /// bit-identical to the dense path (`tests/sparse_streaming.rs`).
     pub fn run_stream_basis(&self, memory_basis: Basis, config: &StreamConfig) -> u64 {
         let threads = if config.threads == 0 {
             available_threads(config.shots)
@@ -427,7 +449,42 @@ impl MemoryExperiment {
         }
         session_config.window = config.window;
         session_config.schedule = config.schedule.clone();
+        session_config.sparse = config.sparse;
         let proto = session_config.open(1);
+        if config.sparse {
+            return run_batches_shard(config.shots, config.seed, threads, config.shard, || {
+                let proto = &proto;
+                let mut stream = proto.sparse_round_stream();
+                move |rng: &mut StdRng, lanes: usize| {
+                    stream.begin(rng, lanes);
+                    let mut session = proto.fork(lanes);
+                    while let Some(event) = stream.next_event() {
+                        while session.filled_rounds() < event.round {
+                            let gap = event.round - session.filled_rounds();
+                            session
+                                .advance_silent(gap)
+                                .expect("silent gap fits the stream");
+                        }
+                        session
+                            .push_round_sparse(event.detectors, event.words)
+                            .expect("event matches its own session layout");
+                    }
+                    let total = session.total_rounds();
+                    while session.filled_rounds() < total {
+                        let gap = total - session.filled_rounds();
+                        session
+                            .advance_silent(gap)
+                            .expect("silent tail fits the stream");
+                    }
+                    let predictions = session.finish().expect("all rounds pushed");
+                    count_failures(
+                        &predictions,
+                        stream.true_observables(),
+                        BitBatch::mask_for(lanes),
+                    )
+                }
+            });
+        }
         run_batches_shard(config.shots, config.seed, threads, config.shard, || {
             let proto = &proto;
             let mut stream = proto.round_stream();

@@ -87,6 +87,65 @@ pub(crate) fn geometric_fires<R: Rng + ?Sized>(
     }
 }
 
+/// A sparse 64-shot sample: dense per-detector scratch plus the list of
+/// detectors touched by at least one firing, so a mostly-silent batch can
+/// be consumed *and reset* in O(firings) instead of O(detectors). The
+/// payoff grows with the stream length — a 10⁵-round model has millions of
+/// detector rows but only ~p · rows firings per batch.
+pub struct SparseBatch {
+    /// One word per detector; zero everywhere outside `touched`.
+    words: Vec<u64>,
+    /// Detectors hit this batch, unsorted, each listed once.
+    touched: Vec<u32>,
+    /// Membership bitmap for `touched`.
+    marked: Vec<u64>,
+}
+
+impl SparseBatch {
+    /// An empty sparse batch over `num_detectors` detector rows.
+    pub fn new(num_detectors: usize) -> Self {
+        SparseBatch {
+            words: vec![0u64; num_detectors],
+            touched: Vec::new(),
+            marked: vec![0u64; num_detectors.div_ceil(64)],
+        }
+    }
+
+    /// Number of detector rows.
+    pub fn num_detectors(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Detectors hit by at least one firing this batch (unsorted; a
+    /// detector flipped an even number of times in every lane stays
+    /// listed, with word 0).
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// The defect word of `det` (lane `b` = shot `b`).
+    pub fn word(&self, det: usize) -> u64 {
+        self.words[det]
+    }
+
+    /// Clears only the touched entries — O(firings).
+    pub fn clear(&mut self) {
+        for &d in &self.touched {
+            self.words[d as usize] = 0;
+            self.marked[(d / 64) as usize] &= !(1u64 << (d % 64));
+        }
+        self.touched.clear();
+    }
+
+    fn xor_word(&mut self, det: usize, bit: u64) {
+        if self.marked[det / 64] & (1u64 << (det % 64)) == 0 {
+            self.marked[det / 64] |= 1u64 << (det % 64);
+            self.touched.push(det as u32);
+        }
+        self.words[det] ^= bit;
+    }
+}
+
 /// Error channels grouped by firing probability.
 struct Group {
     /// Shared firing probability.
@@ -186,6 +245,61 @@ impl BatchSampler {
                     }
                     for &d in &g.dets[g.det_start[c] as usize..g.det_start[c + 1] as usize] {
                         batch.xor_word(d as usize, mask);
+                    }
+                    if g.observable[c] {
+                        obs_word ^= mask;
+                    }
+                }
+            }
+        }
+        obs_word & lane_mask
+    }
+
+    /// The sparse twin of [`sample_into`](Self::sample_into): runs the
+    /// identical per-group strategies and consumes `rng` draw-for-draw
+    /// the same (the produced sample is bit-identical to the dense one
+    /// for the same RNG state — the sparse streaming determinism
+    /// contract), but accumulates firings into `out`'s touched-set
+    /// representation so reading and clearing the batch costs
+    /// O(firings), not O(detectors).
+    pub fn sample_sparse<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        lanes: usize,
+        out: &mut SparseBatch,
+    ) -> u64 {
+        assert_eq!(
+            out.num_detectors(),
+            self.num_detectors,
+            "sparse batch shape does not match the detector model"
+        );
+        assert!(
+            (1..=BitBatch::LANES).contains(&lanes),
+            "lanes {lanes} out of range 1..={}",
+            BitBatch::LANES
+        );
+        out.clear();
+        let lane_mask = BitBatch::mask_for(lanes);
+        let mut obs_word = 0u64;
+        for g in &self.groups {
+            let num_channels = g.observable.len();
+            if g.geometric {
+                geometric_fires(rng, num_channels, lanes, g.inv_ln_q, |_, c, bit| {
+                    for &d in &g.dets[g.det_start[c] as usize..g.det_start[c + 1] as usize] {
+                        out.xor_word(d as usize, bit);
+                    }
+                    if g.observable[c] {
+                        obs_word ^= bit;
+                    }
+                });
+            } else {
+                for c in 0..num_channels {
+                    let mask = bernoulli_mask(rng, g.p) & lane_mask;
+                    if mask == 0 {
+                        continue;
+                    }
+                    for &d in &g.dets[g.det_start[c] as usize..g.det_start[c + 1] as usize] {
+                        out.xor_word(d as usize, mask);
                     }
                     if g.observable[c] {
                         obs_word ^= mask;
@@ -400,6 +514,54 @@ mod tests {
                 "site {site}: {h} fires vs expected {expected}"
             );
         }
+    }
+
+    #[test]
+    fn sparse_sampling_matches_dense_bit_for_bit() {
+        // Mixed geometric and mask groups, shared detectors, both lane
+        // widths: the sparse path must consume the RNG draw-for-draw the
+        // same and produce the identical sample.
+        let channels = vec![
+            channel(vec![0, 1], true, 0.01),
+            channel(vec![2], false, 0.5),
+            channel(vec![1, 3], true, 0.03),
+            channel(vec![4], true, 0.5),
+        ];
+        let sampler = BatchSampler::new(&channels, 5);
+        for lanes in [64usize, 5] {
+            let mut dense_rng = StdRng::seed_from_u64(42);
+            let mut sparse_rng = StdRng::seed_from_u64(42);
+            let mut batch = BitBatch::with_lanes(5, lanes);
+            let mut sparse = SparseBatch::new(5);
+            for step in 0..300 {
+                let obs_dense = sampler.sample_into(&mut dense_rng, &mut batch);
+                let obs_sparse = sampler.sample_sparse(&mut sparse_rng, lanes, &mut sparse);
+                assert_eq!(obs_dense, obs_sparse, "lanes {lanes} step {step}");
+                for d in 0..5 {
+                    assert_eq!(batch.word(d), sparse.word(d), "lanes {lanes} det {d}");
+                }
+            }
+            // The RNG streams stayed in lockstep throughout.
+            assert_eq!(dense_rng.gen::<u64>(), sparse_rng.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn sparse_batch_clears_only_touched_state() {
+        let mut sparse = SparseBatch::new(4);
+        sparse.xor_word(2, 0b101);
+        sparse.xor_word(0, 1);
+        sparse.xor_word(2, 0b001);
+        assert_eq!(sparse.touched(), &[2, 0], "each detector listed once");
+        assert_eq!(sparse.word(2), 0b100);
+        sparse.clear();
+        assert!(sparse.touched().is_empty());
+        for d in 0..4 {
+            assert_eq!(sparse.word(d), 0);
+        }
+        // Re-use after clear starts from a clean slate.
+        sparse.xor_word(3, 1);
+        assert_eq!(sparse.touched(), &[3]);
     }
 
     #[test]

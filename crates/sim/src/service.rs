@@ -73,6 +73,12 @@ pub struct SessionConfig {
     /// Defect episodes known at compile time (more can be
     /// [injected](DecodeSession::inject_event) mid-stream).
     pub schedule: DefectSchedule,
+    /// Compile the windowed decoder in sparse mode: window plans resolve
+    /// lazily (structurally identical windows share one backend) and
+    /// sessions fast-forward through defect-free windows — exact, and
+    /// required for 10⁵+ round horizons where eager per-window compilation
+    /// dominates. Dense mode keeps the eager decoder bit for bit.
+    pub sparse: bool,
 }
 
 impl SessionConfig {
@@ -88,6 +94,7 @@ impl SessionConfig {
             decoder: DecoderKind::Mwpm,
             window: WindowConfig::new(rounds + 1),
             schedule: DefectSchedule::new(),
+            sparse: false,
         }
     }
 
@@ -111,6 +118,13 @@ impl SessionConfig {
     /// Replaces the decoder backend.
     pub fn with_decoder(mut self, decoder: DecoderKind) -> Self {
         self.decoder = decoder;
+        self
+    }
+
+    /// Switches sparse (event-driven) compilation on or off; see
+    /// [`SessionConfig::sparse`].
+    pub fn with_sparse(mut self, sparse: bool) -> Self {
+        self.sparse = sparse;
         self
     }
 
@@ -207,6 +221,14 @@ pub enum SessionError {
         /// First already-pushed round whose layout changed.
         round: u32,
     },
+    /// A sparse push named a detector that does not belong to the round
+    /// being filled.
+    DetectorRound {
+        /// The round being pushed.
+        round: u32,
+        /// The offending detector id.
+        detector: u32,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -226,6 +248,9 @@ impl std::fmt::Display for SessionError {
                     f,
                     "replan changed the detector layout of pushed round {round}"
                 )
+            }
+            SessionError::DetectorRound { round, detector } => {
+                write!(f, "detector {detector} does not belong to round {round}")
             }
         }
     }
@@ -261,7 +286,12 @@ impl SessionShared {
             &config.schedule,
             config.prior,
         );
-        let decoder = Arc::new(WindowedDecoder::from_epochs(
+        let build = if config.sparse {
+            WindowedDecoder::from_epochs_sparse
+        } else {
+            WindowedDecoder::from_epochs
+        };
+        let decoder = Arc::new(build(
             tm.model.num_detectors,
             &tm.graph_epochs(),
             1,
@@ -336,15 +366,33 @@ fn availability_at(round: u32, epoch_starts: &[u32], schedule: &DefectSchedule) 
     }
 }
 
+/// One entry of a session's replay history. Silent rounds are stored
+/// run-length-encoded and replay as empty pushes: a round with no defect
+/// in any lane decodes identically under *any* detector layout, so
+/// silent stretches are deliberately exempt from the
+/// [`replan`](DecodeSession::replan) divergence check — the relaxation
+/// that lets 10⁵-round sparse sessions keep O(events) history.
+enum RoundRecord {
+    /// Full detector words of one round, in canonical order.
+    Dense(Vec<u64>),
+    /// Only the firing detectors of one round.
+    Sparse {
+        detectors: Vec<u32>,
+        words: Vec<u64>,
+    },
+    /// This many consecutive defect-free rounds.
+    Silent(u32),
+}
+
 /// An owned, resumable streaming decode over up to 64 parallel shots of
 /// one logical qubit. See the [module docs](self) for the determinism
 /// contract and [`SessionConfig`] for construction.
 pub struct DecodeSession {
     shared: Arc<SessionShared>,
     inner: OwnedWindowedSession,
-    /// Pushed words per round, kept for replay on
+    /// Pushed rounds, kept for replay on
     /// [`inject_event`](Self::inject_event)/[`replan`](Self::replan).
-    history: Vec<Vec<u64>>,
+    history: Vec<RoundRecord>,
 }
 
 impl DecodeSession {
@@ -416,6 +464,15 @@ impl DecodeSession {
         RoundStream::for_timeline(&self.shared.tm)
     }
 
+    /// The event-driven twin of [`round_stream`](Self::round_stream):
+    /// emits only firing rounds (bit-identical syndromes at the same
+    /// seed), to be consumed with
+    /// [`push_round_sparse`](Self::push_round_sparse) and
+    /// [`advance_silent`](Self::advance_silent).
+    pub fn sparse_round_stream(&self) -> crate::stream::SparseRoundStream {
+        crate::stream::SparseRoundStream::for_timeline(&self.shared.tm)
+    }
+
     /// Consumes the next round's detector words (`words[i]` is the
     /// 64-lane firing word of `self.detectors_of(round)[i]`), decodes
     /// every window now complete, and reports the committed horizon,
@@ -435,8 +492,99 @@ impl DecodeSession {
             });
         }
         self.inner.push_round(round, detectors, words);
-        self.history.push(words.to_vec());
+        if words.iter().all(|&w| w == 0) {
+            self.record_silent(1);
+        } else {
+            self.history.push(RoundRecord::Dense(words.to_vec()));
+        }
         Ok(self.output_for(round))
+    }
+
+    /// [`push_round`](Self::push_round) for event-driven feeds: supplies
+    /// only the *firing* detectors of the next round (`words[i]` is the
+    /// 64-lane firing word of `detectors[i]`; omitted detectors are
+    /// defect-free). The canonical source is
+    /// [`sparse_round_stream`](Self::sparse_round_stream); combined with
+    /// [`advance_silent`](Self::advance_silent) over the gaps, the
+    /// decoded stream is bit-identical to dense pushes of the same
+    /// sample.
+    pub fn push_round_sparse(
+        &mut self,
+        detectors: &[u32],
+        words: &[u64],
+    ) -> Result<SessionOutput, SessionError> {
+        let round = self.inner.filled_rounds();
+        if round >= self.shared.total_rounds {
+            return Err(SessionError::StreamComplete);
+        }
+        if words.len() != detectors.len() {
+            return Err(SessionError::WordCount {
+                round,
+                expected: detectors.len(),
+                got: words.len(),
+            });
+        }
+        for &det in detectors {
+            if det as usize >= self.shared.tm.model.num_detectors
+                || self.shared.tm.model.detector_rounds[det as usize] != round
+            {
+                return Err(SessionError::DetectorRound {
+                    round,
+                    detector: det,
+                });
+            }
+        }
+        self.inner.push_round(round, detectors, words);
+        if words.iter().all(|&w| w == 0) {
+            self.record_silent(1);
+        } else {
+            self.history.push(RoundRecord::Sparse {
+                detectors: detectors.to_vec(),
+                words: words.to_vec(),
+            });
+        }
+        Ok(self.output_for(round))
+    }
+
+    /// Feeds up to `rounds` consecutive defect-free rounds in one call —
+    /// the bulk twin of pushing that many all-zero rounds. With a
+    /// [sparse](SessionConfig::sparse) session, windows that complete
+    /// inside the stretch and saw no defect commit without invoking the
+    /// decoder backend, so skipping costs O(windows), not O(rounds).
+    ///
+    /// The advance clamps at the next geometry-epoch boundary (so every
+    /// [`DeformationNotice`] still fires) and at the stream end; the
+    /// returned output describes the *last* round consumed (`round + 1 -
+    /// filled_rounds_before` tells how far it got — loop until the gap is
+    /// closed). Per-round availability inside the stretch is not
+    /// reported individually; it is constant between boundaries for
+    /// defect-free rounds of an unchanged schedule.
+    ///
+    /// Errors with [`SessionError::StreamComplete`] if the stream is
+    /// already full or `rounds == 0`.
+    pub fn advance_silent(&mut self, rounds: u32) -> Result<SessionOutput, SessionError> {
+        let filled = self.inner.filled_rounds();
+        let total = self.shared.total_rounds;
+        if rounds == 0 || filled >= total {
+            return Err(SessionError::StreamComplete);
+        }
+        let mut step = rounds.min(total - filled);
+        if let Some(&boundary) = self.shared.tm.epoch_starts.iter().find(|&&s| s > filled) {
+            step = step.min(boundary - filled);
+        }
+        self.inner.advance_silent(step);
+        self.record_silent(step);
+        Ok(self.output_for(filled + step - 1))
+    }
+
+    /// Appends `rounds` silent rounds to the replay history, merging
+    /// adjacent silent runs.
+    fn record_silent(&mut self, rounds: u32) {
+        if let Some(RoundRecord::Silent(n)) = self.history.last_mut() {
+            *n += rounds;
+        } else {
+            self.history.push(RoundRecord::Silent(rounds));
+        }
     }
 
     fn output_for(&self, round: u32) -> SessionOutput {
@@ -495,17 +643,48 @@ impl DecodeSession {
 
     /// Rebuilds the shared model under `config` and replays the history.
     /// On any error the session is left untouched.
+    ///
+    /// Silent rounds replay as empty pushes and are compatible with any
+    /// layout; dense rounds require an unchanged detector count, sparse
+    /// rounds require every recorded detector to still belong to its
+    /// round.
     fn recompile(&mut self, config: SessionConfig) -> Result<(), SessionError> {
         let shared = Arc::new(SessionShared::compile(config));
-        for (r, words) in self.history.iter().enumerate() {
-            let expected = shared.detectors_of(r as u32).len();
-            if words.len() != expected {
-                return Err(SessionError::GeometryDiverged { round: r as u32 });
+        let mut round: u32 = 0;
+        for record in &self.history {
+            match record {
+                RoundRecord::Dense(words) => {
+                    if words.len() != shared.detectors_of(round).len() {
+                        return Err(SessionError::GeometryDiverged { round });
+                    }
+                    round += 1;
+                }
+                RoundRecord::Sparse { detectors, .. } => {
+                    for &det in detectors {
+                        if det as usize >= shared.tm.model.num_detectors
+                            || shared.tm.model.detector_rounds[det as usize] != round
+                        {
+                            return Err(SessionError::GeometryDiverged { round });
+                        }
+                    }
+                    round += 1;
+                }
+                RoundRecord::Silent(n) => round += n,
             }
         }
         let mut inner = Arc::clone(&shared.decoder).into_session(self.inner.lanes());
-        for (r, words) in self.history.iter().enumerate() {
-            inner.push_round(r as u32, shared.detectors_of(r as u32), words);
+        for record in &self.history {
+            match record {
+                RoundRecord::Dense(words) => {
+                    let r = inner.filled_rounds();
+                    inner.push_round(r, shared.detectors_of(r), words);
+                }
+                RoundRecord::Sparse { detectors, words } => {
+                    let r = inner.filled_rounds();
+                    inner.push_round(r, detectors, words);
+                }
+                RoundRecord::Silent(n) => inner.advance_silent(*n),
+            }
         }
         self.shared = shared;
         self.inner = inner;
@@ -714,6 +893,122 @@ mod tests {
         }
         assert_eq!(late.availability(), Availability::Degraded { since: 4 });
         assert_eq!(direct.finish().unwrap(), late.finish().unwrap());
+    }
+
+    #[test]
+    fn sparse_session_matches_dense_session_output_for_output() {
+        let base = fixed_config(3, 6).with_window(WindowConfig::new(4));
+        let mut dense = base.clone().open(64);
+        let mut sparse = base.with_sparse(true).open(64);
+        let mut stream = dense.round_stream();
+        let mut rng = StdRng::seed_from_u64(23);
+        stream.begin(&mut rng, 64);
+        while let Some(slice) = stream.next_round() {
+            let a = dense.push_round(slice.words).unwrap();
+            let b = sparse.push_round(slice.words).unwrap();
+            assert_eq!(a, b, "round {}", slice.round);
+        }
+        assert_eq!(dense.finish().unwrap(), sparse.finish().unwrap());
+    }
+
+    #[test]
+    fn sparse_event_feed_matches_dense_feed() {
+        // One lane so most rounds are genuinely silent: the sparse
+        // session jumps between events with advance_silent and must land
+        // on the exact dense result (same seed → same sample).
+        let base = fixed_config(3, 16).with_window(WindowConfig::new(4));
+        let mut dense = base.clone().open(1);
+        let mut sparse = base.with_sparse(true).open(1);
+        let seed = 77;
+
+        let mut stream = dense.round_stream();
+        let mut rng = StdRng::seed_from_u64(seed);
+        stream.begin(&mut rng, 1);
+        while let Some(slice) = stream.next_round() {
+            dense.push_round(slice.words).unwrap();
+        }
+
+        let mut events = sparse.sparse_round_stream();
+        let mut rng = StdRng::seed_from_u64(seed);
+        events.begin(&mut rng, 1);
+        assert_eq!(events.true_observables(), stream.true_observables());
+        while let Some(event) = events.next_event() {
+            while sparse.filled_rounds() < event.round {
+                sparse
+                    .advance_silent(event.round - sparse.filled_rounds())
+                    .unwrap();
+            }
+            sparse
+                .push_round_sparse(event.detectors, event.words)
+                .unwrap();
+        }
+        let total = sparse.total_rounds();
+        while sparse.filled_rounds() < total {
+            sparse
+                .advance_silent(total - sparse.filled_rounds())
+                .unwrap();
+        }
+        assert_eq!(dense.finish().unwrap(), sparse.finish().unwrap());
+    }
+
+    #[test]
+    fn advance_silent_clamps_at_epoch_boundaries_and_reports_notices() {
+        let before = Patch::rotated(5);
+        let after = {
+            use surf_deformer_core::data_q_rm;
+            let mut p = before.clone();
+            data_q_rm(&mut p, Coord::new(5, 5)).unwrap();
+            p
+        };
+        let mut timeline = PatchTimeline::fixed(before, DefectMap::new());
+        timeline.push_epoch(4, after, DefectMap::new());
+        let config = SessionConfig::new(timeline, Basis::Z, 8)
+            .with_window(WindowConfig::new(4))
+            .with_sparse(true);
+        let mut session = config.open(1);
+        // The bulk advance stops at the deformation boundary so the
+        // notice still fires...
+        let out = session.advance_silent(100).unwrap();
+        assert_eq!(out.round, 3);
+        assert_eq!(
+            out.deformation,
+            Some(DeformationNotice {
+                at_round: 4,
+                epoch: 1
+            })
+        );
+        // ...then runs to the end of the stream.
+        let out = session.advance_silent(100).unwrap();
+        assert_eq!(out.round, session.total_rounds() - 1);
+        assert_eq!(out.deformation, None);
+        assert!(matches!(
+            session.advance_silent(1),
+            Err(SessionError::StreamComplete)
+        ));
+        assert_eq!(session.finish().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn sparse_push_rejects_foreign_detectors() {
+        let mut session = fixed_config(3, 3).open(8);
+        let det = session.detectors_of(1)[0];
+        assert_eq!(
+            session.push_round_sparse(&[det], &[1]).unwrap_err(),
+            SessionError::DetectorRound {
+                round: 0,
+                detector: det
+            }
+        );
+        assert!(matches!(
+            session.push_round_sparse(&[u32::MAX], &[1]).unwrap_err(),
+            SessionError::DetectorRound { .. }
+        ));
+        assert!(matches!(
+            session.push_round_sparse(&[], &[1]).unwrap_err(),
+            SessionError::WordCount { .. }
+        ));
+        // The rejections left the session untouched.
+        assert_eq!(session.filled_rounds(), 0);
     }
 
     #[test]

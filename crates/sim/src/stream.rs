@@ -17,7 +17,7 @@ use rand::Rng;
 use surf_pauli::BitBatch;
 
 use crate::model::DetectorModel;
-use crate::sampler::BatchSampler;
+use crate::sampler::{BatchSampler, SparseBatch};
 use crate::timeline::TimelineModel;
 
 /// The detector words of one round of one 64-lane shot batch.
@@ -184,6 +184,175 @@ impl RoundStream {
     }
 }
 
+/// The event-driven twin of [`RoundStream`]: samples each 64-lane batch
+/// through [`BatchSampler::sample_sparse`] (draw-for-draw identical RNG
+/// consumption, so the emitted syndromes match the dense stream bit for
+/// bit) and replays only the rounds that actually fired, in ascending
+/// round order, as [`RoundSlice`] *events*. Syndrome-silent rounds — the
+/// overwhelming majority at physical error rates — are skipped entirely;
+/// the consumer bridges the gaps with
+/// `surf_matching::WindowedSession::advance_silent` (or
+/// `DecodeSession::advance_silent`), making a batch cost O(firings)
+/// instead of O(rounds · detectors).
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use surf_defects::DefectMap;
+/// use surf_lattice::{Basis, Patch};
+/// use surf_sim::{DecoderPrior, DetectorModel, NoiseParams, QubitNoise, SparseRoundStream};
+///
+/// let patch = Patch::rotated(3);
+/// let noise = QubitNoise::new(NoiseParams::paper(), DefectMap::new());
+/// let model = DetectorModel::build(&patch, Basis::Z, 3, &noise, DecoderPrior::Informed);
+/// let mut stream = SparseRoundStream::new(&model);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// stream.begin(&mut rng, 64);
+/// let mut last = None;
+/// while let Some(event) = stream.next_event() {
+///     assert!(last < Some(event.round), "events ascend");
+///     assert!(!event.detectors.is_empty(), "only firing rounds are emitted");
+///     last = Some(event.round);
+/// }
+/// ```
+pub struct SparseRoundStream {
+    sampler: BatchSampler,
+    /// Round label of each detector.
+    rounds_of: Vec<u32>,
+    /// One past the largest round label.
+    total_rounds: u32,
+    /// Touched-set sampling scratch, reused across batches.
+    scratch: SparseBatch,
+    true_observables: u64,
+    lanes: usize,
+    /// Firing detectors of the current batch, sorted by (round, id).
+    dets: Vec<u32>,
+    /// Defect words aligned with `dets`.
+    words: Vec<u64>,
+    /// `(round, start offset into dets/words)` per firing round.
+    events: Vec<(u32, u32)>,
+    /// Next event to emit.
+    cursor: usize,
+    /// Rounds at which the patch geometry deforms (ascending; empty for
+    /// fixed-geometry models).
+    boundaries: Vec<u32>,
+}
+
+impl SparseRoundStream {
+    /// Builds a sparse stream over `model`'s channels and detector rounds.
+    pub fn new(model: &DetectorModel) -> Self {
+        let total_rounds = model
+            .detector_rounds
+            .iter()
+            .map(|&r| r + 1)
+            .max()
+            .unwrap_or(0);
+        SparseRoundStream {
+            sampler: model.batch_sampler(),
+            rounds_of: model.detector_rounds.clone(),
+            total_rounds,
+            scratch: SparseBatch::new(model.num_detectors),
+            true_observables: 0,
+            lanes: 0,
+            dets: Vec::new(),
+            words: Vec::new(),
+            events: Vec::new(),
+            cursor: 0,
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// Epoch-aware construction over a [`TimelineModel`]; see
+    /// [`RoundStream::for_timeline`].
+    pub fn for_timeline(timeline: &TimelineModel) -> Self {
+        let mut stream = SparseRoundStream::new(&timeline.model);
+        stream.boundaries = timeline.deformation_rounds().to_vec();
+        stream
+    }
+
+    /// Number of rounds each batch spans (noisy rounds plus the final
+    /// readout comparison) — silent ones included, though never emitted.
+    pub fn total_rounds(&self) -> u32 {
+        self.total_rounds
+    }
+
+    /// Rounds at which the patch geometry deforms (empty unless built by
+    /// [`for_timeline`](Self::for_timeline)).
+    pub fn deformation_rounds(&self) -> &[u32] {
+        &self.boundaries
+    }
+
+    /// `true` if the geometry deforms at the start of `round`.
+    pub fn is_deformation_round(&self, round: u32) -> bool {
+        self.boundaries.binary_search(&round).is_ok()
+    }
+
+    /// Samples a fresh batch of `lanes` shots and indexes its firings by
+    /// round. Consumes exactly the RNG sequence of
+    /// [`BatchSampler::sample_into`] (via
+    /// [`sample_sparse`](BatchSampler::sample_sparse)), so sparse streamed
+    /// experiments reproduce dense ones bit for bit at the same seed.
+    pub fn begin<R: Rng + ?Sized>(&mut self, rng: &mut R, lanes: usize) {
+        self.true_observables = self.sampler.sample_sparse(rng, lanes, &mut self.scratch);
+        self.lanes = lanes;
+        self.dets.clear();
+        self.words.clear();
+        self.events.clear();
+        self.cursor = 0;
+        self.dets.extend(
+            self.scratch
+                .touched()
+                .iter()
+                .copied()
+                .filter(|&d| self.scratch.word(d as usize) != 0),
+        );
+        let rounds_of = &self.rounds_of;
+        self.dets
+            .sort_unstable_by_key(|&d| (rounds_of[d as usize], d));
+        for &d in &self.dets {
+            let round = self.rounds_of[d as usize];
+            if self.events.last().map(|&(r, _)| r) != Some(round) {
+                self.events.push((round, self.words.len() as u32));
+            }
+            self.words.push(self.scratch.word(d as usize));
+        }
+    }
+
+    /// Emits the next firing round of the current batch, or `None` when
+    /// the batch is exhausted (call [`begin`](Self::begin) again). Every
+    /// emitted slice is non-empty; rounds between consecutive events are
+    /// syndrome-silent across all lanes.
+    pub fn next_event(&mut self) -> Option<RoundSlice<'_>> {
+        if self.cursor >= self.events.len() {
+            return None;
+        }
+        let (round, start) = self.events[self.cursor];
+        let end = self
+            .events
+            .get(self.cursor + 1)
+            .map_or(self.dets.len(), |&(_, s)| s as usize);
+        self.cursor += 1;
+        Some(RoundSlice {
+            round,
+            detectors: &self.dets[start as usize..end],
+            words: &self.words[start as usize..end],
+        })
+    }
+
+    /// The true observable-flip word of the current batch (ground truth
+    /// for failure counting; conceptually the final logical readout).
+    pub fn true_observables(&self) -> u64 {
+        self.true_observables
+    }
+
+    /// Active lane count of the current batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +402,49 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every detector emitted once");
+    }
+
+    #[test]
+    fn sparse_stream_matches_dense_stream_bit_for_bit() {
+        let m = model(3, 6, 1e-3);
+        let mut dense = RoundStream::new(&m);
+        let mut sparse = SparseRoundStream::new(&m);
+        assert_eq!(sparse.total_rounds(), dense.total_rounds());
+        for (seed, lanes) in [(99u64, 64usize), (7, 64), (13, 5)] {
+            let mut dense_rng = StdRng::seed_from_u64(seed);
+            let mut sparse_rng = StdRng::seed_from_u64(seed);
+            dense.begin(&mut dense_rng, lanes);
+            sparse.begin(&mut sparse_rng, lanes);
+            assert_eq!(sparse.lanes(), lanes);
+            assert_eq!(sparse.true_observables(), dense.true_observables());
+            let mut last = None;
+            while let Some(slice) = dense.next_round() {
+                let firing: Vec<(u32, u64)> = slice
+                    .detectors
+                    .iter()
+                    .zip(slice.words)
+                    .filter(|&(_, &w)| w != 0)
+                    .map(|(&d, &w)| (d, w))
+                    .collect();
+                if firing.is_empty() {
+                    continue; // silent rounds are never emitted sparsely
+                }
+                let event = sparse.next_event().expect("firing round must be emitted");
+                assert!(last < Some(event.round), "events must ascend");
+                last = Some(event.round);
+                assert_eq!(event.round, slice.round);
+                let got: Vec<(u32, u64)> = event
+                    .detectors
+                    .iter()
+                    .zip(event.words)
+                    .map(|(&d, &w)| (d, w))
+                    .collect();
+                assert_eq!(got, firing, "round {}", slice.round);
+            }
+            assert!(sparse.next_event().is_none(), "no spurious events");
+            // Both paths left their RNGs in the same state.
+            assert_eq!(dense_rng.gen::<u64>(), sparse_rng.gen::<u64>());
+        }
     }
 
     #[test]
