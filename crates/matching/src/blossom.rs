@@ -8,6 +8,14 @@
 //! when their dual reaches zero. With integer edge weights all arithmetic
 //! stays integral (we double incoming weights internally to keep the
 //! half-δ updates integral).
+//!
+//! All solver state lives in a reusable [`BlossomScratch`] arena so the
+//! hot decode path performs zero heap allocations at steady state: every
+//! table is reset by `clear()`+`resize()` (capacity retained), temporary
+//! buffers are checked out with `std::mem::take` and restored, and the
+//! dense best-edge table is wiped through a touched-list. The allocating
+//! [`max_weight_matching`]/[`min_weight_perfect_matching`] wrappers remain
+//! for one-shot callers.
 
 /// Sentinel for "no vertex/edge/blossom".
 const NONE: i32 = -1;
@@ -24,18 +32,43 @@ const NONE: i32 = -1;
 ///
 /// # Panics
 ///
-/// Panics if an edge is a self-loop.
+/// Panics if an edge is a self-loop, or if a doubled edge weight
+/// overflows `i64` (keep `|weight| <= i64::MAX / 4`).
 pub fn max_weight_matching(
     num_vertices: usize,
     edges: &[(usize, usize, i64)],
     max_cardinality: bool,
 ) -> Vec<usize> {
+    let mut scratch = BlossomScratch::default();
+    let mut mate = Vec::new();
+    max_weight_matching_with(
+        num_vertices,
+        edges,
+        max_cardinality,
+        &mut scratch,
+        &mut mate,
+    );
+    mate
+}
+
+/// Allocation-free variant of [`max_weight_matching`]: all solver state
+/// lives in `scratch` (grown to the high-water mark, never shrunk) and the
+/// result is written into `mate`.
+pub fn max_weight_matching_with(
+    num_vertices: usize,
+    edges: &[(usize, usize, i64)],
+    max_cardinality: bool,
+    scratch: &mut BlossomScratch,
+    mate: &mut Vec<usize>,
+) {
     if edges.is_empty() || num_vertices == 0 {
-        return vec![usize::MAX; num_vertices];
+        mate.clear();
+        mate.resize(num_vertices, usize::MAX);
+        return;
     }
-    let mut m = Matcher::new(num_vertices, edges, max_cardinality);
-    m.solve();
-    m.mate_vertices()
+    scratch.prepare(num_vertices, edges, max_cardinality, None);
+    scratch.solve();
+    scratch.mate_into(mate);
 }
 
 /// Computes a minimum-weight **perfect** matching on a complete-enough
@@ -44,39 +77,85 @@ pub fn max_weight_matching(
 /// # Panics
 ///
 /// Panics if no perfect matching exists among the given edges (odd vertex
-/// count or disconnected structure).
+/// count or disconnected structure), or if the max-weight transform
+/// overflows `i64` (keep `|weight| <= i64::MAX / 4`).
 pub fn min_weight_perfect_matching(
     num_vertices: usize,
     edges: &[(usize, usize, i64)],
 ) -> Vec<usize> {
+    let mut scratch = BlossomScratch::default();
+    let mut mate = Vec::new();
+    min_weight_perfect_matching_with(num_vertices, edges, &mut scratch, &mut mate);
+    mate
+}
+
+/// Allocation-free variant of [`min_weight_perfect_matching`]; see
+/// [`max_weight_matching_with`] for the scratch contract.
+pub fn min_weight_perfect_matching_with(
+    num_vertices: usize,
+    edges: &[(usize, usize, i64)],
+    scratch: &mut BlossomScratch,
+    mate: &mut Vec<usize>,
+) {
     assert!(
         num_vertices.is_multiple_of(2),
         "perfect matching needs even vertex count"
     );
     if num_vertices == 0 {
-        return Vec::new();
+        mate.clear();
+        return;
     }
-    // Transform to max-weight with max-cardinality: w' = C - w.
-    let c = edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0) + 1;
-    let transformed: Vec<(usize, usize, i64)> =
-        edges.iter().map(|&(u, v, w)| (u, v, c - w)).collect();
-    let mate = max_weight_matching(num_vertices, &transformed, true);
+    // Transform to max-weight with max-cardinality: w' = C - w. The
+    // subtraction (and the internal doubling) use checked arithmetic: the
+    // old wrapping overflow silently produced garbage matchings in
+    // release builds for |w| near i64::MAX / 2.
+    let c = edges
+        .iter()
+        .map(|&(_, _, w)| w)
+        .max()
+        .unwrap_or(0)
+        .checked_add(1)
+        .expect("max edge weight overflows i64 in the min-weight transform");
+    if edges.is_empty() {
+        mate.clear();
+        mate.resize(num_vertices, usize::MAX);
+    } else {
+        scratch.prepare(num_vertices, edges, true, Some(c));
+        scratch.solve();
+        scratch.mate_into(mate);
+    }
     assert!(
         mate.iter().all(|&m| m != usize::MAX),
         "no perfect matching exists"
     );
-    mate
 }
 
-struct Matcher {
+/// Reusable arena for the blossom solver: every table the algorithm needs
+/// (dual variables, labels, tree pointers, nested-blossom storage, edge
+/// slack bookkeeping, CSR adjacency) plus the temporary buffers that the
+/// original implementation allocated per call.
+///
+/// A scratch is problem-size agnostic: [`max_weight_matching_with`] grows
+/// each table to the current problem's size and never shrinks it, so a
+/// long-lived scratch settles at the high-water mark and subsequent solves
+/// touch the allocator not at all. Results are bit-identical to the
+/// allocating entry points.
+#[derive(Clone, Debug, Default)]
+pub struct BlossomScratch {
     nvertex: usize,
     nedge: usize,
-    edges: Vec<(i32, i32, i64)>,
     max_cardinality: bool,
+    /// Edge list with internally doubled (and optionally `C - w`
+    /// transformed) weights.
+    edges: Vec<(i32, i32, i64)>,
     /// `endpoint[p]` = vertex at endpoint `p` (edge `p/2`, side `p%2`).
     endpoint: Vec<i32>,
-    /// `neighbend[v]` = endpoints `p` with `endpoint[p ^ 1] == v`.
-    neighbend: Vec<Vec<i32>>,
+    /// CSR adjacency: endpoints `p` with `endpoint[p ^ 1] == v` live in
+    /// `neigh_dat[neigh_off[v]..neigh_off[v + 1]]`, in edge order.
+    neigh_off: Vec<usize>,
+    neigh_dat: Vec<i32>,
+    /// Cursor buffer for the counting-sort CSR fill.
+    neigh_pos: Vec<usize>,
     /// `mate[v]` = matched remote endpoint, or -1.
     mate: Vec<i32>,
     /// Per top-level blossom: 0 free, 1 = S, 2 = T (| 4 marker in scan).
@@ -96,78 +175,146 @@ struct Matcher {
     dualvar: Vec<i64>,
     allowedge: Vec<bool>,
     queue: Vec<i32>,
+    /// Dense best-edge-per-S-blossom table for `add_blossom`; all-NONE
+    /// outside that call, wiped via `touched_bt`.
+    bestedgeto: Vec<i32>,
+    touched_bt: Vec<i32>,
+    /// Temporaries checked out with `mem::take` around each use.
+    leaf_buf: Vec<i32>,
+    leaf_stack: Vec<i32>,
+    path_buf: Vec<i32>,
+    nb_buf: Vec<i32>,
 }
 
-impl Matcher {
-    fn new(num_vertices: usize, raw_edges: &[(usize, usize, i64)], max_cardinality: bool) -> Self {
+/// Iterative preorder over blossom `b`'s vertex leaves, pushed into `out`.
+/// Children are stacked in reverse so the visit order matches the original
+/// recursive DFS exactly (leaf order is observable through the queue).
+fn push_leaves(
+    childs: &[Vec<i32>],
+    nvertex: usize,
+    b: i32,
+    stack: &mut Vec<i32>,
+    out: &mut Vec<i32>,
+) {
+    debug_assert!(stack.is_empty());
+    stack.push(b);
+    while let Some(t) = stack.pop() {
+        if (t as usize) < nvertex {
+            out.push(t);
+        } else {
+            for &c in childs[t as usize].iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+}
+
+impl BlossomScratch {
+    /// Resets every table for an `(n, edges)` problem, retaining capacity.
+    /// `perfect_offset = Some(c)` stores `c - w` instead of `w` (the
+    /// min-weight-perfect transform), fused here to avoid a temporary
+    /// transformed edge list.
+    fn prepare(
+        &mut self,
+        num_vertices: usize,
+        raw_edges: &[(usize, usize, i64)],
+        max_cardinality: bool,
+        perfect_offset: Option<i64>,
+    ) {
         let nvertex = num_vertices;
+        let nedge = raw_edges.len();
+        self.nvertex = nvertex;
+        self.nedge = nedge;
+        self.max_cardinality = max_cardinality;
         // Double the weights so the half-δ dual updates stay integral.
-        let edges: Vec<(i32, i32, i64)> = raw_edges
-            .iter()
-            .map(|&(u, v, w)| {
-                assert_ne!(u, v, "self-loop edge");
-                (u as i32, v as i32, 2 * w)
-            })
-            .collect();
-        let nedge = edges.len();
-        let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
-        let mut endpoint = Vec::with_capacity(2 * nedge);
+        self.edges.clear();
+        let mut maxweight = 0i64;
+        for &(u, v, w) in raw_edges {
+            assert_ne!(u, v, "self-loop edge");
+            let w = match perfect_offset {
+                Some(c) => c.checked_sub(w),
+                None => Some(w),
+            }
+            .and_then(|w| w.checked_mul(2))
+            .expect("edge weight overflows i64 when doubled; keep |weights| <= i64::MAX / 4");
+            maxweight = maxweight.max(w);
+            self.edges.push((u as i32, v as i32, w));
+        }
+        self.endpoint.clear();
         for p in 0..2 * nedge {
-            let e = &edges[p / 2];
-            endpoint.push(if p % 2 == 0 { e.0 } else { e.1 });
+            let e = self.edges[p / 2];
+            self.endpoint.push(if p % 2 == 0 { e.0 } else { e.1 });
         }
-        let mut neighbend: Vec<Vec<i32>> = vec![Vec::new(); nvertex];
-        for (k, &(i, j, _)) in edges.iter().enumerate() {
-            neighbend[i as usize].push(2 * k as i32 + 1);
-            neighbend[j as usize].push(2 * k as i32);
+        // CSR adjacency via counting sort; the fill loop mirrors the
+        // original per-edge push order so each vertex's endpoint list is
+        // ordered identically.
+        self.neigh_off.clear();
+        self.neigh_off.resize(nvertex + 1, 0);
+        for &(i, j, _) in &self.edges {
+            self.neigh_off[i as usize + 1] += 1;
+            self.neigh_off[j as usize + 1] += 1;
         }
-        Matcher {
-            nvertex,
-            nedge,
-            edges,
-            max_cardinality,
-            endpoint,
-            neighbend,
-            mate: vec![NONE; nvertex],
-            label: vec![0; 2 * nvertex],
-            labelend: vec![NONE; 2 * nvertex],
-            inblossom: (0..nvertex as i32).collect(),
-            blossomparent: vec![NONE; 2 * nvertex],
-            blossomchilds: vec![Vec::new(); 2 * nvertex],
-            blossombase: (0..nvertex as i32)
-                .chain(std::iter::repeat_n(NONE, nvertex))
-                .collect(),
-            blossomendps: vec![Vec::new(); 2 * nvertex],
-            bestedge: vec![NONE; 2 * nvertex],
-            blossombestedges: vec![Vec::new(); 2 * nvertex],
-            unusedblossoms: (nvertex as i32..2 * nvertex as i32).collect(),
-            dualvar: std::iter::repeat_n(maxweight, nvertex)
-                .chain(std::iter::repeat_n(0, nvertex))
-                .collect(),
-            allowedge: vec![false; nedge],
-            queue: Vec::new(),
+        for v in 0..nvertex {
+            self.neigh_off[v + 1] += self.neigh_off[v];
         }
+        self.neigh_dat.clear();
+        self.neigh_dat.resize(2 * nedge, 0);
+        self.neigh_pos.clear();
+        self.neigh_pos.extend_from_slice(&self.neigh_off[..nvertex]);
+        for k in 0..nedge {
+            let (i, j, _) = self.edges[k];
+            let ci = &mut self.neigh_pos[i as usize];
+            self.neigh_dat[*ci] = 2 * k as i32 + 1;
+            *ci += 1;
+            let cj = &mut self.neigh_pos[j as usize];
+            self.neigh_dat[*cj] = 2 * k as i32;
+            *cj += 1;
+        }
+        self.mate.clear();
+        self.mate.resize(nvertex, NONE);
+        self.label.clear();
+        self.label.resize(2 * nvertex, 0);
+        self.labelend.clear();
+        self.labelend.resize(2 * nvertex, NONE);
+        self.inblossom.clear();
+        self.inblossom.extend(0..nvertex as i32);
+        self.blossomparent.clear();
+        self.blossomparent.resize(2 * nvertex, NONE);
+        self.blossombase.clear();
+        self.blossombase.extend(0..nvertex as i32);
+        self.blossombase.resize(2 * nvertex, NONE);
+        self.bestedge.clear();
+        self.bestedge.resize(2 * nvertex, NONE);
+        if self.blossomchilds.len() < 2 * nvertex {
+            self.blossomchilds.resize_with(2 * nvertex, Vec::new);
+            self.blossomendps.resize_with(2 * nvertex, Vec::new);
+            self.blossombestedges.resize_with(2 * nvertex, Vec::new);
+        }
+        for b in 0..2 * nvertex {
+            self.blossomchilds[b].clear();
+            self.blossomendps[b].clear();
+            self.blossombestedges[b].clear();
+        }
+        self.unusedblossoms.clear();
+        self.unusedblossoms
+            .extend(nvertex as i32..2 * nvertex as i32);
+        self.dualvar.clear();
+        self.dualvar.resize(nvertex, maxweight);
+        self.dualvar.resize(2 * nvertex, 0);
+        self.allowedge.clear();
+        self.allowedge.resize(nedge, false);
+        self.queue.clear();
+        // `bestedgeto` is all-NONE by invariant (touched-list reset); only
+        // grow it.
+        if self.bestedgeto.len() < 2 * nvertex {
+            self.bestedgeto.resize(2 * nvertex, NONE);
+        }
+        debug_assert!(self.touched_bt.is_empty());
     }
 
     fn slack(&self, k: i32) -> i64 {
         let (i, j, wt) = self.edges[k as usize];
         self.dualvar[i as usize] + self.dualvar[j as usize] - wt
-    }
-
-    fn blossom_leaves(&self, b: i32, out: &mut Vec<i32>) {
-        if (b as usize) < self.nvertex {
-            out.push(b);
-        } else {
-            for &t in &self.blossomchilds[b as usize] {
-                self.blossom_leaves(t, out);
-            }
-        }
-    }
-
-    fn leaves(&self, b: i32) -> Vec<i32> {
-        let mut out = Vec::new();
-        self.blossom_leaves(b, &mut out);
-        out
     }
 
     fn assign_label(&mut self, w: i32, t: i32, p: i32) {
@@ -180,8 +327,11 @@ impl Matcher {
         self.bestedge[w as usize] = NONE;
         self.bestedge[b as usize] = NONE;
         if t == 1 {
-            let leaves = self.leaves(b);
-            self.queue.extend(leaves);
+            let mut stack = std::mem::take(&mut self.leaf_stack);
+            let mut queue = std::mem::take(&mut self.queue);
+            push_leaves(&self.blossomchilds, self.nvertex, b, &mut stack, &mut queue);
+            self.leaf_stack = stack;
+            self.queue = queue;
         } else if t == 2 {
             let base = self.blossombase[b as usize];
             let mate_p = self.mate[base as usize];
@@ -192,7 +342,8 @@ impl Matcher {
     }
 
     fn scan_blossom(&mut self, mut v: i32, mut w: i32) -> i32 {
-        let mut path = Vec::new();
+        let mut path = std::mem::take(&mut self.path_buf);
+        debug_assert!(path.is_empty());
         let mut base = NONE;
         while v != NONE || w != NONE {
             let mut b = self.inblossom[v as usize];
@@ -220,9 +371,11 @@ impl Matcher {
                 std::mem::swap(&mut v, &mut w);
             }
         }
-        for b in path {
+        for &b in &path {
             self.label[b as usize] = 1;
         }
+        path.clear();
+        self.path_buf = path;
         base
     }
 
@@ -235,8 +388,11 @@ impl Matcher {
         self.blossombase[b as usize] = base;
         self.blossomparent[b as usize] = NONE;
         self.blossomparent[bb as usize] = b;
-        let mut path: Vec<i32> = Vec::new();
-        let mut endps: Vec<i32> = Vec::new();
+        // Build the child/endpoint lists directly in the freed slot's
+        // vectors (taken out to sidestep borrow conflicts).
+        let mut path = std::mem::take(&mut self.blossomchilds[b as usize]);
+        let mut endps = std::mem::take(&mut self.blossomendps[b as usize]);
+        debug_assert!(path.is_empty() && endps.is_empty());
         while bv != bb {
             self.blossomparent[bv as usize] = b;
             path.push(bv);
@@ -270,54 +426,93 @@ impl Matcher {
             bw = self.inblossom[w as usize];
         }
         debug_assert_eq!(self.label[bb as usize], 1);
-        // Commit children/endpoints now: `leaves(b)` below depends on them.
-        self.blossomchilds[b as usize] = path.clone();
+        // Commit children/endpoints now: the leaf walk below depends on them.
+        self.blossomchilds[b as usize] = path;
         self.blossomendps[b as usize] = endps;
         self.label[b as usize] = 1;
         self.labelend[b as usize] = self.labelend[bb as usize];
         self.dualvar[b as usize] = 0;
-        for leaf in self.leaves(b) {
+        let mut leaf_buf = std::mem::take(&mut self.leaf_buf);
+        let mut stack = std::mem::take(&mut self.leaf_stack);
+        leaf_buf.clear();
+        push_leaves(
+            &self.blossomchilds,
+            self.nvertex,
+            b,
+            &mut stack,
+            &mut leaf_buf,
+        );
+        self.leaf_stack = stack;
+        for &leaf in &leaf_buf {
             if self.label[self.inblossom[leaf as usize] as usize] == 2 {
                 self.queue.push(leaf);
             }
             self.inblossom[leaf as usize] = b;
         }
-        // Compute best edges to neighbouring S-blossoms.
-        let mut bestedgeto: Vec<i32> = vec![NONE; 2 * self.nvertex];
-        for &bv in &path {
-            let nblists: Vec<Vec<i32>> = if self.blossombestedges[bv as usize].is_empty() {
-                self.leaves(bv)
-                    .into_iter()
-                    .map(|leaf| {
-                        self.neighbend[leaf as usize]
-                            .iter()
-                            .map(|&p| p / 2)
-                            .collect()
-                    })
-                    .collect()
-            } else {
-                vec![self.blossombestedges[bv as usize].clone()]
-            };
-            for nblist in nblists {
-                for k2 in nblist {
-                    let (mut i, mut j, _) = self.edges[k2 as usize];
-                    if self.inblossom[j as usize] == b {
-                        std::mem::swap(&mut i, &mut j);
+        self.leaf_buf = leaf_buf;
+        // Compute best edges to neighbouring S-blossoms through the dense
+        // `bestedgeto` table (reset via the touched-list).
+        let mut nb = std::mem::take(&mut self.nb_buf);
+        for i in 0..self.blossomchilds[b as usize].len() {
+            let bv = self.blossomchilds[b as usize][i];
+            nb.clear();
+            if self.blossombestedges[bv as usize].is_empty() {
+                let mut leaf_buf = std::mem::take(&mut self.leaf_buf);
+                let mut stack = std::mem::take(&mut self.leaf_stack);
+                leaf_buf.clear();
+                push_leaves(
+                    &self.blossomchilds,
+                    self.nvertex,
+                    bv,
+                    &mut stack,
+                    &mut leaf_buf,
+                );
+                self.leaf_stack = stack;
+                for &leaf in &leaf_buf {
+                    let lo = self.neigh_off[leaf as usize];
+                    let hi = self.neigh_off[leaf as usize + 1];
+                    for &p in &self.neigh_dat[lo..hi] {
+                        nb.push(p / 2);
                     }
-                    let bj = self.inblossom[j as usize];
-                    if bj != b
-                        && self.label[bj as usize] == 1
-                        && (bestedgeto[bj as usize] == NONE
-                            || self.slack(k2) < self.slack(bestedgeto[bj as usize]))
-                    {
-                        bestedgeto[bj as usize] = k2;
+                }
+                self.leaf_buf = leaf_buf;
+            } else {
+                nb.extend_from_slice(&self.blossombestedges[bv as usize]);
+            }
+            for &k2 in &nb {
+                let (mut i2, mut j2, _) = self.edges[k2 as usize];
+                if self.inblossom[j2 as usize] == b {
+                    std::mem::swap(&mut i2, &mut j2);
+                }
+                let bj = self.inblossom[j2 as usize];
+                if bj != b && self.label[bj as usize] == 1 {
+                    let cur = self.bestedgeto[bj as usize];
+                    if cur == NONE || self.slack(k2) < self.slack(cur) {
+                        if cur == NONE {
+                            self.touched_bt.push(bj);
+                        }
+                        self.bestedgeto[bj as usize] = k2;
                     }
                 }
             }
-            self.blossombestedges[bv as usize] = Vec::new();
+            self.blossombestedges[bv as usize].clear();
             self.bestedge[bv as usize] = NONE;
         }
-        let best: Vec<i32> = bestedgeto.into_iter().filter(|&k2| k2 != NONE).collect();
+        self.nb_buf = nb;
+        // Collect the surviving best edges in ascending-blossom order (the
+        // order the original dense scan produced) and wipe the table.
+        let mut touched = std::mem::take(&mut self.touched_bt);
+        touched.sort_unstable();
+        let mut best = std::mem::take(&mut self.blossombestedges[b as usize]);
+        debug_assert!(best.is_empty());
+        for &bj in &touched {
+            let k2 = self.bestedgeto[bj as usize];
+            debug_assert!(k2 != NONE);
+            best.push(k2);
+            self.bestedgeto[bj as usize] = NONE;
+        }
+        touched.clear();
+        self.touched_bt = touched;
         self.bestedge[b as usize] = NONE;
         for &k2 in &best {
             if self.bestedge[b as usize] == NONE
@@ -330,7 +525,8 @@ impl Matcher {
     }
 
     fn expand_blossom(&mut self, b: i32, endstage: bool) {
-        let childs = self.blossomchilds[b as usize].clone();
+        let childs = std::mem::take(&mut self.blossomchilds[b as usize]);
+        let endps = std::mem::take(&mut self.blossomendps[b as usize]);
         for &s in &childs {
             self.blossomparent[s as usize] = NONE;
             if (s as usize) < self.nvertex {
@@ -338,16 +534,26 @@ impl Matcher {
             } else if endstage && self.dualvar[s as usize] == 0 {
                 self.expand_blossom(s, endstage);
             } else {
-                for leaf in self.leaves(s) {
+                let mut leaf_buf = std::mem::take(&mut self.leaf_buf);
+                let mut stack = std::mem::take(&mut self.leaf_stack);
+                leaf_buf.clear();
+                push_leaves(
+                    &self.blossomchilds,
+                    self.nvertex,
+                    s,
+                    &mut stack,
+                    &mut leaf_buf,
+                );
+                self.leaf_stack = stack;
+                for &leaf in &leaf_buf {
                     self.inblossom[leaf as usize] = s;
                 }
+                self.leaf_buf = leaf_buf;
             }
         }
         if !endstage && self.label[b as usize] == 2 {
             let entrychild =
                 self.inblossom[self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
-            let childs = self.blossomchilds[b as usize].clone();
-            let endps = self.blossomendps[b as usize].clone();
             let len = childs.len() as i32;
             let idx = childs.iter().position(|&c| c == entrychild).unwrap() as i32;
             let (mut j, jstep, endptrick): (i32, i32, i32) = if idx & 1 != 0 {
@@ -384,12 +590,24 @@ impl Matcher {
                     continue;
                 }
                 let mut vfound = NONE;
-                for leaf in self.leaves(bv) {
+                let mut leaf_buf = std::mem::take(&mut self.leaf_buf);
+                let mut stack = std::mem::take(&mut self.leaf_stack);
+                leaf_buf.clear();
+                push_leaves(
+                    &self.blossomchilds,
+                    self.nvertex,
+                    bv,
+                    &mut stack,
+                    &mut leaf_buf,
+                );
+                self.leaf_stack = stack;
+                for &leaf in &leaf_buf {
                     if self.label[leaf as usize] != 0 {
                         vfound = leaf;
                         break;
                     }
                 }
+                self.leaf_buf = leaf_buf;
                 if vfound != NONE {
                     debug_assert_eq!(self.label[vfound as usize], 2);
                     debug_assert_eq!(self.inblossom[vfound as usize], bv);
@@ -404,10 +622,14 @@ impl Matcher {
         }
         self.label[b as usize] = NONE;
         self.labelend[b as usize] = NONE;
-        self.blossomchilds[b as usize] = Vec::new();
-        self.blossomendps[b as usize] = Vec::new();
+        let mut childs = childs;
+        let mut endps = endps;
+        childs.clear();
+        endps.clear();
+        self.blossomchilds[b as usize] = childs;
+        self.blossomendps[b as usize] = endps;
         self.blossombase[b as usize] = NONE;
-        self.blossombestedges[b as usize] = Vec::new();
+        self.blossombestedges[b as usize].clear();
         self.bestedge[b as usize] = NONE;
         self.unusedblossoms.push(b);
     }
@@ -420,8 +642,8 @@ impl Matcher {
         if t as usize >= self.nvertex {
             self.augment_blossom(t, v);
         }
-        let childs = self.blossomchilds[b as usize].clone();
-        let endps = self.blossomendps[b as usize].clone();
+        let mut childs = std::mem::take(&mut self.blossomchilds[b as usize]);
+        let mut endps = std::mem::take(&mut self.blossomendps[b as usize]);
         let len = childs.len() as i32;
         let i = childs.iter().position(|&c| c == t).unwrap() as i32;
         let (mut j, jstep, endptrick): (i32, i32, i32) = if i & 1 != 0 {
@@ -446,19 +668,11 @@ impl Matcher {
             self.mate[self.endpoint[(p ^ 1) as usize] as usize] = p;
         }
         let i = i as usize;
-        let rotated_childs: Vec<i32> = childs[i..]
-            .iter()
-            .chain(childs[..i].iter())
-            .copied()
-            .collect();
-        let rotated_endps: Vec<i32> = endps[i..]
-            .iter()
-            .chain(endps[..i].iter())
-            .copied()
-            .collect();
-        self.blossomchilds[b as usize] = rotated_childs;
-        self.blossomendps[b as usize] = rotated_endps;
-        self.blossombase[b as usize] = self.blossombase[self.blossomchilds[b as usize][0] as usize];
+        childs.rotate_left(i);
+        endps.rotate_left(i);
+        self.blossombase[b as usize] = self.blossombase[childs[0] as usize];
+        self.blossomchilds[b as usize] = childs;
+        self.blossomendps[b as usize] = endps;
     }
 
     fn augment_matching(&mut self, k: i32) {
@@ -499,7 +713,7 @@ impl Matcher {
             self.label.fill(0);
             self.bestedge.fill(NONE);
             for b in self.nvertex..2 * self.nvertex {
-                self.blossombestedges[b] = Vec::new();
+                self.blossombestedges[b].clear();
             }
             self.allowedge.fill(false);
             self.queue.clear();
@@ -514,8 +728,10 @@ impl Matcher {
             loop {
                 while let Some(v) = self.queue.pop() {
                     debug_assert_eq!(self.label[self.inblossom[v as usize] as usize], 1);
-                    let neighbors = self.neighbend[v as usize].clone();
-                    for p in neighbors {
+                    let lo = self.neigh_off[v as usize];
+                    let hi = self.neigh_off[v as usize + 1];
+                    for idx in lo..hi {
+                        let p = self.neigh_dat[idx];
                         let k = p / 2;
                         let w = self.endpoint[p as usize];
                         if self.inblossom[v as usize] == self.inblossom[w as usize] {
@@ -679,20 +895,18 @@ impl Matcher {
         let _ = self.nedge;
     }
 
-    fn mate_vertices(&self) -> Vec<usize> {
-        (0..self.nvertex)
-            .map(|v| {
-                let p = self.mate[v];
-                if p == NONE {
-                    usize::MAX
-                } else {
-                    self.endpoint[p as usize] as usize
-                }
-            })
-            .collect()
+    fn mate_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.nvertex).map(|v| {
+            let p = self.mate[v];
+            if p == NONE {
+                usize::MAX
+            } else {
+                self.endpoint[p as usize] as usize
+            }
+        }));
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1005,6 +1219,63 @@ mod tests {
             }
             let best = brute(&edges, &mut vec![false; n], n);
             assert_eq!(weight, best, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn large_weights_still_match() {
+        // Weights near i64::MAX / 8 survive the C - w transform and the
+        // internal doubling (regression: release builds used to wrap).
+        let b = i64::MAX / 8 - 10;
+        let edges = [
+            (0, 1, b - 9),
+            (0, 2, b - 1),
+            (0, 3, b),
+            (1, 2, b),
+            (1, 3, b - 1),
+            (2, 3, b - 9),
+        ];
+        let mate = min_weight_perfect_matching(4, &edges);
+        assert_eq!(mate, vec![1, 0, 3, 2]);
+        let mate = max_weight_matching(4, &edges, false);
+        assert_eq!(mate, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows i64")]
+    fn perfect_matching_transform_overflow_panics() {
+        // c - w spans almost the whole i64 range; doubling it must panic
+        // with a clear message instead of wrapping.
+        let edges = [(0, 1, i64::MAX / 2), (2, 3, -(i64::MAX / 2))];
+        min_weight_perfect_matching(4, &edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows i64")]
+    fn doubled_weight_overflow_panics() {
+        max_weight_matching(2, &[(0, 1, i64::MAX / 2 + 1)], false);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_problem_sizes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xAB1E);
+        let mut scratch = BlossomScratch::default();
+        let mut mate = Vec::new();
+        for _ in 0..120 {
+            let n = 2 * rng.gen_range(1..6usize);
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    edges.push((i, j, rng.gen_range(1..60) as i64));
+                }
+            }
+            min_weight_perfect_matching_with(n, &edges, &mut scratch, &mut mate);
+            assert_eq!(mate, min_weight_perfect_matching(n, &edges));
+            let max_card = rng.gen::<bool>();
+            max_weight_matching_with(n, &edges, max_card, &mut scratch, &mut mate);
+            assert_eq!(mate, max_weight_matching(n, &edges, max_card));
         }
     }
 }

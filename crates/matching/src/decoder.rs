@@ -20,6 +20,30 @@
 use surf_pauli::BitBatch;
 
 use crate::graph::DecodingGraph;
+use crate::mwpm::MwpmScratch;
+use crate::unionfind::UfScratch;
+
+/// One decode arena shared across windows, epochs, and sessions: the
+/// scratch state of every decoder backend, plus the lane-extraction
+/// buffer, in a single owner.
+///
+/// A long-lived holder (a windowed-decode session, a daemon connection)
+/// creates exactly one workspace and passes it to every
+/// [`Decoder::decode_batch_with`] call; each backend uses only its slice
+/// of the arena, every buffer grows to its high-water mark and is then
+/// reused, so steady-state decoding performs zero heap allocations. The
+/// one-shot [`Decoder::decode_batch`] path allocates a fresh workspace
+/// per call and produces bit-identical results.
+#[derive(Clone, Debug, Default)]
+pub struct DecodeWorkspace {
+    /// Lane-extraction buffer (flagged detector indices of one shot).
+    pub(crate) syndrome: Vec<usize>,
+    /// MWPM backend arena: Dijkstra state, matching instance, and the
+    /// blossom solver's tables.
+    pub(crate) mwpm: MwpmScratch,
+    /// Union-find backend arena: cluster tables and the peeling forest.
+    pub(crate) uf: UfScratch,
+}
 
 /// A syndrome decoder over a [`DecodingGraph`].
 ///
@@ -65,6 +89,28 @@ pub trait Decoder: Send + Sync {
             predictions.push(self.decode(&syndrome));
         }
     }
+
+    /// Like [`decode_batch`](Decoder::decode_batch), but with every
+    /// internal allocation drawn from the caller-owned `workspace` so a
+    /// long-lived session reuses one arena across calls.
+    ///
+    /// The default implementation reuses the workspace's lane-extraction
+    /// buffer around scalar [`decode`](Decoder::decode) calls; backends
+    /// with real scratch state (MWPM, union-find) override it to route
+    /// their whole decode through the arena. Results are bit-identical to
+    /// `decode_batch`.
+    fn decode_batch_with(
+        &self,
+        batch: &BitBatch,
+        predictions: &mut Vec<u64>,
+        workspace: &mut DecodeWorkspace,
+    ) {
+        predictions.clear();
+        for lane in 0..batch.lanes() {
+            batch.lane_ones_into(lane, &mut workspace.syndrome);
+            predictions.push(self.decode(&workspace.syndrome));
+        }
+    }
 }
 
 impl<D: Decoder + ?Sized> Decoder for &D {
@@ -79,6 +125,15 @@ impl<D: Decoder + ?Sized> Decoder for &D {
     fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
         (**self).decode_batch(batch, predictions)
     }
+
+    fn decode_batch_with(
+        &self,
+        batch: &BitBatch,
+        predictions: &mut Vec<u64>,
+        workspace: &mut DecodeWorkspace,
+    ) {
+        (**self).decode_batch_with(batch, predictions, workspace)
+    }
 }
 
 impl<D: Decoder + ?Sized> Decoder for Box<D> {
@@ -92,6 +147,15 @@ impl<D: Decoder + ?Sized> Decoder for Box<D> {
 
     fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
         (**self).decode_batch(batch, predictions)
+    }
+
+    fn decode_batch_with(
+        &self,
+        batch: &BitBatch,
+        predictions: &mut Vec<u64>,
+        workspace: &mut DecodeWorkspace,
+    ) {
+        (**self).decode_batch_with(batch, predictions, workspace)
     }
 }
 

@@ -43,8 +43,11 @@ mod mwpm;
 mod unionfind;
 mod windowed;
 
-pub use blossom::{max_weight_matching, min_weight_perfect_matching};
-pub use decoder::Decoder;
+pub use blossom::{
+    max_weight_matching, max_weight_matching_with, min_weight_perfect_matching,
+    min_weight_perfect_matching_with, BlossomScratch,
+};
+pub use decoder::{DecodeWorkspace, Decoder};
 pub use graph::{DecodingGraph, Edge};
 pub use mwpm::{MwpmDecoder, MwpmScratch};
 pub use unionfind::{UfScratch, UnionFindDecoder};

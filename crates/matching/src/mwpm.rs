@@ -21,8 +21,8 @@ use std::collections::BinaryHeap;
 
 use surf_pauli::BitBatch;
 
-use crate::blossom::min_weight_perfect_matching;
-use crate::decoder::Decoder;
+use crate::blossom::{min_weight_perfect_matching_with, BlossomScratch};
+use crate::decoder::{DecodeWorkspace, Decoder};
 use crate::graph::DecodingGraph;
 
 /// Exact MWPM decoder over a [`DecodingGraph`].
@@ -82,6 +82,10 @@ pub struct MwpmScratch {
     boundary_info: Vec<Option<(f64, u64)>>,
     edges: Vec<(usize, usize, i64)>,
     neigh: Vec<(usize, f64)>,
+    /// Blossom-solver arena (dual variables, labels, tree pointers, …).
+    blossom: BlossomScratch,
+    /// Matching result buffer.
+    mate: Vec<usize>,
 }
 
 impl MwpmScratch {
@@ -170,7 +174,12 @@ impl MwpmDecoder {
                     .filter(|&j| j != i)
                     .filter_map(|j| scratch.pair_info[i * m + j].map(|(d, _)| (j, d))),
             );
-            scratch.neigh.sort_by(|a, b| a.1.total_cmp(&b.1));
+            // Unstable sort to avoid the stable sort's temporary buffer;
+            // the index tiebreak reproduces the stable order exactly
+            // (candidates are generated in ascending j).
+            scratch
+                .neigh
+                .sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             if self.max_neighbors > 0 {
                 scratch.neigh.truncate(self.max_neighbors);
             }
@@ -194,9 +203,14 @@ impl MwpmDecoder {
                 scratch.edges.push((m + i, m + j, 0));
             }
         }
-        let mate = min_weight_perfect_matching(2 * m, &scratch.edges);
+        min_weight_perfect_matching_with(
+            2 * m,
+            &scratch.edges,
+            &mut scratch.blossom,
+            &mut scratch.mate,
+        );
         let mut obs = 0u64;
-        for (i, &partner) in mate.iter().enumerate().take(m) {
+        for (i, &partner) in scratch.mate.iter().enumerate().take(m) {
             if partner < m {
                 if i < partner {
                     obs ^= scratch.pair_info[i * m + partner]
@@ -283,13 +297,20 @@ impl Decoder for MwpmDecoder {
     }
 
     fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        self.decode_batch_with(batch, predictions, &mut DecodeWorkspace::default());
+    }
+
+    fn decode_batch_with(
+        &self,
+        batch: &BitBatch,
+        predictions: &mut Vec<u64>,
+        workspace: &mut DecodeWorkspace,
+    ) {
         debug_assert_eq!(batch.num_bits(), self.graph.num_nodes());
-        let mut scratch = MwpmScratch::default();
-        let mut syndrome = Vec::new();
         predictions.clear();
         for lane in 0..batch.lanes() {
-            batch.lane_ones_into(lane, &mut syndrome);
-            predictions.push(self.decode_with(&syndrome, &mut scratch));
+            batch.lane_ones_into(lane, &mut workspace.syndrome);
+            predictions.push(self.decode_with(&workspace.syndrome, &mut workspace.mwpm));
         }
     }
 }

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use surf_pauli::BitBatch;
 
-use crate::decoder::Decoder;
+use crate::decoder::{DecodeWorkspace, Decoder};
 use crate::graph::DecodingGraph;
 use crate::mwpm::dedup_parity_into;
 
@@ -348,13 +348,20 @@ impl Decoder for UnionFindDecoder {
     }
 
     fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        self.decode_batch_with(batch, predictions, &mut DecodeWorkspace::default());
+    }
+
+    fn decode_batch_with(
+        &self,
+        batch: &BitBatch,
+        predictions: &mut Vec<u64>,
+        workspace: &mut DecodeWorkspace,
+    ) {
         debug_assert_eq!(batch.num_bits(), self.graph.num_nodes());
-        let mut scratch = UfScratch::default();
-        let mut syndrome = Vec::new();
         predictions.clear();
         for lane in 0..batch.lanes() {
-            batch.lane_ones_into(lane, &mut syndrome);
-            predictions.push(self.decode_with(&syndrome, &mut scratch));
+            batch.lane_ones_into(lane, &mut workspace.syndrome);
+            predictions.push(self.decode_with(&workspace.syndrome, &mut workspace.uf));
         }
     }
 }

@@ -66,11 +66,12 @@
 //! overflow at construction time, while the sparse path surfaces it on
 //! first decode of the offending window.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use surf_pauli::BitBatch;
 
-use crate::decoder::Decoder;
+use crate::decoder::{DecodeWorkspace, Decoder};
 use crate::graph::DecodingGraph;
 
 /// Factory building the inner decoder backend over each window sub-graph.
@@ -159,8 +160,11 @@ enum PlanStore {
 /// The lazy-plan state behind sparse mode.
 struct PlanTable {
     factory: DecoderFactory,
-    /// Plans already resolved, indexed by window.
-    resolved: Vec<Option<Arc<WindowPlan>>>,
+    /// Plans already resolved, keyed by window index. Committed entries
+    /// are evicted once every live session's commit frontier passes them,
+    /// so the table stays O(in-flight windows) on 10⁵⁺-round streams
+    /// instead of O(windows).
+    resolved: HashMap<usize, Arc<WindowPlan>>,
     /// Distinct inner decoders built so far, most recently used first;
     /// a candidate window whose instrumented sub-graph equals a canonical
     /// decoder's graph reuses it instead of compiling a new backend.
@@ -307,7 +311,7 @@ impl WindowedDecoder {
             }
             PlanStore::Lazy(Mutex::new(PlanTable {
                 factory,
-                resolved: vec![None; decoder.num_windows()],
+                resolved: HashMap::new(),
                 canon: Vec::new(),
                 dets,
                 round_start,
@@ -426,6 +430,28 @@ impl WindowedDecoder {
         }
     }
 
+    /// Number of resolved window plans currently retained. Eager decoders
+    /// hold every window's plan for their whole lifetime; sparse decoders
+    /// resolve plans on demand and evict them once committed, so this
+    /// stays bounded on arbitrarily long streams.
+    pub fn live_plans(&self) -> usize {
+        match &self.store {
+            PlanStore::Eager(plans) => plans.len(),
+            PlanStore::Lazy(table) => table.lock().unwrap().resolved.len(),
+        }
+    }
+
+    /// Drops resolved lazy plans for windows below `floor` (a session's
+    /// commit frontier). The canonical shared backends stay — a lagging
+    /// concurrent session that still needs an evicted window re-resolves
+    /// its (cheap) plan shell and reuses the same backend, so eviction is
+    /// invisible to results.
+    fn evict_plans_below(&self, floor: usize) {
+        if let PlanStore::Lazy(table) = &self.store {
+            table.lock().unwrap().resolved.retain(|&i, _| i >= floor);
+        }
+    }
+
     /// `(start, end, cut)` of window `index`: it decodes rounds
     /// `[start, end)` and commits matches whose earlier endpoint is below
     /// `cut` (`u32::MAX` for the last window, which commits everything).
@@ -450,7 +476,7 @@ impl WindowedDecoder {
             PlanStore::Eager(plans) => Arc::clone(&plans[index]),
             PlanStore::Lazy(table) => {
                 let mut table = table.lock().unwrap();
-                if let Some(plan) = &table.resolved[index] {
+                if let Some(plan) = table.resolved.get(&index) {
                     return Arc::clone(plan);
                 }
                 let (start, end, cut) = self.window_bounds(index);
@@ -478,7 +504,7 @@ impl WindowedDecoder {
                     decoder,
                     carries,
                 });
-                table.resolved[index] = Some(Arc::clone(&plan));
+                table.resolved.insert(index, Arc::clone(&plan));
                 plan
             }
         }
@@ -754,10 +780,13 @@ struct SessionCore {
     /// all clear (empty matching, zero flips) without touching the
     /// backend.
     dirty: Vec<u64>,
-    /// Scratch for the inner `decode_batch` calls.
+    /// Scratch for the inner `decode_batch_with` calls.
     predictions: Vec<u64>,
     /// Reusable window sub-batch (reshaped per window, allocated once).
     window_batch: BitBatch,
+    /// The session's decode arena, threaded into every backend call; one
+    /// slab per session, reused across windows and epochs.
+    workspace: DecodeWorkspace,
 }
 
 impl SessionCore {
@@ -777,6 +806,7 @@ impl SessionCore {
             dirty: vec![0u64; (decoder.total_rounds as usize).div_ceil(64)],
             predictions: Vec::new(),
             window_batch: BitBatch::with_lanes(0, lanes),
+            workspace: DecodeWorkspace::default(),
         }
     }
 
@@ -851,6 +881,7 @@ impl SessionCore {
     /// observable flips and no carries.
     fn drain_ready(&mut self, decoder: &WindowedDecoder) {
         let sparse = decoder.is_sparse();
+        let committed_from = self.next_plan;
         while self.next_plan < decoder.num_windows() {
             let (start, end, _cut) = decoder.window_bounds(self.next_plan);
             if end > self.filled_rounds {
@@ -864,18 +895,20 @@ impl SessionCore {
             self.decode_plan(decoder, &plan);
             self.next_plan += 1;
         }
+        if sparse && self.next_plan > committed_from {
+            decoder.evict_plans_below(self.next_plan);
+        }
     }
 
     /// Decodes window `plan` against the global per-detector defect words
     /// (lane `b` = shot `b`), XOR-ing each lane's committed observables
     /// into `observables` and applying carry flips back into `defects`.
     /// `window_batch` is session-owned scratch (reshaped here), reused
-    /// across the whole stream; inside the call, the backend's
-    /// `decode_batch` carries one PR 2 scratch workspace across all 64
-    /// lanes, so the per-shot decode is allocation-free (one workspace
-    /// setup is paid per window, not per shot — making it persist across
-    /// windows needs a scratch-passing decode entry point, tracked with
-    /// the allocation-free-blossom ROADMAP item).
+    /// across the whole stream; the backend call goes through
+    /// [`Decoder::decode_batch_with`] with the session's single
+    /// [`DecodeWorkspace`], so every buffer — lane extraction, Dijkstra
+    /// state, blossom tables, peeling forest — persists across windows and
+    /// epochs and the steady-state decode performs zero heap allocations.
     fn decode_plan(&mut self, decoder: &WindowedDecoder, plan: &WindowPlan) {
         if plan.globals.is_empty() {
             return;
@@ -885,8 +918,11 @@ impl SessionCore {
             self.window_batch
                 .set_word(local, self.defects[global as usize]);
         }
-        plan.decoder
-            .decode_batch(&self.window_batch, &mut self.predictions);
+        plan.decoder.decode_batch_with(
+            &self.window_batch,
+            &mut self.predictions,
+            &mut self.workspace,
+        );
         for (lane, &prediction) in self.predictions.iter().enumerate() {
             self.observables[lane] ^= prediction & decoder.obs_mask;
             if prediction & !decoder.obs_mask != 0 {
@@ -1525,6 +1561,44 @@ mod tests {
         quiet.advance_silent(rounds as u32);
         assert_eq!(quiet.windows_committed(), d.num_windows());
         assert_eq!(quiet.finish(), vec![0]);
+    }
+
+    #[test]
+    fn committed_plans_are_evicted_on_long_sparse_streams() {
+        // A 10⁵-round sparse stream with a defect pair every ~1000 rounds
+        // resolves a handful of plans per event; once the session's commit
+        // frontier passes a window its plan is evicted, so the resolved
+        // table must stay O(in-flight windows), never O(windows).
+        let rounds = 100_000u32;
+        let d = windowed_sparse(rounds as usize, WindowConfig::new(4));
+        let mut session = d.session(1);
+        let mut max_live = 0usize;
+        let mut t = 0u32;
+        let mut next_event = 500u32;
+        while t < rounds {
+            if t == next_event && t + 1 < rounds {
+                session.push_round(t, &[t], &[1]);
+                session.push_round(t + 1, &[t + 1], &[1]);
+                t += 2;
+                next_event += 1009;
+            } else {
+                let stop = if next_event > t && next_event < rounds {
+                    next_event
+                } else {
+                    rounds
+                };
+                session.advance_silent(stop - t);
+                t = stop;
+            }
+            max_live = max_live.max(d.live_plans());
+        }
+        assert!(max_live <= 8, "resolved-plan table grew to {max_live}");
+        // The events did force plan resolution (canonical backends exist,
+        // and structural sharing is untouched by eviction) ...
+        assert!((1..=4).contains(&d.compiled_backends()));
+        // ... yet every committed plan has been dropped again.
+        assert_eq!(d.live_plans(), 0, "committed plans must be evicted");
+        assert_eq!(session.finish(), vec![0], "each pair cancels locally");
     }
 
     #[test]

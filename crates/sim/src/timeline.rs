@@ -52,9 +52,20 @@
 //! deformation genuinely severed every frame-trackable reroute — falls
 //! back to the canonical representative and clears
 //! [`TimelineModel::observable_threaded`]; treat results built on such a
-//! timeline as frame-unreliable. (Measurement errors on the absorbed
-//! boundary values themselves are still neglected; that refinement
-//! remains open.)
+//! timeline as frame-unreliable.
+//!
+//! **Absorbed boundary values.** Qubits removed by a deformation are
+//! measured out individually at the boundary. A killed chain whose
+//! product lies entirely on those dying qubits does *not* lose its final
+//! syndrome: the product of the measure-outs reconstructs it, and the
+//! comparison against the chain's last gauge measurement is a real
+//! detector ([`DetectorRemap::reconstructed`]). The measure-outs are
+//! error-prone like any measurement — each dying qubit gets a boundary
+//! channel flipping the reconstruction detectors of the killed chains it
+//! supports, and flipping the observable when the qubit carries the
+//! logical representative (its absorbed value enters the Pauli frame).
+//! Killed chains with support surviving the cut genuinely discard their
+//! value — no measurement of the surviving qubits exists at the boundary.
 //!
 //! A one-epoch timeline compiles to a model that is **bit-identical** to
 //! [`DetectorModel::build`] (same channels, same detector indices, same
@@ -98,6 +109,12 @@ pub struct DetectorRemap {
     /// Early stabilizer groups whose chains end at the boundary with no
     /// partner (syndrome information discarded by the deformation).
     pub killed: usize,
+    /// Reconstruction detectors of killed chains supported entirely on
+    /// measured-out qubits: each compares the chain's last gauge
+    /// measurement against the product of its qubits' boundary
+    /// measure-outs (a subset of the `killed` count; the rest genuinely
+    /// discard their value).
+    pub reconstructed: Vec<usize>,
     /// Late stabilizer groups born fresh at the boundary (first
     /// measurement projective: no detector until their second one).
     pub created: usize,
@@ -159,6 +176,12 @@ struct Chain {
     /// The end detector (`dets[times.len()]`) is the final-readout
     /// comparison (as opposed to a merge-boundary detector or nothing).
     end_final: bool,
+    /// The end detector compares against the product of the chain's
+    /// qubits' boundary measure-outs (chain killed with its whole support
+    /// measured out). Like `end_final`, the comparison value is flipped
+    /// by any data error the chain's measurements saw, so only errors
+    /// *after* the last gauge measurement toggle it.
+    end_recon: bool,
 }
 
 /// Per-epoch build context.
@@ -347,6 +370,44 @@ impl TimelineModel {
             chain.dets = vec![None; chain.times.len() + 1];
         }
 
+        // --- Reconstruction candidates: killed chains whose whole
+        // product is measured out at their boundary keep their final
+        // syndrome (the product of the individual measure-outs).
+        // `feeds_merge` marks chains whose final value is consumed by a
+        // merge-boundary detector instead.
+        let mut feeds_merge = vec![false; chains.len()];
+        for chain in &chains {
+            if !chain.times.is_empty() {
+                for &p in &chain.parents {
+                    feeds_merge[p] = true;
+                }
+            }
+        }
+        let dying_qubits: Vec<BTreeSet<Coord>> = (0..num_epochs.saturating_sub(1))
+            .map(|b| {
+                ctxs[b]
+                    .patch
+                    .data_qubits()
+                    .into_iter()
+                    .filter(|&q| !ctxs[b + 1].patch.contains_data(q))
+                    .collect()
+            })
+            .collect();
+        let mut recon_chains: Vec<Vec<usize>> = vec![Vec::new(); num_epochs.saturating_sub(1)];
+        for (ci, chain) in chains.iter().enumerate() {
+            let last_epoch = chain.segs.last().expect("every chain has a segment").epoch;
+            if last_epoch + 1 == num_epochs || feeds_merge[ci] || chain.times.is_empty() {
+                continue;
+            }
+            if chain
+                .product
+                .iter()
+                .all(|q| dying_qubits[last_epoch].contains(q))
+            {
+                recon_chains[last_epoch].push(ci);
+            }
+        }
+
         // --- Detector assignment: epoch-major, group order within each
         // epoch — for a single epoch this reproduces the exact layout of
         // `DetectorModel::build`.
@@ -355,6 +416,21 @@ impl TimelineModel {
         let mut epoch_detectors: Vec<Range<usize>> = Vec::with_capacity(num_epochs);
         for (e, ctx) in ctxs.iter().enumerate() {
             let epoch_base = num_detectors;
+            if e > 0 {
+                // Reconstruction detectors of chains killed at the
+                // boundary into this epoch, ahead of the epoch's own
+                // measurement detectors; their round is the boundary
+                // round (the measure-outs happen as the new epoch
+                // starts).
+                for &c in &recon_chains[e - 1] {
+                    let end = chains[c].times.len();
+                    chains[c].dets[end] = Some(num_detectors);
+                    chains[c].end_recon = true;
+                    remaps[e - 1].reconstructed.push(num_detectors);
+                    detector_rounds.push(ctx.start);
+                    num_detectors += 1;
+                }
+            }
             for &g in &ctx.groups {
                 let c = group_chain[e][&g];
                 if chains[c].times.is_empty() {
@@ -433,9 +509,10 @@ impl TimelineModel {
                 let len = chain.times.len();
                 let k = chain.times.partition_point(|&t| t < slot);
                 if k == len {
-                    // Only the readout term (if any) lies after the error.
-                    if chain.end_final {
-                        out.push(chain.dets[len].expect("final detectors are assigned"));
+                    // Only the readout / measure-out comparison (if any)
+                    // lies after the error.
+                    if chain.end_final || chain.end_recon {
+                        out.push(chain.dets[len].expect("end detectors are assigned"));
                     }
                     continue;
                 }
@@ -446,11 +523,15 @@ impl TimelineModel {
                 } else {
                     out.push(chain.dets[k].expect("interior comparisons are assigned"));
                 }
-                if !chain.end_final {
+                if !chain.end_final && !chain.end_recon {
                     // The chain's last measurement feeds a merge-boundary
                     // detector (or nothing): the error flips it too —
                     // the late-side contribution cancels it whenever the
-                    // qubit survives into the merged product.
+                    // qubit survives into the merged product. (Readout
+                    // and reconstruction comparisons are *not* flipped:
+                    // the error flips the chain's last measurement and
+                    // the qubit's own readout / measure-out alike, so the
+                    // comparison is untouched.)
                     if let Some(d) = chain.dets[len] {
                         out.push(d);
                     }
@@ -548,6 +629,35 @@ impl TimelineModel {
                         });
                     }
                 }
+            }
+        }
+        // Boundary measure-outs of dying qubits: each is a real, noisy
+        // measurement whose misread flips every reconstruction detector
+        // it feeds and — when the qubit carries the logical
+        // representative — the absorbed Pauli-frame value.
+        for (b, dying) in dying_qubits.iter().enumerate() {
+            let boundary_round = ctxs[b + 1].start;
+            for q in ctxs[b].patch.data_qubits() {
+                if !dying.contains(&q) {
+                    continue;
+                }
+                let detectors: Vec<usize> = recon_chains[b]
+                    .iter()
+                    .filter(|&&ci| chains[ci].product.contains(&q))
+                    .map(|&ci| chains[ci].dets[chains[ci].times.len()].expect("recon det"))
+                    .collect();
+                let obs = ctxs[b].observable.contains(&q);
+                if detectors.is_empty() && !obs {
+                    continue;
+                }
+                let (p_true, p_prior) = rate(&|n| n.readout_flip(q), &ctxs[b], boundary_round);
+                channels.push(Channel {
+                    detectors,
+                    observable: obs,
+                    p_true,
+                    p_prior,
+                    round: boundary_round,
+                });
             }
         }
         let last_ctx = ctxs.last().expect("timeline is never empty");
@@ -907,6 +1017,7 @@ fn new_chain(
         parents,
         dets: Vec::new(),
         end_final: false,
+        end_recon: false,
     });
     chains.len() - 1
 }
@@ -1132,5 +1243,91 @@ mod tests {
         assert!(remap.created > 0);
         assert!(remap.merged.is_empty());
         assert!(!remap.continued.is_empty());
+    }
+    /// A recovery-style resize: two whole rows of a 5×7 patch retired at
+    /// round 4, so several stabilizer chains are killed with their whole
+    /// support measured out.
+    fn shrink_timeline() -> PatchTimeline {
+        let early = Patch::rectangle_at(0, 0, 5, 7);
+        let late = Patch::rectangle_at(0, 0, 5, 5);
+        let mut timeline = PatchTimeline::fixed(early, DefectMap::new());
+        timeline.push_epoch(4, late, DefectMap::new());
+        timeline
+    }
+
+    #[test]
+    fn shrink_boundary_reconstructs_killed_chains() {
+        // Retiring two rows kills six Z chains; the three supported
+        // entirely on measured-out qubits keep their final syndrome as a
+        // reconstruction detector (the rest straddle the cut: part of
+        // their support survives unmeasured, so their value is genuinely
+        // discarded).
+        let tm = TimelineModel::build(
+            &shrink_timeline(),
+            Basis::Z,
+            8,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        let remap = &tm.remaps[0];
+        assert_eq!(remap.killed, 6);
+        assert_eq!(remap.reconstructed.len(), 3, "{remap:?}");
+        for &d in &remap.reconstructed {
+            // The comparison happens at the boundary round and belongs to
+            // the late epoch's detector block.
+            assert_eq!(tm.model.detector_rounds[d], 4, "detector {d}");
+            assert!(tm.epoch_detectors[1].contains(&d));
+            // A misread of the chain's last gauge measurement flips the
+            // reconstruction comparison too: some 2-detector channel
+            // pairs it with an early-epoch detector.
+            assert!(tm
+                .model
+                .channels
+                .iter()
+                .any(|c| c.detectors.len() == 2 && c.detectors.contains(&d)));
+            // And the boundary measure-outs feeding it are sampled as
+            // noisy measurements at the boundary round.
+            assert!(tm
+                .model
+                .channels
+                .iter()
+                .any(|c| c.round == 4 && c.detectors == vec![d]));
+        }
+        assert_eq!(tm.model.detector_rounds.len(), tm.model.num_detectors);
+        // The X-basis build reconstructs its own killed chains.
+        let tx = TimelineModel::build(
+            &shrink_timeline(),
+            Basis::X,
+            8,
+            NoiseParams::paper(),
+            None,
+            DecoderPrior::Informed,
+        );
+        assert_eq!(tx.remaps[0].killed, 6);
+        assert_eq!(tx.remaps[0].reconstructed.len(), 4);
+    }
+
+    #[test]
+    fn shrink_timeline_failure_counts_are_pinned() {
+        // Fixed-seed end-to-end lock on the model *with* absorbed
+        // boundary values: reconstruction detectors restore the killed
+        // chains' final syndromes and the boundary measure-outs are
+        // sampled as noisy measurements. Re-pin deliberately if the
+        // boundary physics changes again.
+        let timeline = shrink_timeline();
+        let mut exp = crate::MemoryExperiment::standard(Patch::rectangle_at(0, 0, 5, 7));
+        exp.rounds = 8;
+        exp.noise = NoiseParams::uniform(4e-3);
+        let failures = exp.run_streaming_timeline(
+            Basis::X,
+            4000,
+            11,
+            surf_matching::WindowConfig::new(8),
+            &timeline,
+            None,
+            1,
+        );
+        assert_eq!(failures, 31);
     }
 }
