@@ -47,7 +47,7 @@ pub use blossom::{
     max_weight_matching, max_weight_matching_with, min_weight_perfect_matching,
     min_weight_perfect_matching_with, BlossomScratch,
 };
-pub use decoder::{DecodeWorkspace, Decoder};
+pub use decoder::{decode_wide_batch, decode_wide_batch_with, DecodeWorkspace, Decoder};
 pub use graph::{DecodingGraph, Edge};
 pub use mwpm::{MwpmDecoder, MwpmScratch};
 pub use unionfind::{UfScratch, UnionFindDecoder};

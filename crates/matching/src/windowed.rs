@@ -742,27 +742,51 @@ impl Decoder for WindowedDecoder {
     }
 
     fn decode_batch(&self, batch: &BitBatch, predictions: &mut Vec<u64>) {
+        self.decode_batch_with(batch, predictions, &mut DecodeWorkspace::default());
+    }
+
+    /// Whole-history batch decode through the caller's arena: the
+    /// transient per-call session state (`decode_batch` historically
+    /// rebuilt it every time) is cached inside the workspace, so a
+    /// long-lived holder re-decoding many batches reuses one core —
+    /// defect words, dirty bitmap, window scratch, and the backend arena
+    /// all grow to their high-water marks once.
+    fn decode_batch_with(
+        &self,
+        batch: &BitBatch,
+        predictions: &mut Vec<u64>,
+        workspace: &mut DecodeWorkspace,
+    ) {
         assert_eq!(
             batch.num_bits(),
             self.graph.num_nodes(),
             "batch shape does not match the decoding graph"
         );
-        let mut core = SessionCore::new(self, batch.lanes());
+        let mut core = workspace
+            .windowed
+            .take()
+            .unwrap_or_else(|| Box::new(SessionCore::new(self, batch.lanes())));
+        core.reset(self, batch.lanes());
         core.defects
             .copy_from_slice(&batch.words()[..batch.num_bits()]);
         core.mark_dirty_defects(self);
         core.filled_rounds = self.total_rounds;
         core.drain_ready(self);
+        debug_assert_eq!(core.next_plan, self.num_windows());
         predictions.clear();
-        predictions.extend_from_slice(&core.finish(self));
+        predictions.extend_from_slice(&core.observables);
+        workspace.windowed = Some(core);
     }
 }
 
 /// The per-session state behind both session handles: residual defects,
 /// fill cursor, and committed observables. Every method takes the decoder
 /// explicitly so the state can be owned next to either a borrowed or an
-/// `Arc`-held [`WindowedDecoder`].
-struct SessionCore {
+/// `Arc`-held [`WindowedDecoder`] — or cached inside a
+/// [`DecodeWorkspace`] by the whole-history
+/// [`Decoder::decode_batch_with`] path.
+#[derive(Clone, Debug)]
+pub(crate) struct SessionCore {
     /// Current residual defects, one word per global detector.
     defects: Vec<u64>,
     lane_mask: u64,
@@ -808,6 +832,34 @@ impl SessionCore {
             window_batch: BitBatch::with_lanes(0, lanes),
             workspace: DecodeWorkspace::default(),
         }
+    }
+
+    /// Returns a (possibly recycled) core to the fresh-session state for
+    /// `decoder` and `lanes`, keeping every backing allocation. The core
+    /// may previously have served a *different* decoder — all
+    /// shape-dependent vectors are resized here.
+    fn reset(&mut self, decoder: &WindowedDecoder, lanes: usize) {
+        assert!(
+            (1..=BitBatch::LANES).contains(&lanes),
+            "lanes {lanes} out of range 1..={}",
+            BitBatch::LANES
+        );
+        self.defects.clear();
+        self.defects.resize(decoder.graph.num_nodes(), 0);
+        self.lane_mask = BitBatch::mask_for(lanes);
+        self.lanes = lanes;
+        self.filled_rounds = 0;
+        self.next_plan = 0;
+        self.observables.clear();
+        self.observables.resize(lanes, 0);
+        self.dirty.clear();
+        self.dirty
+            .resize((decoder.total_rounds as usize).div_ceil(64), 0);
+        // Rows are empty after the reshape, so the lane change never
+        // truncates live data.
+        self.window_batch.reset_rows(0);
+        self.window_batch.set_lanes(lanes);
+        // `predictions` and `workspace` are pure scratch: reused as-is.
     }
 
     fn mark_dirty(&mut self, round: u32) {

@@ -1,0 +1,163 @@
+//! Slab-level bit kernels behind the `simd` cargo feature.
+//!
+//! The word-parallel hot loops of the workspace — batch XOR application,
+//! batch popcounts, lane-mask sweeps — all reduce to a handful of
+//! operations over `&[u64]` slabs. This module is their single home:
+//!
+//! * **Default build:** plain fixed-stride loops. They are written to
+//!   autovectorise (no early exits, no data-dependent control flow), so
+//!   even without the feature the compiler emits SSE2 code on x86-64.
+//! * **`--features simd`:** on x86-64 the kernels are additionally
+//!   compiled as `#[target_feature(enable = "avx2"/"popcnt")]` clones and
+//!   dispatched once per process via `is_x86_feature_detected!`. This is
+//!   *stable* Rust — the nightly-only `std::simd` (portable SIMD) API is
+//!   deliberately not used, because the workspace pins a stable toolchain;
+//!   the `target_feature` clones give the same 256-bit vector bodies.
+//!   On other architectures the feature is a no-op and the fallback loops
+//!   are used.
+//!
+//! Every kernel is bit-exact across paths (pure AND/XOR/popcount — there
+//! is nothing to round), so enabling the feature never changes results,
+//! only throughput; `tests` assert the equivalence directly.
+
+/// XORs `src` into `dst` element-wise. Slabs must have equal lengths.
+#[inline]
+pub fn xor_into(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "slab length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_available() {
+        // SAFETY: AVX2 support verified at runtime.
+        unsafe { xor_into_avx2(dst, src) };
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// ANDs `mask` into every element of `dst`.
+#[inline]
+pub fn and_mask(dst: &mut [u64], mask: u64) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_available() {
+        // SAFETY: AVX2 support verified at runtime.
+        unsafe { and_mask_avx2(dst, mask) };
+        return;
+    }
+    for d in dst.iter_mut() {
+        *d &= mask;
+    }
+}
+
+/// Total set bits across the slab.
+#[inline]
+pub fn popcount(words: &[u64]) -> u64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if popcnt_available() {
+        // SAFETY: POPCNT support verified at runtime.
+        return unsafe { popcount_popcnt(words) };
+    }
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn popcnt_available() -> bool {
+    use std::sync::OnceLock;
+    static POPCNT: OnceLock<bool> = OnceLock::new();
+    *POPCNT.get_or_init(|| std::arch::is_x86_feature_detected!("popcnt"))
+}
+
+/// # Safety
+///
+/// Requires AVX2. The body is ordinary safe slice code; the attribute
+/// only changes codegen (256-bit vectors).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn xor_into_avx2(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// # Safety
+///
+/// Requires AVX2; see [`xor_into_avx2`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn and_mask_avx2(dst: &mut [u64], mask: u64) {
+    for d in dst.iter_mut() {
+        *d &= mask;
+    }
+}
+
+/// # Safety
+///
+/// Requires POPCNT; the attribute lets `count_ones` lower to the
+/// hardware instruction instead of the baseline bit-twiddling expansion.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "popcnt")]
+unsafe fn popcount_popcnt(words: &[u64]) -> u64 {
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_xor(dst: &mut [u64], src: &[u64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
+    #[test]
+    fn xor_matches_reference_on_all_alignments() {
+        // Lengths straddling the 4-word vector width, including 0.
+        for len in 0..20 {
+            let a: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let b: Vec<u64> = (0..len as u64).map(|i| !i ^ 0xABCD).collect();
+            let mut got = a.clone();
+            xor_into(&mut got, &b);
+            let mut want = a.clone();
+            reference_xor(&mut want, &b);
+            assert_eq!(got, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn and_mask_matches_reference() {
+        for len in [0usize, 1, 3, 4, 7, 16, 33] {
+            let a: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x1234_5678_9ABC))
+                .collect();
+            let mut got = a.clone();
+            and_mask(&mut got, 0x0F0F_F0F0_1234_FFFF);
+            let want: Vec<u64> = a.iter().map(|w| w & 0x0F0F_F0F0_1234_FFFF).collect();
+            assert_eq!(got, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn popcount_matches_reference() {
+        for len in [0usize, 1, 5, 64, 129] {
+            let a: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0xDEAD_BEEF_CAFE))
+                .collect();
+            let want: u64 = a.iter().map(|w| w.count_ones() as u64).sum();
+            assert_eq!(popcount(&a), want, "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        xor_into(&mut [0u64; 2], &[0u64; 3]);
+    }
+}

@@ -143,8 +143,11 @@ fn main() {
         let agree = served == s.direct_flips;
         all_agree &= agree;
         let failures = (served ^ s.true_observables).count_ones();
+        // "0x" plus one hex digit per nibble of the lane word, whatever
+        // width the batch layout compiles to.
+        let hex = 2 + surf_pauli::BitBatch::LANES / 4;
         println!(
-            "[surf-deformer-client] session={} failures={} served={:#018x} direct={:#018x} agree={}",
+            "[surf-deformer-client] session={} failures={} served={:#0hex$x} direct={:#0hex$x} agree={}",
             s.id, failures, served, s.direct_flips, agree
         );
     }

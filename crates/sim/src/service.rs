@@ -473,6 +473,26 @@ impl DecodeSession {
         crate::stream::SparseRoundStream::for_timeline(&self.shared.tm)
     }
 
+    /// The width-`N` twin of [`round_stream`](Self::round_stream):
+    /// samples `N·64` shot lanes per pass and emits per-sub-word word
+    /// slices ([`WideRoundSlice::words_of`](crate::WideRoundSlice::words_of)),
+    /// each shaped exactly for one forked base-width session's
+    /// [`push_round`](Self::push_round).
+    pub fn wide_round_stream<const N: usize>(&self) -> crate::stream::WideRoundStream<N> {
+        crate::stream::WideRoundStream::for_timeline(&self.shared.tm)
+    }
+
+    /// The width-`N` twin of
+    /// [`sparse_round_stream`](Self::sparse_round_stream): events are the
+    /// union of firing rounds across sub-words, to be striped into `N`
+    /// forked sessions via
+    /// [`push_round_sparse`](Self::push_round_sparse).
+    pub fn wide_sparse_round_stream<const N: usize>(
+        &self,
+    ) -> crate::stream::WideSparseRoundStream<N> {
+        crate::stream::WideSparseRoundStream::for_timeline(&self.shared.tm)
+    }
+
     /// Consumes the next round's detector words (`words[i]` is the
     /// 64-lane firing word of `self.detectors_of(round)[i]`), decodes
     /// every window now complete, and reports the committed horizon,

@@ -1,0 +1,165 @@
+//! SIMD-wide shot lanes against the 64-lane oracle.
+//!
+//! The headline guarantee of the [`LaneWidth`] subsystem: failure counts
+//! are a pure function of `(shots, seed, shard)` and **never depend on
+//! the lane width**. Sub-word `j` of a wide pass consumes the SplitMix64
+//! seed stream of base batch `N·slot + j` in exactly the draw order and
+//! count of a standalone 64-lane batch, so:
+//!
+//! * `run_basis_wide` at X256/X512 reproduces `run_basis` bit for bit,
+//!   for both decoder backends, at any shot count — including counts
+//!   that are not multiples of 64, 256 or 512 (partial boundary
+//!   sub-words, inactive trailing sub-words);
+//! * sharded wide runs keep the base-width batch ownership, so shard
+//!   counts still sum to the single-host count at every width;
+//! * the streaming pipeline (dense and sparse, windowed and
+//!   full-history) stripes each sub-word into its own forked session and
+//!   lands on the same counts as the base stream.
+//!
+//! The pre-existing equivalence suites (`streaming_equivalence`,
+//! `sparse_streaming`, `sharding`) run unmodified: they pin the 64-lane
+//! oracle this suite compares against.
+
+use proptest::prelude::*;
+use surf_lattice::{Basis, Patch};
+use surf_sim::{
+    DecoderKind, LaneWidth, MemoryExperiment, MemoryStats, NoiseParams, Shard, StreamConfig,
+};
+
+const D: usize = 3;
+
+fn experiment(kind: DecoderKind) -> MemoryExperiment {
+    let mut exp = MemoryExperiment::standard(Patch::rotated(D));
+    exp.rounds = 4;
+    exp.noise = NoiseParams::uniform(8e-3);
+    exp.decoder = kind;
+    exp
+}
+
+#[test]
+fn wide_run_basis_matches_oracle_across_decoders() {
+    for kind in [DecoderKind::Mwpm, DecoderKind::UnionFind] {
+        let exp = experiment(kind);
+        // 500 shots = one full 512-wide slot shy of a lane, and a
+        // partial 256-wide slot: both widths end on a boundary sub-word.
+        let reference = exp.run_basis(Basis::Z, 500, 42);
+        for width in [LaneWidth::X64, LaneWidth::X256, LaneWidth::X512] {
+            assert_eq!(
+                exp.run_basis_wide(Basis::Z, 500, 42, width),
+                reference,
+                "{kind:?} at {width} must match the 64-lane oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn tail_batch_masking_at_non_multiple_shot_counts() {
+    let exp = experiment(DecoderKind::Mwpm);
+    // Every alignment class a wide pass can end on: a lone partial
+    // sub-word, exact base/wide multiples, one-past boundaries, and a
+    // count that leaves X512's final slot more than half empty.
+    for shots in [1u64, 63, 64, 65, 128, 255, 256, 257, 511, 512, 513, 700] {
+        let reference = exp.run_basis(Basis::Z, shots, 9);
+        for width in [LaneWidth::X256, LaneWidth::X512] {
+            assert_eq!(
+                exp.run_basis_wide(Basis::Z, shots, 9, width),
+                reference,
+                "{shots} shots at {width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_shards_sum_to_the_unsharded_count_exactly() {
+    let exp = experiment(DecoderKind::Mwpm);
+    // 500 shots = 7 full batches + a partial tail: shards split
+    // unevenly, one shard owns the tail, and X512 leaves some shards
+    // with inactive trailing sub-words.
+    let shots = 500;
+    let reference = exp.run_basis(Basis::Z, shots, 42);
+    for width in [LaneWidth::X256, LaneWidth::X512] {
+        for count in [2u64, 3, 5] {
+            let mut merged = 0;
+            for index in 0..count {
+                merged +=
+                    exp.run_basis_wide_shard(Basis::Z, shots, 42, width, Shard::new(index, count));
+            }
+            assert_eq!(merged, reference, "{count}-way shard at {width}");
+        }
+    }
+}
+
+#[test]
+fn wide_run_stats_merge_exactly() {
+    let exp = experiment(DecoderKind::Mwpm);
+    let shots = 300;
+    let full = exp.run(shots, 7);
+    assert_eq!(full, exp.run_wide(shots, 7, LaneWidth::X256));
+    let merged = (0..3)
+        .map(|k| exp.run_wide_shard(shots, 7, LaneWidth::X512, Shard::new(k, 3)))
+        .fold(MemoryStats::default(), MemoryStats::merge);
+    assert_eq!(merged, full);
+}
+
+#[test]
+fn wide_streaming_matches_base_streaming() {
+    let exp = experiment(DecoderKind::Mwpm);
+    // Windowed (2d) and full-history splits, dense and sparse events.
+    for window in [2 * D as u32, exp.rounds + 1] {
+        let config = StreamConfig::new(200, 37, window);
+        let base = exp.run_stream(&config);
+        for width in [LaneWidth::X256, LaneWidth::X512] {
+            assert_eq!(
+                exp.run_stream_wide(&config, width),
+                base,
+                "dense stream, window {window}, {width}"
+            );
+            let sparse = config.clone().with_sparse(true);
+            assert_eq!(
+                exp.run_stream_wide(&sparse, width),
+                base,
+                "sparse stream, window {window}, {width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_streaming_shards_sum_exactly() {
+    let exp = experiment(DecoderKind::Mwpm);
+    let config = StreamConfig::new(300, 19, 2 * D as u32);
+    let base = exp.run_stream(&config);
+    let merged = (0..3)
+        .map(|k| {
+            exp.run_stream_wide(
+                &config.clone().with_shard(Shard::new(k, 3)),
+                LaneWidth::X256,
+            )
+        })
+        .fold(MemoryStats::default(), MemoryStats::merge);
+    assert_eq!(merged, base);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Width-independence across random seeds, shot counts, widths and
+    /// decoder backends: the wide whole-history path must reproduce the
+    /// 64-lane oracle exactly, wherever the shot count lands relative to
+    /// the pass width.
+    #[test]
+    fn wide_counts_equal_oracle_counts_across_seeds(
+        seed in 0u64..1 << 48,
+        shots in 1u64..600,
+        width in prop_oneof![Just(LaneWidth::X256), Just(LaneWidth::X512)],
+        kind in prop_oneof![Just(DecoderKind::Mwpm), Just(DecoderKind::UnionFind)],
+    ) {
+        let exp = experiment(kind);
+        prop_assert_eq!(
+            exp.run_basis_wide(Basis::Z, shots, seed, width),
+            exp.run_basis(Basis::Z, shots, seed)
+        );
+    }
+}

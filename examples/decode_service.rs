@@ -129,8 +129,11 @@ fn main() {
     for ((id, _), (_, direct)) in qubits.iter().zip(&references) {
         let (complete, served) = client.close_session(*id).expect("close");
         assert!(complete);
+        // "0x" plus one hex digit per nibble of the lane word, whatever
+        // width the batch layout compiles to.
+        let hex = 2 + BitBatch::LANES / 4;
         println!(
-            "qubit {id}: served flips {served:#018x}, direct {direct:#018x} — {}",
+            "qubit {id}: served flips {served:#0hex$x}, direct {direct:#0hex$x} — {}",
             if served == *direct {
                 "bit-identical"
             } else {
