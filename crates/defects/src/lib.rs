@@ -135,9 +135,9 @@ impl FromIterator<(Coord, f64)> for DefectMap {
 ///
 /// This is the paper's real-time scenario — a cosmic ray lands while
 /// syndrome rounds keep streaming — packaged for the streaming simulation
-/// path (`surf_sim::MemoryExperiment::run_streaming_with`), which splices
-/// the detector model and reweights the decoding graph for every round
-/// window containing the event.
+/// path (`surf_sim::MemoryExperiment::run_stream_basis` with a
+/// `StreamConfig` event), which splices the detector model and reweights
+/// the decoding graph for every round window containing the event.
 ///
 /// # Example
 ///

@@ -6,6 +6,16 @@
 //! fires with some probability, and flips a mask of logical observables.
 //! Edge weights are log-likelihood ratios `ln((1-p)/p)`.
 
+/// XOR-combines two independent firing probabilities: the chance that
+/// exactly one of the two mechanisms fires. This is *the* merge rule for
+/// parallel edges — every path that folds mechanisms into edges
+/// ([`DecodingGraph::add_edge`] and round-model sources replaying the same
+/// merge) must call this one function so the results stay bit-identical.
+#[inline]
+pub fn xor_probability(p1: f64, p2: f64) -> f64 {
+    p1 * (1.0 - p2) + p2 * (1.0 - p1)
+}
+
 /// One error mechanism in the decoding graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Edge {
@@ -105,8 +115,7 @@ impl DecodingGraph {
         });
         match existing {
             Some(e) => {
-                let p1 = self.edges[e].probability;
-                let p = p1 * (1.0 - probability) + probability * (1.0 - p1);
+                let p = xor_probability(self.edges[e].probability, probability);
                 self.edges[e].probability = p;
                 self.edges[e].weight = Self::weight_of(p);
             }

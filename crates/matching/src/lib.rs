@@ -40,6 +40,7 @@ mod blossom;
 mod decoder;
 mod graph;
 mod mwpm;
+mod source;
 mod unionfind;
 mod windowed;
 
@@ -48,8 +49,9 @@ pub use blossom::{
     min_weight_perfect_matching_with, BlossomScratch,
 };
 pub use decoder::{decode_wide_batch, decode_wide_batch_with, DecodeWorkspace, Decoder};
-pub use graph::{DecodingGraph, Edge};
+pub use graph::{xor_probability, DecodingGraph, Edge};
 pub use mwpm::{MwpmDecoder, MwpmScratch};
+pub use source::{RoundModelSource, SourceEdge};
 pub use unionfind::{UfScratch, UnionFindDecoder};
 pub use windowed::{
     DecoderFactory, GraphEpoch, OwnedWindowedSession, WindowConfig, WindowedDecoder,

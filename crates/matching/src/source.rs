@@ -1,0 +1,79 @@
+//! Round-indexed model sources for windowed decoding.
+//!
+//! A [`RoundModelSource`] serves the decoding-relevant slice of a detector
+//! model on demand — which detectors live in a round range and which merged
+//! graph edges a window over that range must consider — without the decoder
+//! holding a pre-materialised O(rounds) graph or detector-round table. The
+//! monolithic path keeps using [`DecodingGraph`](crate::DecodingGraph) +
+//! [`GraphEpoch`](crate::GraphEpoch) vectors; a periodic model implements
+//! this trait by index arithmetic and stays O(epochs) resident regardless
+//! of the horizon.
+//!
+//! The contract is *bit-identity*: for any window, the edges yielded by
+//! [`window_edges`](RoundModelSource::window_edges) must be exactly the
+//! edges (same merged probabilities, same order) that the monolithic
+//! spliced graph would enumerate for that window's detectors, so window
+//! plans built either way are interchangeable.
+
+use std::ops::Range;
+
+/// One merged decoding-graph edge served by a [`RoundModelSource`].
+///
+/// Mirrors [`Edge`](crate::Edge) but with `u32` detector ids (model sources
+/// can span horizons whose detector count exceeds what a pre-built graph
+/// would ever hold) and without the cached weight — windows recompute
+/// weights when assembling their local graphs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SourceEdge {
+    /// First endpoint (a global detector id).
+    pub a: u32,
+    /// Second endpoint, or `None` for the boundary.
+    pub b: Option<u32>,
+    /// Merged firing probability (XOR-combined across parallel mechanisms,
+    /// exactly as [`DecodingGraph::add_edge`](crate::DecodingGraph::add_edge)
+    /// combines them).
+    pub probability: f64,
+    /// Observable mask.
+    pub observables: u64,
+}
+
+impl SourceEdge {
+    /// Views a materialised graph edge as a source edge (the adapter the
+    /// windowed decoder uses so materialised and virtual modes share one
+    /// window-assembly path).
+    pub fn from_graph_edge(e: &crate::graph::Edge) -> SourceEdge {
+        SourceEdge {
+            a: e.a as u32,
+            b: e.b.map(|b| b as u32),
+            probability: e.probability,
+            observables: e.observables,
+        }
+    }
+}
+
+/// A detector model addressable by round, serving windows on demand.
+///
+/// All detector ids are global (whole-horizon) ids; rounds run from `0`
+/// to `total_rounds() - 1` inclusive.
+pub trait RoundModelSource: Send + Sync {
+    /// One past the last detector round (final-readout detectors included).
+    fn total_rounds(&self) -> u32;
+
+    /// Total number of detectors over the whole horizon.
+    fn num_detectors(&self) -> usize;
+
+    /// The round detector `det` becomes available at.
+    fn detector_round(&self, det: u32) -> u32;
+
+    /// Appends the detector ids of every round in `rounds`, grouped by
+    /// round in ascending round order and ascending id within each round.
+    fn detectors_in(&self, rounds: Range<u32>, out: &mut Vec<u32>);
+
+    /// Appends every merged graph edge a window over `rounds` must
+    /// consider: at least all edges whose earlier endpoint's round falls in
+    /// `rounds`, ordered exactly as the monolithic epoch-spliced graph
+    /// orders them (ascending graph epoch, then first-contribution order).
+    /// Edges entirely outside the range may be included; the window
+    /// assembler drops them.
+    fn window_edges(&self, rounds: Range<u32>, out: &mut Vec<SourceEdge>);
+}

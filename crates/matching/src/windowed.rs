@@ -65,14 +65,31 @@
 //! `sparse_*` tests below); the eager path additionally surfaces carry-bit
 //! overflow at construction time, while the sparse path surfaces it on
 //! first decode of the offending window.
+//!
+//! # Virtual mode
+//!
+//! [`WindowedDecoder::virtual_source`] goes one step further for
+//! unbounded horizons: instead of a pre-materialised graph + round table
+//! (O(rounds) memory before the first shot), the decoder holds a
+//! [`RoundModelSource`] and builds each window's detectors and candidate
+//! edges on demand. Sessions keep their defect and dirty state in sparse
+//! maps pruned at the commit frontier, so a virtual session's resident
+//! memory is O(in-flight windows + events), independent of the horizon.
+//! Virtual decoders are session-only: the whole-history [`Decoder`] entry
+//! points ([`graph`](Decoder::graph), [`decode`](Decoder::decode),
+//! [`decode_batch`](Decoder::decode_batch)) panic, because the full graph
+//! is never materialised. Window assembly replays the identical edge
+//! sequence the materialised sparse path would visit, so committed
+//! results stay bit-identical.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 use surf_pauli::BitBatch;
 
 use crate::decoder::{DecodeWorkspace, Decoder};
 use crate::graph::DecodingGraph;
+use crate::source::{RoundModelSource, SourceEdge};
 
 /// Factory building the inner decoder backend over each window sub-graph.
 pub type DecoderFactory = Box<dyn Fn(DecodingGraph) -> Box<dyn Decoder> + Send + Sync>;
@@ -150,11 +167,22 @@ struct WindowPlan {
     carries: Vec<(u32, u32)>,
 }
 
-/// Where window plans come from: built eagerly up front (dense mode) or
-/// resolved on demand with structural decoder sharing (sparse mode).
+/// Where window plans come from: built eagerly up front (dense mode),
+/// resolved on demand with structural decoder sharing (sparse mode), or
+/// assembled from a [`RoundModelSource`] (virtual mode, no materialised
+/// graph at all).
 enum PlanStore {
     Eager(Vec<Arc<WindowPlan>>),
     Lazy(Mutex<PlanTable>),
+    Virtual(Mutex<VirtualTable>),
+}
+
+/// The lazy-plan state behind virtual mode: like [`PlanTable`] but with
+/// no detector index — windows ask the model source instead.
+struct VirtualTable {
+    factory: DecoderFactory,
+    resolved: HashMap<usize, Arc<WindowPlan>>,
+    canon: Vec<Arc<dyn Decoder>>,
 }
 
 /// The lazy-plan state behind sparse mode.
@@ -211,6 +239,9 @@ struct PlanTable {
 pub struct WindowedDecoder {
     graph: DecodingGraph,
     rounds_of: Vec<u32>,
+    /// Round-indexed model source (virtual mode); `None` when the graph
+    /// and round table above are materialised.
+    source: Option<Arc<dyn RoundModelSource>>,
     /// One past the largest round label.
     total_rounds: u32,
     obs_mask: u64,
@@ -293,6 +324,7 @@ impl WindowedDecoder {
         let mut decoder = WindowedDecoder {
             graph,
             rounds_of,
+            source: None,
             total_rounds,
             obs_mask,
             num_observables,
@@ -413,10 +445,73 @@ impl WindowedDecoder {
         (graph, rounds_of)
     }
 
+    /// Builds a windowed decoder over a round-indexed model source, with
+    /// no materialised graph: window detectors and candidate edges are
+    /// asked of `source` on demand, and sessions keep sparse defect state
+    /// pruned at the commit frontier — resident memory O(in-flight
+    /// windows + events) regardless of the horizon.
+    ///
+    /// Virtual decoders are always sparse (lazy plans, structural backend
+    /// sharing, clean-window fast-forward) and serve *sessions only*: the
+    /// whole-history [`Decoder`] entry points panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_observables` is outside `1..=63` or the window
+    /// config is degenerate, like [`new`](WindowedDecoder::new).
+    pub fn virtual_source(
+        source: Arc<dyn RoundModelSource>,
+        num_observables: u32,
+        config: WindowConfig,
+        factory: DecoderFactory,
+    ) -> Self {
+        assert!(
+            (1..64).contains(&num_observables),
+            "num_observables {num_observables} outside 1..=63"
+        );
+        assert!(config.window > 0, "window must be at least one round");
+        assert!(
+            (1..=config.window).contains(&config.commit),
+            "commit {} outside 1..={}",
+            config.commit,
+            config.window
+        );
+        let total_rounds = source.total_rounds();
+        WindowedDecoder {
+            graph: DecodingGraph::new(0),
+            rounds_of: Vec::new(),
+            source: Some(source),
+            total_rounds,
+            obs_mask: (1u64 << num_observables) - 1,
+            num_observables,
+            config,
+            store: PlanStore::Virtual(Mutex::new(VirtualTable {
+                factory,
+                resolved: HashMap::new(),
+                canon: Vec::new(),
+            })),
+        }
+    }
+
     /// Whether this decoder was built in sparse (lazy-plan, fast-forward)
-    /// mode.
+    /// mode; virtual decoders are always sparse.
     pub fn is_sparse(&self) -> bool {
-        matches!(self.store, PlanStore::Lazy(_))
+        matches!(self.store, PlanStore::Lazy(_) | PlanStore::Virtual(_))
+    }
+
+    /// Whether this decoder serves windows from a [`RoundModelSource`]
+    /// with no materialised whole-history graph.
+    pub fn is_virtual(&self) -> bool {
+        self.source.is_some()
+    }
+
+    /// The round label of a global detector (table lookup when
+    /// materialised, source arithmetic when virtual).
+    fn round_of_det(&self, det: u32) -> u32 {
+        match &self.source {
+            Some(source) => source.detector_round(det),
+            None => self.rounds_of[det as usize],
+        }
     }
 
     /// Number of distinct inner decoder backends compiled so far: eager
@@ -427,6 +522,7 @@ impl WindowedDecoder {
         match &self.store {
             PlanStore::Eager(plans) => plans.len(),
             PlanStore::Lazy(table) => table.lock().unwrap().canon.len(),
+            PlanStore::Virtual(table) => table.lock().unwrap().canon.len(),
         }
     }
 
@@ -438,6 +534,7 @@ impl WindowedDecoder {
         match &self.store {
             PlanStore::Eager(plans) => plans.len(),
             PlanStore::Lazy(table) => table.lock().unwrap().resolved.len(),
+            PlanStore::Virtual(table) => table.lock().unwrap().resolved.len(),
         }
     }
 
@@ -447,8 +544,14 @@ impl WindowedDecoder {
     /// its (cheap) plan shell and reuses the same backend, so eviction is
     /// invisible to results.
     fn evict_plans_below(&self, floor: usize) {
-        if let PlanStore::Lazy(table) = &self.store {
-            table.lock().unwrap().resolved.retain(|&i, _| i >= floor);
+        match &self.store {
+            PlanStore::Lazy(table) => {
+                table.lock().unwrap().resolved.retain(|&i, _| i >= floor);
+            }
+            PlanStore::Virtual(table) => {
+                table.lock().unwrap().resolved.retain(|&i, _| i >= floor);
+            }
+            PlanStore::Eager(_) => {}
         }
     }
 
@@ -482,23 +585,8 @@ impl WindowedDecoder {
                 let (start, end, cut) = self.window_bounds(index);
                 let (globals, window_graph, carries) =
                     self.build_parts_lazy(&table, start, end, cut);
-                let decoder = match table.canon.iter().position(|c| {
-                    c.graph().num_nodes() == window_graph.num_nodes()
-                        && c.graph().edges() == window_graph.edges()
-                }) {
-                    Some(i) => {
-                        // Move the hit to the front: neighbouring windows
-                        // overwhelmingly share the steady-state graph.
-                        let decoder = table.canon.remove(i);
-                        table.canon.insert(0, Arc::clone(&decoder));
-                        decoder
-                    }
-                    None => {
-                        let decoder: Arc<dyn Decoder> = Arc::from((table.factory)(window_graph));
-                        table.canon.insert(0, Arc::clone(&decoder));
-                        decoder
-                    }
-                };
+                let table = &mut *table;
+                let decoder = Self::canon_decoder(&mut table.canon, &table.factory, window_graph);
                 let plan = Arc::new(WindowPlan {
                     globals,
                     decoder,
@@ -506,6 +594,51 @@ impl WindowedDecoder {
                 });
                 table.resolved.insert(index, Arc::clone(&plan));
                 plan
+            }
+            PlanStore::Virtual(table) => {
+                let mut table = table.lock().unwrap();
+                if let Some(plan) = table.resolved.get(&index) {
+                    return Arc::clone(plan);
+                }
+                let (start, end, cut) = self.window_bounds(index);
+                let source = Arc::clone(self.source.as_ref().expect("virtual store has a source"));
+                let (globals, window_graph, carries) =
+                    self.build_parts_virtual(source.as_ref(), start, end, cut);
+                let table = &mut *table;
+                let decoder = Self::canon_decoder(&mut table.canon, &table.factory, window_graph);
+                let plan = Arc::new(WindowPlan {
+                    globals,
+                    decoder,
+                    carries,
+                });
+                table.resolved.insert(index, Arc::clone(&plan));
+                plan
+            }
+        }
+    }
+
+    /// Finds (or compiles) the canonical shared backend for a window
+    /// sub-graph — the structural-sharing core of both lazy stores.
+    fn canon_decoder(
+        canon: &mut Vec<Arc<dyn Decoder>>,
+        factory: &DecoderFactory,
+        window_graph: DecodingGraph,
+    ) -> Arc<dyn Decoder> {
+        match canon.iter().position(|c| {
+            c.graph().num_nodes() == window_graph.num_nodes()
+                && c.graph().edges() == window_graph.edges()
+        }) {
+            Some(i) => {
+                // Move the hit to the front: neighbouring windows
+                // overwhelmingly share the steady-state graph.
+                let decoder = canon.remove(i);
+                canon.insert(0, Arc::clone(&decoder));
+                decoder
+            }
+            None => {
+                let decoder: Arc<dyn Decoder> = Arc::from(factory(window_graph));
+                canon.insert(0, Arc::clone(&decoder));
+                decoder
             }
         }
     }
@@ -526,14 +659,14 @@ impl WindowedDecoder {
                 globals.push(det as u32);
             }
         }
-        let num_edges = self.graph.num_edges();
+        let edges = self.graph.edges();
         let (window_graph, carries) = self.assemble_window(
             start,
             end,
             cut,
             &globals,
-            &mut |det| local_vec[det],
-            &mut (0..num_edges),
+            &mut |det| local_vec[det as usize],
+            &mut edges.iter().map(SourceEdge::from_graph_edge),
         );
         (globals, window_graph, carries)
     }
@@ -560,17 +693,44 @@ impl WindowedDecoder {
         }
         edge_ids.sort_unstable();
         edge_ids.dedup();
+        let edges = self.graph.edges();
         let (window_graph, carries) = self.assemble_window(
             start,
             end,
             cut,
             &globals,
-            &mut |det| {
-                globals
-                    .binary_search(&(det as u32))
-                    .map_or(u32::MAX, |i| i as u32)
-            },
-            &mut edge_ids.iter().copied(),
+            &mut |det| globals.binary_search(&det).map_or(u32::MAX, |i| i as u32),
+            &mut edge_ids
+                .iter()
+                .map(|&id| SourceEdge::from_graph_edge(&edges[id])),
+        );
+        (globals, window_graph, carries)
+    }
+
+    /// Virtual window-part construction: detectors and candidate edges
+    /// come from the round-indexed model source, visited in the same
+    /// relative order the materialised graph stores them, so the
+    /// assembled plans are bit-identical to the lazy path over the
+    /// equivalent monolithic graph.
+    fn build_parts_virtual(
+        &self,
+        source: &dyn RoundModelSource,
+        start: u32,
+        end: u32,
+        cut: u32,
+    ) -> (Vec<u32>, DecodingGraph, Vec<(u32, u32)>) {
+        let mut globals: Vec<u32> = Vec::new();
+        source.detectors_in(start..end, &mut globals);
+        globals.sort_unstable();
+        let mut edges: Vec<SourceEdge> = Vec::new();
+        source.window_edges(start..end, &mut edges);
+        let (window_graph, carries) = self.assemble_window(
+            start,
+            end,
+            cut,
+            &globals,
+            &mut |det| globals.binary_search(&det).map_or(u32::MAX, |i| i as u32),
+            &mut edges.iter().copied(),
         );
         (globals, window_graph, carries)
     }
@@ -595,8 +755,8 @@ impl WindowedDecoder {
         end: u32,
         cut: u32,
         globals: &[u32],
-        local_of: &mut dyn FnMut(usize) -> u32,
-        edge_ids: &mut dyn Iterator<Item = usize>,
+        local_of: &mut dyn FnMut(u32) -> u32,
+        edges: &mut dyn Iterator<Item = SourceEdge>,
     ) -> (DecodingGraph, Vec<(u32, u32)>) {
         let num_observables = self.num_observables;
         let mut window_graph = DecodingGraph::new(globals.len());
@@ -617,10 +777,8 @@ impl WindowedDecoder {
             };
             1u64 << bit
         };
-        let edges = self.graph.edges();
-        for id in edge_ids {
-            let edge = &edges[id];
-            let ra = self.rounds_of[edge.a];
+        for edge in edges {
+            let ra = self.round_of_det(edge.a);
             match edge.b {
                 None => {
                     // Space-boundary edge: lives entirely in round `ra`.
@@ -635,7 +793,7 @@ impl WindowedDecoder {
                     window_graph.add_edge(local_of(edge.a) as usize, None, edge.probability, obs);
                 }
                 Some(b) => {
-                    let rb = self.rounds_of[b];
+                    let rb = self.round_of_det(b);
                     // Order endpoints by round so `lo` is the committing side.
                     let (lo, hi, rlo, rhi) = if ra <= rb {
                         (edge.a, b, ra, rb)
@@ -650,7 +808,7 @@ impl WindowedDecoder {
                     if committed {
                         obs = edge.observables & self.obs_mask;
                         if rhi >= cut {
-                            obs |= carry_bit_of(hi as u32, &mut carries);
+                            obs |= carry_bit_of(hi, &mut carries);
                         }
                     }
                     if rhi < end {
@@ -727,13 +885,23 @@ impl WindowedDecoder {
 
 impl Decoder for WindowedDecoder {
     fn graph(&self) -> &DecodingGraph {
+        assert!(
+            !self.is_virtual(),
+            "virtual windowed decoders never materialise the whole-history \
+             graph; use a session instead"
+        );
         &self.graph
     }
 
     fn decode(&self, syndrome: &[usize]) -> u64 {
+        assert!(
+            !self.is_virtual(),
+            "virtual windowed decoders serve sessions only; whole-history \
+             decode would materialise O(rounds) state"
+        );
         let mut core = SessionCore::new(self, 1);
         for &d in syndrome {
-            core.defects[d] ^= 1; // duplicates cancel pairwise
+            core.defects.xor(d as u32, 1); // duplicates cancel pairwise
         }
         core.mark_dirty_defects(self);
         core.filled_rounds = self.total_rounds;
@@ -757,6 +925,11 @@ impl Decoder for WindowedDecoder {
         predictions: &mut Vec<u64>,
         workspace: &mut DecodeWorkspace,
     ) {
+        assert!(
+            !self.is_virtual(),
+            "virtual windowed decoders serve sessions only; whole-history \
+             decode would materialise O(rounds) state"
+        );
         assert_eq!(
             batch.num_bits(),
             self.graph.num_nodes(),
@@ -767,8 +940,10 @@ impl Decoder for WindowedDecoder {
             .take()
             .unwrap_or_else(|| Box::new(SessionCore::new(self, batch.lanes())));
         core.reset(self, batch.lanes());
-        core.defects
-            .copy_from_slice(&batch.words()[..batch.num_bits()]);
+        let DefectWords::Dense(words) = &mut core.defects else {
+            unreachable!("non-virtual cores keep dense defect words");
+        };
+        words.copy_from_slice(&batch.words()[..batch.num_bits()]);
         core.mark_dirty_defects(self);
         core.filled_rounds = self.total_rounds;
         core.drain_ready(self);
@@ -776,6 +951,66 @@ impl Decoder for WindowedDecoder {
         predictions.clear();
         predictions.extend_from_slice(&core.observables);
         workspace.windowed = Some(core);
+    }
+}
+
+/// Residual defect words, one per global detector: a dense vector for
+/// materialised decoders (O(1) hot-path indexing, zero steady-state
+/// allocation) or a sparse map for virtual ones (O(events) resident,
+/// pruned at the commit frontier so unbounded horizons stay bounded).
+#[derive(Clone, Debug)]
+enum DefectWords {
+    Dense(Vec<u64>),
+    Sparse(BTreeMap<u32, u64>),
+}
+
+impl DefectWords {
+    fn get(&self, det: u32) -> u64 {
+        match self {
+            DefectWords::Dense(words) => words[det as usize],
+            DefectWords::Sparse(map) => map.get(&det).copied().unwrap_or(0),
+        }
+    }
+
+    fn xor(&mut self, det: u32, word: u64) {
+        match self {
+            DefectWords::Dense(words) => words[det as usize] ^= word,
+            DefectWords::Sparse(map) => {
+                let slot = map.entry(det).or_insert(0);
+                *slot ^= word;
+                if *slot == 0 {
+                    map.remove(&det);
+                }
+            }
+        }
+    }
+}
+
+/// The sticky per-round dirty record: a bitmap for materialised decoders
+/// or a round set for virtual ones (O(dirty rounds) resident).
+#[derive(Clone, Debug)]
+enum DirtyRounds {
+    Bitmap(Vec<u64>),
+    Set(BTreeSet<u32>),
+}
+
+impl DirtyRounds {
+    fn mark(&mut self, round: u32) {
+        match self {
+            DirtyRounds::Bitmap(bits) => bits[(round / 64) as usize] |= 1u64 << (round % 64),
+            DirtyRounds::Set(set) => {
+                set.insert(round);
+            }
+        }
+    }
+
+    fn clean(&self, rounds: std::ops::Range<u32>) -> bool {
+        match self {
+            DirtyRounds::Bitmap(bits) => rounds
+                .into_iter()
+                .all(|r| bits[(r / 64) as usize] & (1u64 << (r % 64)) == 0),
+            DirtyRounds::Set(set) => set.range(rounds).next().is_none(),
+        }
     }
 }
 
@@ -788,7 +1023,7 @@ impl Decoder for WindowedDecoder {
 #[derive(Clone, Debug)]
 pub(crate) struct SessionCore {
     /// Current residual defects, one word per global detector.
-    defects: Vec<u64>,
+    defects: DefectWords,
     lane_mask: u64,
     lanes: usize,
     /// Rounds `0..filled_rounds` have been pushed.
@@ -803,7 +1038,7 @@ pub(crate) struct SessionCore {
     /// sparse decoder may fast-forward a ready window whose rounds are
     /// all clear (empty matching, zero flips) without touching the
     /// backend.
-    dirty: Vec<u64>,
+    dirty: DirtyRounds,
     /// Scratch for the inner `decode_batch_with` calls.
     predictions: Vec<u64>,
     /// Reusable window sub-batch (reshaped per window, allocated once).
@@ -820,14 +1055,25 @@ impl SessionCore {
             "lanes {lanes} out of range 1..={}",
             BitBatch::LANES
         );
+        let (defects, dirty) = if decoder.is_virtual() {
+            (
+                DefectWords::Sparse(BTreeMap::new()),
+                DirtyRounds::Set(BTreeSet::new()),
+            )
+        } else {
+            (
+                DefectWords::Dense(vec![0u64; decoder.graph.num_nodes()]),
+                DirtyRounds::Bitmap(vec![0u64; (decoder.total_rounds as usize).div_ceil(64)]),
+            )
+        };
         SessionCore {
-            defects: vec![0u64; decoder.graph.num_nodes()],
+            defects,
             lane_mask: BitBatch::mask_for(lanes),
             lanes,
             filled_rounds: 0,
             next_plan: 0,
             observables: vec![0u64; lanes],
-            dirty: vec![0u64; (decoder.total_rounds as usize).div_ceil(64)],
+            dirty,
             predictions: Vec::new(),
             window_batch: BitBatch::with_lanes(0, lanes),
             workspace: DecodeWorkspace::default(),
@@ -844,17 +1090,40 @@ impl SessionCore {
             "lanes {lanes} out of range 1..={}",
             BitBatch::LANES
         );
-        self.defects.clear();
-        self.defects.resize(decoder.graph.num_nodes(), 0);
+        match (&mut self.defects, decoder.is_virtual()) {
+            (DefectWords::Dense(words), false) => {
+                words.clear();
+                words.resize(decoder.graph.num_nodes(), 0);
+            }
+            (DefectWords::Sparse(map), true) => map.clear(),
+            (defects, virt) => {
+                *defects = if virt {
+                    DefectWords::Sparse(BTreeMap::new())
+                } else {
+                    DefectWords::Dense(vec![0u64; decoder.graph.num_nodes()])
+                };
+            }
+        }
         self.lane_mask = BitBatch::mask_for(lanes);
         self.lanes = lanes;
         self.filled_rounds = 0;
         self.next_plan = 0;
         self.observables.clear();
         self.observables.resize(lanes, 0);
-        self.dirty.clear();
-        self.dirty
-            .resize((decoder.total_rounds as usize).div_ceil(64), 0);
+        match (&mut self.dirty, decoder.is_virtual()) {
+            (DirtyRounds::Bitmap(bits), false) => {
+                bits.clear();
+                bits.resize((decoder.total_rounds as usize).div_ceil(64), 0);
+            }
+            (DirtyRounds::Set(set), true) => set.clear(),
+            (dirty, virt) => {
+                *dirty = if virt {
+                    DirtyRounds::Set(BTreeSet::new())
+                } else {
+                    DirtyRounds::Bitmap(vec![0u64; (decoder.total_rounds as usize).div_ceil(64)])
+                };
+            }
+        }
         // Rows are empty after the reshape, so the lane change never
         // truncates live data.
         self.window_batch.reset_rows(0);
@@ -863,23 +1132,29 @@ impl SessionCore {
     }
 
     fn mark_dirty(&mut self, round: u32) {
-        self.dirty[(round / 64) as usize] |= 1u64 << (round % 64);
+        self.dirty.mark(round);
     }
 
     /// Marks the round of every currently nonzero defect word dirty —
     /// used by the whole-history [`Decoder`] entry points, which fill
     /// `defects` directly instead of round by round.
     fn mark_dirty_defects(&mut self, decoder: &WindowedDecoder) {
-        for det in 0..self.defects.len() {
-            if self.defects[det] != 0 {
-                let round = decoder.rounds_of[det];
-                self.dirty[(round / 64) as usize] |= 1u64 << (round % 64);
+        let DefectWords::Dense(words) = &self.defects else {
+            unreachable!("whole-history decoding is rejected for virtual decoders");
+        };
+        let mut dirty_rounds: Vec<u32> = Vec::new();
+        for (det, &word) in words.iter().enumerate() {
+            if word != 0 {
+                dirty_rounds.push(decoder.rounds_of[det]);
             }
+        }
+        for round in dirty_rounds {
+            self.dirty.mark(round);
         }
     }
 
     fn window_is_clean(&self, start: u32, end: u32) -> bool {
-        (start..end).all(|r| self.dirty[(r / 64) as usize] & (1u64 << (r % 64)) == 0)
+        self.dirty.clean(start..end)
     }
 
     fn push_round(
@@ -893,14 +1168,15 @@ impl SessionCore {
         assert_eq!(detectors.len(), words.len(), "one word per detector");
         for (&det, &word) in detectors.iter().zip(words) {
             assert_eq!(
-                decoder.rounds_of[det as usize], round,
+                decoder.round_of_det(det),
+                round,
                 "detector {det} does not belong to round {round}"
             );
             let masked = word & self.lane_mask;
             if masked != 0 {
                 self.mark_dirty(round);
             }
-            self.defects[det as usize] ^= masked;
+            self.defects.xor(det, masked);
         }
         self.filled_rounds = round + 1;
         self.drain_ready(decoder);
@@ -949,6 +1225,25 @@ impl SessionCore {
         }
         if sparse && self.next_plan > committed_from {
             decoder.evict_plans_below(self.next_plan);
+            self.prune_committed(decoder);
+        }
+    }
+
+    /// Drops sparse session state below the commit frontier: committed
+    /// windows never re-read their defects or dirty marks (carry targets
+    /// always land at or above the next window's start), so a virtual
+    /// session stays O(in-flight windows + events) resident on unbounded
+    /// streams. No-op for dense state.
+    fn prune_committed(&mut self, decoder: &WindowedDecoder) {
+        let Some(source) = &decoder.source else {
+            return;
+        };
+        let frontier = decoder.commit_horizon(self.next_plan);
+        if let DefectWords::Sparse(map) = &mut self.defects {
+            map.retain(|&det, _| source.detector_round(det) >= frontier);
+        }
+        if let DirtyRounds::Set(set) = &mut self.dirty {
+            *set = set.split_off(&frontier);
         }
     }
 
@@ -967,8 +1262,7 @@ impl SessionCore {
         }
         self.window_batch.reset_rows(plan.globals.len());
         for (local, &global) in plan.globals.iter().enumerate() {
-            self.window_batch
-                .set_word(local, self.defects[global as usize]);
+            self.window_batch.set_word(local, self.defects.get(global));
         }
         plan.decoder.decode_batch_with(
             &self.window_batch,
@@ -980,12 +1274,11 @@ impl SessionCore {
             if prediction & !decoder.obs_mask != 0 {
                 for &(bit, target) in &plan.carries {
                     if (prediction >> bit) & 1 == 1 {
-                        self.defects[target as usize] ^= 1u64 << lane;
+                        self.defects.xor(target, 1u64 << lane);
                         // A carry re-dirties its target round, which may
                         // sit arbitrarily far ahead (open-boundary commits
                         // carry into not-yet-streamed rounds).
-                        let round = decoder.rounds_of[target as usize];
-                        self.dirty[(round / 64) as usize] |= 1u64 << (round % 64);
+                        self.dirty.mark(decoder.round_of_det(target));
                     }
                 }
             }

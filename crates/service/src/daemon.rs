@@ -443,7 +443,7 @@ fn process(task: &SessionTask, op: Op) {
             let session = config.open(lanes as usize);
             let total_rounds = session.total_rounds();
             let round_counts = (0..total_rounds)
-                .map(|r| session.detectors_of(r).len() as u32)
+                .map(|r| session.detector_count_of(r) as u32)
                 .collect();
             work.session = Some(session);
             task.conn.send(&Frame::Opened {

@@ -130,8 +130,8 @@ impl SessionSpec {
         if !(2..=49).contains(&self.distance) {
             return Err(format!("distance {} outside 2..=49", self.distance));
         }
-        if !(1..=100_000).contains(&self.rounds) {
-            return Err(format!("rounds {} outside 1..=100000", self.rounds));
+        if !(1..=1_000_000).contains(&self.rounds) {
+            return Err(format!("rounds {} outside 1..=1000000", self.rounds));
         }
         if !(1..=self.rounds + 1).contains(&self.window) {
             return Err(format!(

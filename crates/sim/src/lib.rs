@@ -40,10 +40,12 @@ pub mod frame;
 mod memory;
 mod model;
 mod noise;
+mod periodic;
 mod sampler;
 pub mod service;
 mod stream;
 mod timeline;
+mod view;
 
 pub use circuit::{memory_circuit, Circuit, Detector, Instruction, MemoryCircuit};
 pub use fit::LogicalRateModel;
@@ -53,6 +55,7 @@ pub use memory::{
 };
 pub use model::{Channel, DecoderPrior, DetectorModel};
 pub use noise::{NoiseParams, QubitNoise};
+pub use periodic::{PeriodicEvent, PeriodicModel, PeriodicScratch};
 pub use sampler::{
     bernoulli_mask, bernoulli_masks_wide, BatchSampler, SparseBatch, GEOMETRIC_THRESHOLD,
 };
@@ -64,10 +67,13 @@ pub use stream::{
     WideSparseRoundStream,
 };
 pub use timeline::{DetectorRemap, TimelineModel};
+pub use view::ModelView;
 
 // Re-exported so downstream pipeline code can name the shared batch and
 // decoder abstractions without extra dependency lines.
 pub use surf_defects::{DefectEpisode, DefectEvent, DefectSchedule};
 pub use surf_deformer_core::PatchTimeline;
-pub use surf_matching::{Decoder, GraphEpoch, WindowConfig, WindowedDecoder};
+pub use surf_matching::{
+    Decoder, GraphEpoch, RoundModelSource, SourceEdge, WindowConfig, WindowedDecoder,
+};
 pub use surf_pauli::{BitBatch, WideBatch};

@@ -180,39 +180,37 @@ impl std::fmt::Display for Shard {
     }
 }
 
-/// One streamed Monte-Carlo run, fully specified: shot budget, seeding,
-/// window split, worker threads, sharding, and the defect/geometry
-/// environment. Every legacy `run_streaming*` entry point is a one-line
-/// projection of this struct onto
-/// [`MemoryExperiment::run_stream_basis`].
+/// One streamed Monte-Carlo run, fully specified: a [`SessionConfig`]
+/// carrying the compile-time knobs (window split, defect schedule,
+/// sparse mode, geometry timeline) plus the run-only knobs — shot
+/// budget, seeding, worker threads and sharding.
+///
+/// [`run_stream_basis`](MemoryExperiment::run_stream_basis) projects the
+/// experiment into [`session`](StreamConfig::session) at run time: basis,
+/// rounds, noise, prior and decoder always come from the
+/// [`MemoryExperiment`], and the timeline comes from the experiment's
+/// fixed patch unless pinned with
+/// [`with_timeline`](StreamConfig::with_timeline). The `with_*` builders
+/// below delegate to the embedded session config, so the session and
+/// stream surfaces share one builder vocabulary.
 #[derive(Clone, Debug)]
 pub struct StreamConfig {
+    /// Session-level compilation knobs. Window, schedule, sparse (and the
+    /// timeline, when pinned) are honoured as-is; the remaining fields
+    /// are overwritten from the experiment at run time.
+    pub session: SessionConfig,
     /// Shots per basis.
     pub shots: u64,
     /// RNG seed; failure counts are a pure function of
     /// `(shots, seed, shard)`.
     pub seed: u64,
-    /// Sliding-window split for the streamed decode.
-    pub window: WindowConfig,
     /// Worker threads (`0` = one per available core, capped by shots).
     pub threads: usize,
     /// Which 64-shot batches this process owns.
     pub shard: Shard,
-    /// Time-varying geometry; `None` streams the experiment's own patch
-    /// at fixed geometry.
-    pub timeline: Option<PatchTimeline>,
-    /// Defect episodes elevating true error rates (and, under an
-    /// informed prior, reweighting the decoder).
-    pub schedule: DefectSchedule,
-    /// Sparse event-driven streaming: sample rounds through a
-    /// [`SparseRoundStream`](crate::SparseRoundStream), skip
-    /// syndrome-silent stretches with
-    /// [`advance_silent`](crate::DecodeSession::advance_silent), and
-    /// fast-forward defect-free windows in the decoder. Failure counts
-    /// are bit-identical to the dense path at the same `(shots, seed,
-    /// shard)` — the sparse sampler consumes RNG draw-for-draw like the
-    /// dense one and empty windows decode trivially.
-    pub sparse: bool,
+    /// Whether [`with_timeline`](Self::with_timeline) pinned the session's
+    /// geometry (otherwise the experiment's fixed patch is streamed).
+    timeline_pinned: bool,
 }
 
 impl StreamConfig {
@@ -220,21 +218,27 @@ impl StreamConfig {
     /// sliding windows: fixed geometry, no defects, auto threads, the
     /// whole run.
     pub fn new(shots: u64, seed: u64, window: u32) -> Self {
+        // Placeholder geometry/rounds — run_stream_basis projects the
+        // experiment in before compiling (see the struct docs).
+        let session = SessionConfig::new(
+            PatchTimeline::fixed(Patch::rotated(3), DefectMap::new()),
+            Basis::Z,
+            1,
+        )
+        .with_window(WindowConfig::new(window));
         StreamConfig {
+            session,
             shots,
             seed,
-            window: WindowConfig::new(window),
             threads: 0,
             shard: Shard::solo(),
-            timeline: None,
-            schedule: DefectSchedule::new(),
-            sparse: false,
+            timeline_pinned: false,
         }
     }
 
     /// Replaces the window/commit split.
     pub fn with_window(mut self, window: WindowConfig) -> Self {
-        self.window = window;
+        self.session.window = window;
         self
     }
 
@@ -253,13 +257,14 @@ impl StreamConfig {
     /// Streams over `timeline`'s time-varying geometry instead of the
     /// experiment's fixed patch.
     pub fn with_timeline(mut self, timeline: PatchTimeline) -> Self {
-        self.timeline = Some(timeline);
+        self.session.timeline = timeline;
+        self.timeline_pinned = true;
         self
     }
 
     /// Replaces the defect schedule.
     pub fn with_schedule(mut self, schedule: DefectSchedule) -> Self {
-        self.schedule = schedule;
+        self.session.schedule = schedule;
         self
     }
 
@@ -269,9 +274,9 @@ impl StreamConfig {
     }
 
     /// Enables (or disables) sparse event-driven streaming — see
-    /// [`StreamConfig::sparse`].
+    /// [`SessionConfig::sparse`].
     pub fn with_sparse(mut self, sparse: bool) -> Self {
-        self.sparse = sparse;
+        self.session.sparse = sparse;
         self
     }
 }
@@ -583,11 +588,11 @@ impl MemoryExperiment {
     }
 
     /// Runs one basis through the streaming pipeline and returns the
-    /// failure count: the single convergent loop behind every legacy
-    /// `run_streaming*` entry point.
+    /// failure count: the single convergent loop behind every streamed
+    /// experiment.
     ///
-    /// The experiment (or `config.timeline`'s epochs) compiles once into
-    /// a [`SessionConfig`]; each worker thread
+    /// The experiment (or the pinned timeline's epochs) compiles once
+    /// into a [`SessionConfig`]; each worker thread
     /// [forks](crate::DecodeSession::fork) a session per 64-shot batch,
     /// replays the batch round-major through it, and counts
     /// prediction/observable mismatches. Batches draw their RNG from a
@@ -602,7 +607,7 @@ impl MemoryExperiment {
     /// `window >= 2·d` it remains bit-identical at realistic noise (the
     /// equivalence suite in `tests/streaming_equivalence.rs` proves both).
     ///
-    /// With [`StreamConfig::sparse`] set, rounds are sampled as sparse
+    /// With [`StreamConfig::with_sparse`] set, rounds are sampled as sparse
     /// events, silent stretches are bulk-advanced, and defect-free
     /// windows fast-forward past the decoder backend — the count stays
     /// bit-identical to the dense path (`tests/sparse_streaming.rs`).
@@ -613,14 +618,14 @@ impl MemoryExperiment {
             config.threads
         };
         let mut session_config = self.session_config(memory_basis);
-        if let Some(timeline) = &config.timeline {
-            session_config.timeline = timeline.clone();
+        if config.timeline_pinned {
+            session_config.timeline = config.session.timeline.clone();
         }
-        session_config.window = config.window;
-        session_config.schedule = config.schedule.clone();
-        session_config.sparse = config.sparse;
+        session_config.window = config.session.window;
+        session_config.schedule = config.session.schedule.clone();
+        session_config.sparse = config.session.sparse;
         let proto = session_config.open(1);
-        if config.sparse {
+        if config.session.sparse {
             return run_batches_shard(config.shots, config.seed, threads, config.shard, || {
                 let proto = &proto;
                 let mut stream = proto.sparse_round_stream();
@@ -726,12 +731,12 @@ impl MemoryExperiment {
             config.threads
         };
         let mut session_config = self.session_config(memory_basis);
-        if let Some(timeline) = &config.timeline {
-            session_config.timeline = timeline.clone();
+        if config.timeline_pinned {
+            session_config.timeline = config.session.timeline.clone();
         }
-        session_config.window = config.window;
-        session_config.schedule = config.schedule.clone();
-        session_config.sparse = config.sparse;
+        session_config.window = config.session.window;
+        session_config.schedule = config.session.schedule.clone();
+        session_config.sparse = config.session.sparse;
         let proto = session_config.open(1);
         // Lanes carried by sub-word `j` of a `lanes`-lane pass.
         let sub_lanes = |lanes: usize, j: usize| {
@@ -739,7 +744,7 @@ impl MemoryExperiment {
                 .saturating_sub(j * BitBatch::LANES)
                 .min(BitBatch::LANES)
         };
-        if config.sparse {
+        if config.session.sparse {
             return run_batches_shard_wide::<N, _, _>(
                 config.shots,
                 config.seed,
@@ -820,113 +825,6 @@ impl MemoryExperiment {
                 failures
             }
         })
-    }
-
-    /// Legacy streaming entry point; see
-    /// [`run_stream_basis`](Self::run_stream_basis).
-    #[deprecated(note = "use run_stream_basis with a StreamConfig")]
-    pub fn run_streaming(&self, memory_basis: Basis, shots: u64, seed: u64, window: u32) -> u64 {
-        self.run_stream_basis(memory_basis, &StreamConfig::new(shots, seed, window))
-    }
-
-    /// Legacy streaming entry point with an explicit window split, an
-    /// optional mid-stream [`DefectEvent`] and a pinned thread count; see
-    /// [`run_stream_basis`](Self::run_stream_basis).
-    #[deprecated(note = "use run_stream_basis with a StreamConfig")]
-    pub fn run_streaming_with(
-        &self,
-        memory_basis: Basis,
-        shots: u64,
-        seed: u64,
-        config: WindowConfig,
-        event: Option<&DefectEvent>,
-        threads: usize,
-    ) -> u64 {
-        let schedule = event.map_or_else(DefectSchedule::new, DefectSchedule::permanent_event);
-        self.run_stream_basis(
-            memory_basis,
-            &StreamConfig::new(shots, seed, 1)
-                .with_window(config)
-                .with_schedule(schedule)
-                .with_threads(threads),
-        )
-    }
-
-    /// Legacy streaming entry point over time-varying geometry; see
-    /// [`run_stream_basis`](Self::run_stream_basis). The experiment's own
-    /// `patch`/`kept_defects` are not consulted — the timeline's epochs
-    /// carry both.
-    #[deprecated(note = "use run_stream_basis with StreamConfig::with_timeline")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_streaming_timeline(
-        &self,
-        memory_basis: Basis,
-        shots: u64,
-        seed: u64,
-        config: WindowConfig,
-        timeline: &PatchTimeline,
-        event: Option<&DefectEvent>,
-        threads: usize,
-    ) -> u64 {
-        let schedule = event.map_or_else(DefectSchedule::new, DefectSchedule::permanent_event);
-        self.run_stream_basis(
-            memory_basis,
-            &StreamConfig::new(shots, seed, 1)
-                .with_window(config)
-                .with_timeline(timeline.clone())
-                .with_schedule(schedule)
-                .with_threads(threads),
-        )
-    }
-
-    /// Legacy multi-event streaming entry point; see
-    /// [`run_stream_basis`](Self::run_stream_basis).
-    #[deprecated(note = "use run_stream_basis with StreamConfig::with_schedule")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_streaming_schedule(
-        &self,
-        memory_basis: Basis,
-        shots: u64,
-        seed: u64,
-        config: WindowConfig,
-        timeline: &PatchTimeline,
-        schedule: &DefectSchedule,
-        threads: usize,
-    ) -> u64 {
-        self.run_stream_basis(
-            memory_basis,
-            &StreamConfig::new(shots, seed, 1)
-                .with_window(config)
-                .with_timeline(timeline.clone())
-                .with_schedule(schedule.clone())
-                .with_threads(threads),
-        )
-    }
-
-    /// Legacy sharded multi-event streaming entry point; see
-    /// [`run_stream_basis`](Self::run_stream_basis).
-    #[deprecated(note = "use run_stream_basis with StreamConfig::with_shard")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_streaming_schedule_shard(
-        &self,
-        memory_basis: Basis,
-        shots: u64,
-        seed: u64,
-        config: WindowConfig,
-        timeline: &PatchTimeline,
-        schedule: &DefectSchedule,
-        threads: usize,
-        shard: Shard,
-    ) -> u64 {
-        self.run_stream_basis(
-            memory_basis,
-            &StreamConfig::new(shots, seed, 1)
-                .with_window(config)
-                .with_timeline(timeline.clone())
-                .with_schedule(schedule.clone())
-                .with_threads(threads)
-                .with_shard(shard),
-        )
     }
 }
 

@@ -31,16 +31,18 @@
 //! [injected](DecodeSession::inject_event) mid-stream (injection replays
 //! the recorded history through the recompiled model).
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use surf_defects::{DefectEpisode, DefectEvent, DefectSchedule};
 use surf_deformer_core::PatchTimeline;
 use surf_lattice::Basis;
-use surf_matching::{OwnedWindowedSession, WindowConfig, WindowedDecoder};
+use surf_matching::{OwnedWindowedSession, RoundModelSource, WindowConfig, WindowedDecoder};
 
 use crate::memory::DecoderKind;
 use crate::model::DecoderPrior;
 use crate::noise::NoiseParams;
+use crate::periodic::PeriodicModel;
 use crate::stream::RoundStream;
 use crate::timeline::TimelineModel;
 
@@ -77,7 +79,12 @@ pub struct SessionConfig {
     /// lazily (structurally identical windows share one backend) and
     /// sessions fast-forward through defect-free windows — exact, and
     /// required for 10⁵+ round horizons where eager per-window compilation
-    /// dominates. Dense mode keeps the eager decoder bit for bit.
+    /// dominates. When the horizon is additionally long enough to prove
+    /// periodic, sparse sessions compile a [`PeriodicModel`] template and
+    /// a round-indexed virtual decoder instead of the monolithic model,
+    /// making resident model memory O(epochs + window) instead of
+    /// O(rounds) — outputs stay bit-identical either way. Dense mode
+    /// keeps the eager decoder bit for bit.
     pub sparse: bool,
 }
 
@@ -258,26 +265,65 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-/// The compiled, immutable heart of a session family: the multi-epoch
-/// detector model, the shared windowed decoder, the round-major detector
-/// partition and the precomputed per-round availability. Shared by every
-/// [`fork`](DecodeSession::fork) through an [`Arc`].
+/// The compiled detector model behind a session family: either the
+/// monolithic whole-horizon [`TimelineModel`] with its O(rounds) round
+/// tables, or a horizon-compressed [`PeriodicModel`] template served by
+/// index arithmetic — O(epochs) resident regardless of the horizon.
+enum SessionModel {
+    Mono {
+        tm: Box<TimelineModel>,
+        /// Detector ids sorted by round (ascending ids within a round —
+        /// the same canonical order [`RoundStream`] emits).
+        order: Vec<u32>,
+        /// Round `r` owns `order[round_start[r]..round_start[r + 1]]`.
+        round_start: Vec<usize>,
+    },
+    Periodic(Arc<PeriodicModel>),
+}
+
+/// The compiled, immutable heart of a session family: the detector model
+/// (monolithic or periodic), the shared windowed decoder and the epoch
+/// boundaries. Shared by every [`fork`](DecodeSession::fork) through an
+/// [`Arc`]. Per-round data (detector layouts, availability) is served on
+/// demand so nothing here scales with the horizon on the periodic path.
 struct SessionShared {
     config: SessionConfig,
-    tm: TimelineModel,
+    model: SessionModel,
     decoder: Arc<WindowedDecoder>,
-    /// Detector ids sorted by round (ascending ids within a round —
-    /// the same canonical order [`RoundStream`] emits).
-    order: Vec<u32>,
-    /// Round `r` owns `order[round_start[r]..round_start[r + 1]]`.
-    round_start: Vec<usize>,
     total_rounds: u32,
-    /// `availability[r]` for `r` in `0..=total_rounds`.
-    availability: Vec<Availability>,
+    /// Real rounds where each geometry epoch begins (`epoch_starts[0] == 0`).
+    epoch_starts: Vec<u32>,
 }
 
 impl SessionShared {
     fn compile(config: SessionConfig) -> Self {
+        if config.sparse {
+            if let Some(pm) = PeriodicModel::build(
+                &config.timeline,
+                config.basis,
+                config.rounds,
+                config.noise,
+                &config.schedule,
+                config.prior,
+            ) {
+                let pm = Arc::new(pm);
+                let decoder = Arc::new(WindowedDecoder::virtual_source(
+                    Arc::clone(&pm) as Arc<dyn RoundModelSource>,
+                    1,
+                    config.window,
+                    config.decoder.factory(),
+                ));
+                let total_rounds = RoundModelSource::total_rounds(&*pm);
+                let epoch_starts = pm.epoch_starts().to_vec();
+                return SessionShared {
+                    config,
+                    model: SessionModel::Periodic(pm),
+                    decoder,
+                    total_rounds,
+                    epoch_starts,
+                };
+            }
+        }
         let tm = TimelineModel::build_scheduled(
             &config.timeline,
             config.basis,
@@ -317,30 +363,68 @@ impl SessionShared {
                 .count();
             round_start.push(prev + len);
         }
-        let availability = (0..=total_rounds)
-            .map(|r| availability_at(r, &tm.epoch_starts, &config.schedule))
-            .collect();
+        let epoch_starts = tm.epoch_starts.clone();
         SessionShared {
             config,
-            tm,
+            model: SessionModel::Mono {
+                tm: Box::new(tm),
+                order,
+                round_start,
+            },
             decoder,
-            order,
-            round_start,
             total_rounds,
-            availability,
+            epoch_starts,
         }
     }
 
-    fn detectors_of(&self, round: u32) -> &[u32] {
-        let span = self.round_start[round as usize]..self.round_start[round as usize + 1];
-        &self.order[span]
+    fn detectors_of(&self, round: u32) -> Cow<'_, [u32]> {
+        match &self.model {
+            SessionModel::Mono {
+                order, round_start, ..
+            } => {
+                let span = round_start[round as usize]..round_start[round as usize + 1];
+                Cow::Borrowed(&order[span])
+            }
+            SessionModel::Periodic(pm) => {
+                let mut out = Vec::new();
+                RoundModelSource::detectors_in(&**pm, round..round + 1, &mut out);
+                Cow::Owned(out)
+            }
+        }
+    }
+
+    /// Number of detectors in `round` — O(1), allocation-free on both
+    /// model paths.
+    fn detector_count_of(&self, round: u32) -> usize {
+        match &self.model {
+            SessionModel::Mono { round_start, .. } => {
+                round_start[round as usize + 1] - round_start[round as usize]
+            }
+            SessionModel::Periodic(pm) => pm.detector_count_in_round(round),
+        }
+    }
+
+    fn num_detectors(&self) -> usize {
+        match &self.model {
+            SessionModel::Mono { tm, .. } => tm.model.num_detectors,
+            SessionModel::Periodic(pm) => pm.num_detectors(),
+        }
+    }
+
+    /// The round `det` belongs to. `det` must be below
+    /// [`num_detectors`](Self::num_detectors).
+    fn detector_round(&self, det: u32) -> u32 {
+        match &self.model {
+            SessionModel::Mono { tm, .. } => tm.model.detector_rounds[det as usize],
+            SessionModel::Periodic(pm) => RoundModelSource::detector_round(&**pm, det),
+        }
     }
 
     /// The epoch beginning exactly at `round`, if any (epoch 0 "begins"
     /// before the stream and never announces).
     fn epoch_starting_at(&self, round: u32) -> Option<u32> {
         (round > 0)
-            .then(|| self.tm.epoch_starts.binary_search(&round).ok())
+            .then(|| self.epoch_starts.binary_search(&round).ok())
             .flatten()
             .map(|e| e as u32)
     }
@@ -441,14 +525,22 @@ impl DecodeSession {
 
     /// Detector ids of `round`, in the canonical push order (ascending;
     /// the order [`RoundStream`] emits and the wire protocol assumes).
-    pub fn detectors_of(&self, round: u32) -> &[u32] {
+    /// Borrowed from the precomputed tables on the monolithic path;
+    /// computed on demand (owned) on the periodic path.
+    pub fn detectors_of(&self, round: u32) -> Cow<'_, [u32]> {
         self.shared.detectors_of(round)
+    }
+
+    /// Number of detectors in `round` — O(1) and allocation-free on both
+    /// model paths (the daemon builds 10⁶-entry layout tables from this).
+    pub fn detector_count_of(&self, round: u32) -> usize {
+        self.shared.detector_count_of(round)
     }
 
     /// Health state at the most recently pushed round.
     pub fn availability(&self) -> Availability {
         let r = self.filled_rounds().saturating_sub(1);
-        self.shared.availability[r as usize]
+        availability_at(r, &self.shared.epoch_starts, &self.shared.config.schedule)
     }
 
     /// Per-lane committed observable masks accumulated so far.
@@ -461,7 +553,10 @@ impl DecodeSession {
     /// detector words in exactly the order
     /// [`push_round`](Self::push_round) expects.
     pub fn round_stream(&self) -> RoundStream {
-        RoundStream::for_timeline(&self.shared.tm)
+        match &self.shared.model {
+            SessionModel::Mono { tm, .. } => RoundStream::for_timeline(tm),
+            SessionModel::Periodic(pm) => RoundStream::for_periodic(pm),
+        }
     }
 
     /// The event-driven twin of [`round_stream`](Self::round_stream):
@@ -470,7 +565,12 @@ impl DecodeSession {
     /// [`push_round_sparse`](Self::push_round_sparse) and
     /// [`advance_silent`](Self::advance_silent).
     pub fn sparse_round_stream(&self) -> crate::stream::SparseRoundStream {
-        crate::stream::SparseRoundStream::for_timeline(&self.shared.tm)
+        match &self.shared.model {
+            SessionModel::Mono { tm, .. } => crate::stream::SparseRoundStream::for_timeline(tm),
+            SessionModel::Periodic(pm) => {
+                crate::stream::SparseRoundStream::for_periodic(Arc::clone(pm))
+            }
+        }
     }
 
     /// The width-`N` twin of [`round_stream`](Self::round_stream):
@@ -479,7 +579,10 @@ impl DecodeSession {
     /// each shaped exactly for one forked base-width session's
     /// [`push_round`](Self::push_round).
     pub fn wide_round_stream<const N: usize>(&self) -> crate::stream::WideRoundStream<N> {
-        crate::stream::WideRoundStream::for_timeline(&self.shared.tm)
+        match &self.shared.model {
+            SessionModel::Mono { tm, .. } => crate::stream::WideRoundStream::for_timeline(tm),
+            SessionModel::Periodic(pm) => crate::stream::WideRoundStream::for_periodic(pm),
+        }
     }
 
     /// The width-`N` twin of
@@ -490,7 +593,12 @@ impl DecodeSession {
     pub fn wide_sparse_round_stream<const N: usize>(
         &self,
     ) -> crate::stream::WideSparseRoundStream<N> {
-        crate::stream::WideSparseRoundStream::for_timeline(&self.shared.tm)
+        match &self.shared.model {
+            SessionModel::Mono { tm, .. } => crate::stream::WideSparseRoundStream::for_timeline(tm),
+            SessionModel::Periodic(pm) => {
+                crate::stream::WideSparseRoundStream::for_periodic(Arc::clone(pm))
+            }
+        }
     }
 
     /// Consumes the next round's detector words (`words[i]` is the
@@ -511,7 +619,7 @@ impl DecodeSession {
                 got: words.len(),
             });
         }
-        self.inner.push_round(round, detectors, words);
+        self.inner.push_round(round, &detectors, words);
         if words.iter().all(|&w| w == 0) {
             self.record_silent(1);
         } else {
@@ -545,8 +653,8 @@ impl DecodeSession {
             });
         }
         for &det in detectors {
-            if det as usize >= self.shared.tm.model.num_detectors
-                || self.shared.tm.model.detector_rounds[det as usize] != round
+            if det as usize >= self.shared.num_detectors()
+                || self.shared.detector_round(det) != round
             {
                 return Err(SessionError::DetectorRound {
                     round,
@@ -589,7 +697,7 @@ impl DecodeSession {
             return Err(SessionError::StreamComplete);
         }
         let mut step = rounds.min(total - filled);
-        if let Some(&boundary) = self.shared.tm.epoch_starts.iter().find(|&&s| s > filled) {
+        if let Some(&boundary) = self.shared.epoch_starts.iter().find(|&&s| s > filled) {
             step = step.min(boundary - filled);
         }
         self.inner.advance_silent(step);
@@ -618,7 +726,11 @@ impl DecodeSession {
             committed_through: self.committed_through(),
             windows_committed: self.inner.windows_committed() as u32,
             observable_flips: flips,
-            availability: self.shared.availability[round as usize],
+            availability: availability_at(
+                round,
+                &self.shared.epoch_starts,
+                &self.shared.config.schedule,
+            ),
             deformation: self
                 .shared
                 .epoch_starting_at(next)
@@ -674,15 +786,15 @@ impl DecodeSession {
         for record in &self.history {
             match record {
                 RoundRecord::Dense(words) => {
-                    if words.len() != shared.detectors_of(round).len() {
+                    if words.len() != shared.detector_count_of(round) {
                         return Err(SessionError::GeometryDiverged { round });
                     }
                     round += 1;
                 }
                 RoundRecord::Sparse { detectors, .. } => {
                     for &det in detectors {
-                        if det as usize >= shared.tm.model.num_detectors
-                            || shared.tm.model.detector_rounds[det as usize] != round
+                        if det as usize >= shared.num_detectors()
+                            || shared.detector_round(det) != round
                         {
                             return Err(SessionError::GeometryDiverged { round });
                         }
@@ -697,7 +809,7 @@ impl DecodeSession {
             match record {
                 RoundRecord::Dense(words) => {
                     let r = inner.filled_rounds();
-                    inner.push_round(r, shared.detectors_of(r), words);
+                    inner.push_round(r, &shared.detectors_of(r), words);
                 }
                 RoundRecord::Sparse { detectors, words } => {
                     let r = inner.filled_rounds();
@@ -752,7 +864,7 @@ mod tests {
         stream.begin(&mut rng, 64);
         let mut rounds = 0;
         while let Some(slice) = stream.next_round() {
-            assert_eq!(slice.detectors, session.detectors_of(slice.round));
+            assert_eq!(slice.detectors, &*session.detectors_of(slice.round));
             rounds += 1;
         }
         assert_eq!(rounds, session.total_rounds());

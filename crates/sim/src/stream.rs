@@ -12,11 +12,26 @@
 //! The stream draws the identical RNG sequence as the plain batch path,
 //! so a streamed experiment is bit-for-bit reproducible against
 //! `MemoryExperiment::run_basis` with the same seed.
+//!
+//! # Periodic sources
+//!
+//! Every stream can also be built over a [`PeriodicModel`]
+//! (`for_periodic`). The sparse streams then sample straight from the
+//! compressed per-round template — resident state O(epochs), not
+//! O(rounds), while consuming the RNG draw-for-draw identically to the
+//! monolithic sampler — which is what makes 10⁶-round horizons stream.
+//! The dense streams expand the template once at construction (dense
+//! replay materialises O(rounds) detector words by nature) and are
+//! bit-identical thereafter.
+
+use std::sync::Arc;
 
 use rand::Rng;
+use surf_matching::RoundModelSource;
 use surf_pauli::{BitBatch, WideBatch};
 
 use crate::model::DetectorModel;
+use crate::periodic::{PeriodicEvent, PeriodicModel, PeriodicScratch};
 use crate::sampler::{BatchSampler, SparseBatch};
 use crate::timeline::TimelineModel;
 
@@ -40,6 +55,31 @@ fn round_index(model: &DetectorModel) -> (Vec<u32>, Vec<usize>, u32) {
         let len = order[prev..]
             .iter()
             .take_while(|&&d| model.detector_rounds[d as usize] == r)
+            .count();
+        round_start.push(prev + len);
+    }
+    (order, round_start, total_rounds)
+}
+
+/// The [`round_index`] of a periodic model's *expanded* horizon. Only the
+/// dense streams use this — dense replay materialises every round's words
+/// anyway, so the O(rounds) tables are not a new cost class. Sparse
+/// streams stay on the compressed template.
+fn periodic_round_index(model: &PeriodicModel) -> (Vec<u32>, Vec<usize>, u32) {
+    let total_rounds = RoundModelSource::total_rounds(model);
+    let n = RoundModelSource::num_detectors(model);
+    let rounds_of: Vec<u32> = (0..n as u32)
+        .map(|d| RoundModelSource::detector_round(model, d))
+        .collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&d| rounds_of[d as usize]);
+    let mut round_start = Vec::with_capacity(total_rounds as usize + 1);
+    round_start.push(0);
+    for r in 0..total_rounds {
+        let prev = *round_start.last().unwrap();
+        let len = order[prev..]
+            .iter()
+            .take_while(|&&d| rounds_of[d as usize] == r)
             .count();
         round_start.push(prev + len);
     }
@@ -132,6 +172,26 @@ impl RoundStream {
         let mut stream = RoundStream::new(&timeline.model);
         stream.boundaries = timeline.deformation_rounds().to_vec();
         stream
+    }
+
+    /// Builds a dense stream over a [`PeriodicModel`] by expanding its
+    /// template once (dense replay is O(rounds) by nature; the sparse
+    /// streams are the O(epochs) path). Emits bit-for-bit what
+    /// [`for_timeline`](Self::for_timeline) over the equivalent monolithic
+    /// model would.
+    pub fn for_periodic(model: &PeriodicModel) -> Self {
+        let (order, round_start, total_rounds) = periodic_round_index(model);
+        RoundStream {
+            sampler: model.monolithic_sampler(),
+            order,
+            round_start,
+            total_rounds,
+            batch: BitBatch::zeros(model.num_detectors()),
+            true_observables: 0,
+            cursor: total_rounds,
+            words: Vec::new(),
+            boundaries: model.deformation_rounds(),
+        }
     }
 
     /// Number of rounds each batch is emitted over (noisy rounds plus the
@@ -227,13 +287,9 @@ impl RoundStream {
 /// }
 /// ```
 pub struct SparseRoundStream {
-    sampler: BatchSampler,
-    /// Round label of each detector.
-    rounds_of: Vec<u32>,
+    source: SparseSource,
     /// One past the largest round label.
     total_rounds: u32,
-    /// Touched-set sampling scratch, reused across batches.
-    scratch: SparseBatch,
     true_observables: u64,
     lanes: usize,
     /// Firing detectors of the current batch, sorted by (round, id).
@@ -249,6 +305,27 @@ pub struct SparseRoundStream {
     boundaries: Vec<u32>,
 }
 
+/// Sampling backend of a [`SparseRoundStream`].
+enum SparseSource {
+    /// Whole-horizon monolithic sampler plus its O(rounds) round table.
+    Mono {
+        sampler: BatchSampler,
+        /// Round label of each detector.
+        rounds_of: Vec<u32>,
+        /// Touched-set sampling scratch, reused across batches.
+        scratch: SparseBatch,
+    },
+    /// Compressed periodic template — resident state O(epochs + firings)
+    /// regardless of horizon, RNG consumption draw-for-draw identical to
+    /// the monolithic sampler.
+    Periodic {
+        model: Arc<PeriodicModel>,
+        scratch: PeriodicScratch,
+        /// Per-batch firings, already sorted by (round, det).
+        fired: Vec<PeriodicEvent>,
+    },
+}
+
 impl SparseRoundStream {
     /// Builds a sparse stream over `model`'s channels and detector rounds.
     pub fn new(model: &DetectorModel) -> Self {
@@ -259,10 +336,12 @@ impl SparseRoundStream {
             .max()
             .unwrap_or(0);
         SparseRoundStream {
-            sampler: model.batch_sampler(),
-            rounds_of: model.detector_rounds.clone(),
+            source: SparseSource::Mono {
+                sampler: model.batch_sampler(),
+                rounds_of: model.detector_rounds.clone(),
+                scratch: SparseBatch::new(model.num_detectors),
+            },
             total_rounds,
-            scratch: SparseBatch::new(model.num_detectors),
             true_observables: 0,
             lanes: 0,
             dets: Vec::new(),
@@ -279,6 +358,28 @@ impl SparseRoundStream {
         let mut stream = SparseRoundStream::new(&timeline.model);
         stream.boundaries = timeline.deformation_rounds().to_vec();
         stream
+    }
+
+    /// Builds a sparse stream straight over a [`PeriodicModel`] template:
+    /// no O(rounds) tables are ever materialised, and each batch samples
+    /// from the compressed channels with the monolithic RNG draw order,
+    /// so events match [`for_timeline`](Self::for_timeline) bit for bit.
+    pub fn for_periodic(model: Arc<PeriodicModel>) -> Self {
+        SparseRoundStream {
+            total_rounds: RoundModelSource::total_rounds(&*model),
+            boundaries: model.deformation_rounds(),
+            source: SparseSource::Periodic {
+                model,
+                scratch: PeriodicScratch::default(),
+                fired: Vec::new(),
+            },
+            true_observables: 0,
+            lanes: 0,
+            dets: Vec::new(),
+            words: Vec::new(),
+            events: Vec::new(),
+            cursor: 0,
+        }
     }
 
     /// Number of rounds each batch spans (noisy rounds plus the final
@@ -304,28 +405,49 @@ impl SparseRoundStream {
     /// [`sample_sparse`](BatchSampler::sample_sparse)), so sparse streamed
     /// experiments reproduce dense ones bit for bit at the same seed.
     pub fn begin<R: Rng + ?Sized>(&mut self, rng: &mut R, lanes: usize) {
-        self.true_observables = self.sampler.sample_sparse(rng, lanes, &mut self.scratch);
         self.lanes = lanes;
         self.dets.clear();
         self.words.clear();
         self.events.clear();
         self.cursor = 0;
-        self.dets.extend(
-            self.scratch
-                .touched()
-                .iter()
-                .copied()
-                .filter(|&d| self.scratch.word(d as usize) != 0),
-        );
-        let rounds_of = &self.rounds_of;
-        self.dets
-            .sort_unstable_by_key(|&d| (rounds_of[d as usize], d));
-        for &d in &self.dets {
-            let round = self.rounds_of[d as usize];
-            if self.events.last().map(|&(r, _)| r) != Some(round) {
-                self.events.push((round, self.words.len() as u32));
+        match &mut self.source {
+            SparseSource::Mono {
+                sampler,
+                rounds_of,
+                scratch,
+            } => {
+                self.true_observables = sampler.sample_sparse(rng, lanes, scratch);
+                self.dets.extend(
+                    scratch
+                        .touched()
+                        .iter()
+                        .copied()
+                        .filter(|&d| scratch.word(d as usize) != 0),
+                );
+                self.dets
+                    .sort_unstable_by_key(|&d| (rounds_of[d as usize], d));
+                for &d in &self.dets {
+                    let round = rounds_of[d as usize];
+                    if self.events.last().map(|&(r, _)| r) != Some(round) {
+                        self.events.push((round, self.words.len() as u32));
+                    }
+                    self.words.push(scratch.word(d as usize));
+                }
             }
-            self.words.push(self.scratch.word(d as usize));
+            SparseSource::Periodic {
+                model,
+                scratch,
+                fired,
+            } => {
+                self.true_observables = model.sample_sparse_into(rng, lanes, scratch, fired);
+                for e in fired.iter() {
+                    if self.events.last().map(|&(r, _)| r) != Some(e.round) {
+                        self.events.push((e.round, self.words.len() as u32));
+                    }
+                    self.dets.push(e.det);
+                    self.words.push(e.word);
+                }
+            }
         }
     }
 
@@ -445,6 +567,23 @@ impl<const N: usize> WideRoundStream<N> {
         stream
     }
 
+    /// Builds a wide dense stream over a [`PeriodicModel`] by expanding
+    /// its template once; see [`RoundStream::for_periodic`].
+    pub fn for_periodic(model: &PeriodicModel) -> Self {
+        let (order, round_start, total_rounds) = periodic_round_index(model);
+        WideRoundStream {
+            sampler: model.monolithic_sampler(),
+            order,
+            round_start,
+            total_rounds,
+            batch: WideBatch::zeros(model.num_detectors()),
+            true_observables: [0; N],
+            cursor: total_rounds,
+            words: (0..N).map(|_| Vec::new()).collect(),
+            boundaries: model.deformation_rounds(),
+        }
+    }
+
     /// Number of rounds each batch is emitted over.
     pub fn total_rounds(&self) -> u32 {
         self.total_rounds
@@ -516,13 +655,9 @@ impl<const N: usize> WideRoundStream<N> {
 /// other sub-words fired that round — a striped 64-lane consumer treats
 /// such a push as a silent round.
 pub struct WideSparseRoundStream<const N: usize> {
-    sampler: BatchSampler,
-    /// Round label of each detector.
-    rounds_of: Vec<u32>,
+    source: WideSparseSource<N>,
     /// One past the largest round label.
     total_rounds: u32,
-    /// Per-sub-word touched-set sampling scratch, reused across batches.
-    scratch: [SparseBatch; N],
     true_observables: [u64; N],
     lanes: usize,
     /// Detectors firing in any sub-word, sorted by (round, id).
@@ -538,6 +673,28 @@ pub struct WideSparseRoundStream<const N: usize> {
     boundaries: Vec<u32>,
 }
 
+/// Sampling backend of a [`WideSparseRoundStream`].
+enum WideSparseSource<const N: usize> {
+    /// Whole-horizon monolithic sampler plus its O(rounds) round table.
+    Mono {
+        sampler: BatchSampler,
+        /// Round label of each detector.
+        rounds_of: Vec<u32>,
+        /// Per-sub-word touched-set sampling scratch, reused across batches.
+        scratch: [SparseBatch; N],
+    },
+    /// Compressed periodic template sampled scalar per sub-word — the
+    /// wide sampler's draw order is exactly one full scalar pass per
+    /// sub-word, so this stays bit-identical to the monolithic wide path.
+    Periodic {
+        model: Arc<PeriodicModel>,
+        /// One scratch per sub-word (`N` entries).
+        scratch: Vec<PeriodicScratch>,
+        /// Per-sub-word firings, each sorted by (round, det).
+        fired: Vec<Vec<PeriodicEvent>>,
+    },
+}
+
 impl<const N: usize> WideSparseRoundStream<N> {
     /// Builds a wide sparse stream over `model`'s channels and rounds.
     pub fn new(model: &DetectorModel) -> Self {
@@ -548,10 +705,12 @@ impl<const N: usize> WideSparseRoundStream<N> {
             .max()
             .unwrap_or(0);
         WideSparseRoundStream {
-            sampler: model.batch_sampler(),
-            rounds_of: model.detector_rounds.clone(),
+            source: WideSparseSource::Mono {
+                sampler: model.batch_sampler(),
+                rounds_of: model.detector_rounds.clone(),
+                scratch: std::array::from_fn(|_| SparseBatch::new(model.num_detectors)),
+            },
             total_rounds,
-            scratch: std::array::from_fn(|_| SparseBatch::new(model.num_detectors)),
             true_observables: [0; N],
             lanes: 0,
             dets: Vec::new(),
@@ -568,6 +727,26 @@ impl<const N: usize> WideSparseRoundStream<N> {
         let mut stream = WideSparseRoundStream::new(&timeline.model);
         stream.boundaries = timeline.deformation_rounds().to_vec();
         stream
+    }
+
+    /// Builds a wide sparse stream straight over a [`PeriodicModel`]
+    /// template; see [`SparseRoundStream::for_periodic`].
+    pub fn for_periodic(model: Arc<PeriodicModel>) -> Self {
+        WideSparseRoundStream {
+            total_rounds: RoundModelSource::total_rounds(&*model),
+            boundaries: model.deformation_rounds(),
+            source: WideSparseSource::Periodic {
+                model,
+                scratch: (0..N).map(|_| PeriodicScratch::default()).collect(),
+                fired: (0..N).map(|_| Vec::new()).collect(),
+            },
+            true_observables: [0; N],
+            lanes: 0,
+            dets: Vec::new(),
+            words: (0..N).map(|_| Vec::new()).collect(),
+            events: Vec::new(),
+            cursor: 0,
+        }
     }
 
     /// Number of rounds each batch spans — silent ones included, though
@@ -591,9 +770,6 @@ impl<const N: usize> WideSparseRoundStream<N> {
     /// `rngs[j]`, draw-for-draw identical to the dense wide stream) and
     /// indexes the union of firings by round.
     pub fn begin<R: Rng>(&mut self, rngs: &mut [R; N], lanes: usize) {
-        self.true_observables = self
-            .sampler
-            .sample_sparse_wide(rngs, lanes, &mut self.scratch);
         self.lanes = lanes;
         self.dets.clear();
         for words in self.words.iter_mut() {
@@ -601,26 +777,83 @@ impl<const N: usize> WideSparseRoundStream<N> {
         }
         self.events.clear();
         self.cursor = 0;
-        for scratch in &self.scratch {
-            self.dets.extend(
-                scratch
-                    .touched()
-                    .iter()
-                    .copied()
-                    .filter(|&d| scratch.word(d as usize) != 0),
-            );
-        }
-        let rounds_of = &self.rounds_of;
-        self.dets
-            .sort_unstable_by_key(|&d| (rounds_of[d as usize], d));
-        self.dets.dedup();
-        for &d in &self.dets {
-            let round = self.rounds_of[d as usize];
-            if self.events.last().map(|&(r, _)| r) != Some(round) {
-                self.events.push((round, self.words[0].len() as u32));
+        match &mut self.source {
+            WideSparseSource::Mono {
+                sampler,
+                rounds_of,
+                scratch,
+            } => {
+                self.true_observables = sampler.sample_sparse_wide(rngs, lanes, scratch);
+                for scratch in scratch.iter() {
+                    self.dets.extend(
+                        scratch
+                            .touched()
+                            .iter()
+                            .copied()
+                            .filter(|&d| scratch.word(d as usize) != 0),
+                    );
+                }
+                self.dets
+                    .sort_unstable_by_key(|&d| (rounds_of[d as usize], d));
+                self.dets.dedup();
+                for &d in &self.dets {
+                    let round = rounds_of[d as usize];
+                    if self.events.last().map(|&(r, _)| r) != Some(round) {
+                        self.events.push((round, self.words[0].len() as u32));
+                    }
+                    for (j, words) in self.words.iter_mut().enumerate() {
+                        words.push(scratch[j].word(d as usize));
+                    }
+                }
             }
-            for (j, words) in self.words.iter_mut().enumerate() {
-                words.push(self.scratch[j].word(d as usize));
+            WideSparseSource::Periodic {
+                model,
+                scratch,
+                fired,
+            } => {
+                // One scalar template pass per active sub-word — the wide
+                // sampler's draw order is exactly this, so sub-word j
+                // replays bit-for-bit what a base stream seeded from
+                // rngs[j] would.
+                let active = lanes.div_ceil(64).min(N);
+                self.true_observables = [0; N];
+                for (j, (rng, fired)) in rngs.iter_mut().zip(fired.iter_mut()).enumerate() {
+                    fired.clear();
+                    if j < active {
+                        let sub_lanes = (lanes - 64 * j).min(64);
+                        self.true_observables[j] =
+                            model.sample_sparse_into(rng, sub_lanes, &mut scratch[j], fired);
+                    }
+                }
+                // Union of firings across sub-words, ascending (round, id).
+                let mut keys: Vec<(u32, u32)> = fired
+                    .iter()
+                    .flat_map(|f| f.iter().map(|e| (e.round, e.det)))
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for &(round, det) in &keys {
+                    if self.events.last().map(|&(r, _)| r) != Some(round) {
+                        self.events.push((round, self.dets.len() as u32));
+                    }
+                    self.dets.push(det);
+                }
+                // Merge-walk each sub-word's sorted firings against the
+                // union to align its words with `dets` (absent → 0).
+                for (j, words) in self.words.iter_mut().enumerate() {
+                    let mut it = fired[j].iter().peekable();
+                    for &(round, det) in &keys {
+                        let w = match it.peek() {
+                            Some(e) if (e.round, e.det) == (round, det) => {
+                                let w = e.word;
+                                it.next();
+                                w
+                            }
+                            _ => 0,
+                        };
+                        words.push(w);
+                    }
+                }
             }
         }
     }
@@ -839,6 +1072,150 @@ mod tests {
                 assert_eq!(got, firing, "round {}", slice.round);
             }
             assert!(sparse.next_event().is_none(), "no spurious events");
+        }
+    }
+
+    fn periodic_pair(rounds: u32, p: f64) -> (TimelineModel, Arc<PeriodicModel>) {
+        use surf_defects::DefectSchedule;
+        use surf_deformer_core::PatchTimeline;
+        let timeline = PatchTimeline::fixed(Patch::rotated(3), DefectMap::new());
+        let mono = TimelineModel::build_scheduled(
+            &timeline,
+            Basis::Z,
+            rounds,
+            NoiseParams::uniform(p),
+            &DefectSchedule::new(),
+            DecoderPrior::Informed,
+        );
+        let per = PeriodicModel::build(
+            &timeline,
+            Basis::Z,
+            rounds,
+            NoiseParams::uniform(p),
+            &DefectSchedule::new(),
+            DecoderPrior::Informed,
+        )
+        .expect("horizon long enough to compress");
+        (mono, Arc::new(per))
+    }
+
+    #[test]
+    fn periodic_sparse_stream_matches_monolithic_bit_for_bit() {
+        let (mono, per) = periodic_pair(48, 1e-3);
+        let mut m = SparseRoundStream::for_timeline(&mono);
+        let mut p = SparseRoundStream::for_periodic(Arc::clone(&per));
+        assert_eq!(p.total_rounds(), m.total_rounds());
+        assert_eq!(p.deformation_rounds(), m.deformation_rounds());
+        for (seed, lanes) in [(99u64, 64usize), (7, 64), (13, 5)] {
+            let mut mono_rng = StdRng::seed_from_u64(seed);
+            let mut per_rng = StdRng::seed_from_u64(seed);
+            m.begin(&mut mono_rng, lanes);
+            p.begin(&mut per_rng, lanes);
+            assert_eq!(p.lanes(), lanes);
+            assert_eq!(p.true_observables(), m.true_observables(), "seed {seed}");
+            loop {
+                match (m.next_event(), p.next_event()) {
+                    (None, None) => break,
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.round, b.round, "seed {seed}");
+                        assert_eq!(a.detectors, b.detectors, "round {}", a.round);
+                        assert_eq!(a.words, b.words, "round {}", a.round);
+                    }
+                    _ => panic!("event streams diverged at seed {seed}"),
+                }
+            }
+            // Both paths left their RNGs in the same state.
+            assert_eq!(mono_rng.gen::<u64>(), per_rng.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn periodic_dense_streams_match_monolithic() {
+        let (mono, per) = periodic_pair(40, 0.02);
+        let mut m = RoundStream::for_timeline(&mono);
+        let mut p = RoundStream::for_periodic(&per);
+        assert_eq!(p.total_rounds(), m.total_rounds());
+        let mut mono_rng = StdRng::seed_from_u64(11);
+        let mut per_rng = StdRng::seed_from_u64(11);
+        m.begin(&mut mono_rng, 64);
+        p.begin(&mut per_rng, 64);
+        assert_eq!(p.true_observables(), m.true_observables());
+        loop {
+            match (m.next_round(), p.next_round()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.round, b.round);
+                    assert_eq!(a.detectors, b.detectors, "round {}", a.round);
+                    assert_eq!(a.words, b.words, "round {}", a.round);
+                }
+                _ => panic!("round streams diverged"),
+            }
+        }
+        assert_eq!(mono_rng.gen::<u64>(), per_rng.gen::<u64>());
+    }
+
+    #[test]
+    fn periodic_wide_sparse_stream_matches_monolithic() {
+        let (mono, per) = periodic_pair(48, 1e-3);
+        let mut m = WideSparseRoundStream::<4>::for_timeline(&mono);
+        let mut p = WideSparseRoundStream::<4>::for_periodic(Arc::clone(&per));
+        assert_eq!(p.total_rounds(), m.total_rounds());
+        for (seed, lanes) in [(99u64, 256usize), (7, 130), (13, 64)] {
+            let mut mono_rngs: [StdRng; 4] =
+                std::array::from_fn(|j| StdRng::seed_from_u64(seed + j as u64));
+            let mut per_rngs: [StdRng; 4] =
+                std::array::from_fn(|j| StdRng::seed_from_u64(seed + j as u64));
+            m.begin(&mut mono_rngs, lanes);
+            p.begin(&mut per_rngs, lanes);
+            assert_eq!(p.lanes(), lanes);
+            assert_eq!(p.true_observables(), m.true_observables(), "seed {seed}");
+            loop {
+                match (m.next_event(), p.next_event()) {
+                    (None, None) => break,
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.round, b.round, "seed {seed}");
+                        assert_eq!(a.detectors, b.detectors, "round {}", a.round);
+                        for j in 0..4 {
+                            assert_eq!(a.words_of(j), b.words_of(j), "round {} word {j}", a.round);
+                        }
+                    }
+                    _ => panic!("event streams diverged at seed {seed}"),
+                }
+            }
+            for j in 0..4 {
+                assert_eq!(
+                    mono_rngs[j].gen::<u64>(),
+                    per_rngs[j].gen::<u64>(),
+                    "seed {seed} word {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_wide_dense_stream_matches_monolithic() {
+        let (mono, per) = periodic_pair(40, 5e-3);
+        let mut m = WideRoundStream::<2>::for_timeline(&mono);
+        let mut p = WideRoundStream::<2>::for_periodic(&per);
+        let mut mono_rngs: [StdRng; 2] =
+            std::array::from_fn(|j| StdRng::seed_from_u64(3 + j as u64));
+        let mut per_rngs: [StdRng; 2] =
+            std::array::from_fn(|j| StdRng::seed_from_u64(3 + j as u64));
+        m.begin(&mut mono_rngs, 128);
+        p.begin(&mut per_rngs, 128);
+        assert_eq!(p.true_observables(), m.true_observables());
+        loop {
+            match (m.next_round(), p.next_round()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.round, b.round);
+                    assert_eq!(a.detectors, b.detectors);
+                    for j in 0..2 {
+                        assert_eq!(a.words_of(j), b.words_of(j), "round {} word {j}", a.round);
+                    }
+                }
+                _ => panic!("round streams diverged"),
+            }
         }
     }
 

@@ -182,6 +182,11 @@ struct Chain {
     /// by any data error the chain's measurements saw, so only errors
     /// *after* the last gauge measurement toggle it.
     end_recon: bool,
+    /// Round of the boundary measure-out feeding the reconstruction
+    /// detector. Errors at this round or later happen after the
+    /// measure-out and cannot flip it — in particular errors on the
+    /// chain's qubits once a later epoch revives them.
+    recon_round: u32,
 }
 
 /// Per-epoch build context.
@@ -426,6 +431,7 @@ impl TimelineModel {
                     let end = chains[c].times.len();
                     chains[c].dets[end] = Some(num_detectors);
                     chains[c].end_recon = true;
+                    chains[c].recon_round = ctx.start;
                     remaps[e - 1].reconstructed.push(num_detectors);
                     detector_rounds.push(ctx.start);
                     num_detectors += 1;
@@ -510,8 +516,11 @@ impl TimelineModel {
                 let k = chain.times.partition_point(|&t| t < slot);
                 if k == len {
                     // Only the readout / measure-out comparison (if any)
-                    // lies after the error.
-                    if chain.end_final || chain.end_recon {
+                    // lies after the error. A measure-out is taken at the
+                    // epoch boundary, so it only sees errors from before
+                    // that round — not errors on the same qubits once a
+                    // later epoch revives them.
+                    if chain.end_final || (chain.end_recon && slot < chain.recon_round) {
                         out.push(chain.dets[len].expect("end detectors are assigned"));
                     }
                     continue;
@@ -1018,6 +1027,7 @@ fn new_chain(
         dets: Vec::new(),
         end_final: false,
         end_recon: false,
+        recon_round: 0,
     });
     chains.len() - 1
 }
@@ -1319,15 +1329,10 @@ mod tests {
         let mut exp = crate::MemoryExperiment::standard(Patch::rectangle_at(0, 0, 5, 7));
         exp.rounds = 8;
         exp.noise = NoiseParams::uniform(4e-3);
-        let failures = exp.run_streaming_timeline(
-            Basis::X,
-            4000,
-            11,
-            surf_matching::WindowConfig::new(8),
-            &timeline,
-            None,
-            1,
-        );
+        let config = crate::StreamConfig::new(4000, 11, 8)
+            .with_timeline(timeline)
+            .with_threads(1);
+        let failures = exp.run_stream_basis(Basis::X, &config);
         assert_eq!(failures, 31);
     }
 }

@@ -1,0 +1,204 @@
+//! Round-indexed views over detector models.
+//!
+//! [`ModelView`] is the simulator-side seam of the periodic-model
+//! redesign: everything a round-oriented consumer (sampler, streamer,
+//! availability accounting, session bookkeeping) needs from a detector
+//! model, addressed *by round* instead of by pre-materialised whole-run
+//! arrays. The monolithic [`DetectorModel`]/[`TimelineModel`] implement it
+//! by lookup over their O(rounds) tables; [`PeriodicModel`] implements it
+//! by index arithmetic over a compressed template, making every method
+//! O(log segments) in the horizon.
+//!
+//! The matching-crate twin of this seam is
+//! [`surf_matching::RoundModelSource`], which serves merged *graph edges*
+//! per window; `ModelView` serves the simulation-facing surface
+//! (channels, detectors, epochs, observable support). [`PeriodicModel`]
+//! implements both.
+
+use crate::model::{Channel, DetectorModel};
+use crate::periodic::PeriodicModel;
+use crate::timeline::TimelineModel;
+use surf_matching::RoundModelSource;
+
+/// A detector model addressable by round.
+///
+/// Rounds run `0..total_rounds()`, with round `total_rounds() - 1` holding
+/// the final-readout detectors. Detector ids are global (whole-horizon)
+/// ids, identical between every implementation compiled from the same
+/// experiment — the bit-identity contract that lets periodic and
+/// monolithic paths interoperate shot for shot.
+pub trait ModelView {
+    /// One past the last detector round (final readout included).
+    fn total_rounds(&self) -> u32;
+
+    /// Total detectors over the whole horizon.
+    fn num_detectors(&self) -> usize;
+
+    /// The round detector `det` becomes available at.
+    fn detector_round(&self, det: u32) -> u32;
+
+    /// Appends `round`'s detector ids in ascending order.
+    fn detectors_in_round(&self, round: u32, out: &mut Vec<u32>);
+
+    /// Appends `round`'s error channels, in the model's emission order
+    /// restricted to this round.
+    fn channels_for_round(&self, round: u32, out: &mut Vec<Channel>);
+
+    /// The geometry epoch active at `round` (0 for single-epoch models).
+    fn graph_epoch_at(&self, round: u32) -> usize;
+
+    /// Bitmask of logical observables that some channel of the model can
+    /// flip (bit 0 = the memory observable).
+    fn observable_support(&self) -> u64;
+}
+
+impl ModelView for DetectorModel {
+    fn total_rounds(&self) -> u32 {
+        DetectorModel::total_rounds(self)
+    }
+
+    fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    fn detector_round(&self, det: u32) -> u32 {
+        self.detector_rounds[det as usize]
+    }
+
+    fn detectors_in_round(&self, round: u32, out: &mut Vec<u32>) {
+        DetectorModel::detectors_in_round(self, round, out);
+    }
+
+    fn channels_for_round(&self, round: u32, out: &mut Vec<Channel>) {
+        DetectorModel::channels_for_round(self, round, out);
+    }
+
+    fn graph_epoch_at(&self, _round: u32) -> usize {
+        0
+    }
+
+    fn observable_support(&self) -> u64 {
+        DetectorModel::observable_support(self)
+    }
+}
+
+impl ModelView for TimelineModel {
+    fn total_rounds(&self) -> u32 {
+        self.model.total_rounds()
+    }
+
+    fn num_detectors(&self) -> usize {
+        self.model.num_detectors
+    }
+
+    fn detector_round(&self, det: u32) -> u32 {
+        self.model.detector_rounds[det as usize]
+    }
+
+    fn detectors_in_round(&self, round: u32, out: &mut Vec<u32>) {
+        self.model.detectors_in_round(round, out);
+    }
+
+    fn channels_for_round(&self, round: u32, out: &mut Vec<Channel>) {
+        self.model.channels_for_round(round, out);
+    }
+
+    fn graph_epoch_at(&self, round: u32) -> usize {
+        self.epoch_starts.partition_point(|&s| s <= round) - 1
+    }
+
+    fn observable_support(&self) -> u64 {
+        self.model.observable_support()
+    }
+}
+
+impl ModelView for PeriodicModel {
+    fn total_rounds(&self) -> u32 {
+        RoundModelSource::total_rounds(self)
+    }
+
+    fn num_detectors(&self) -> usize {
+        RoundModelSource::num_detectors(self)
+    }
+
+    fn detector_round(&self, det: u32) -> u32 {
+        RoundModelSource::detector_round(self, det)
+    }
+
+    fn detectors_in_round(&self, round: u32, out: &mut Vec<u32>) {
+        self.detectors_in(round..round + 1, out);
+    }
+
+    fn channels_for_round(&self, round: u32, out: &mut Vec<Channel>) {
+        PeriodicModel::channels_for_round(self, round, out);
+    }
+
+    fn graph_epoch_at(&self, round: u32) -> usize {
+        self.epoch_at(round)
+    }
+
+    fn observable_support(&self) -> u64 {
+        self.periodic_observable_support()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DecoderPrior;
+    use crate::noise::NoiseParams;
+    use surf_defects::{DefectMap, DefectSchedule};
+    use surf_deformer_core::PatchTimeline;
+    use surf_lattice::{Basis, Patch};
+
+    #[test]
+    fn monolithic_and_periodic_views_agree() {
+        let timeline = PatchTimeline::fixed(Patch::rotated(3), DefectMap::new());
+        let rounds = 64;
+        let mono = TimelineModel::build_scheduled(
+            &timeline,
+            Basis::Z,
+            rounds,
+            NoiseParams::paper(),
+            &DefectSchedule::new(),
+            DecoderPrior::Informed,
+        );
+        let per = PeriodicModel::build(
+            &timeline,
+            Basis::Z,
+            rounds,
+            NoiseParams::paper(),
+            &DefectSchedule::new(),
+            DecoderPrior::Informed,
+        )
+        .unwrap();
+        let views: [&dyn ModelView; 3] = [&mono.model, &mono, &per];
+        for v in views {
+            assert_eq!(v.total_rounds(), rounds + 1);
+            assert_eq!(v.num_detectors(), mono.model.num_detectors);
+            assert_eq!(v.observable_support(), 1);
+            assert_eq!(v.graph_epoch_at(0), 0);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for round in 0..=rounds {
+            a.clear();
+            b.clear();
+            ModelView::detectors_in_round(&mono, round, &mut a);
+            ModelView::detectors_in_round(&per, round, &mut b);
+            assert_eq!(a, b, "detectors of round {round}");
+            let mut ca = Vec::new();
+            let mut cb = Vec::new();
+            ModelView::channels_for_round(&mono, round, &mut ca);
+            ModelView::channels_for_round(&per, round, &mut cb);
+            assert_eq!(ca.len(), cb.len(), "channel count of round {round}");
+            for (x, y) in ca.iter().zip(&cb) {
+                assert_eq!(x.detectors, y.detectors, "round {round}");
+                assert_eq!(x.observable, y.observable);
+                assert_eq!(x.p_true.to_bits(), y.p_true.to_bits());
+                assert_eq!(x.p_prior.to_bits(), y.p_prior.to_bits());
+                assert_eq!(x.round, y.round);
+            }
+        }
+    }
+}

@@ -3,11 +3,12 @@
 //! Two guarantees anchor the timeline pipeline:
 //!
 //! 1. **No-op equivalence** — a one-epoch [`PatchTimeline`] compiles to
-//!    the exact fixed-patch model, so `run_streaming_timeline` is
-//!    *bit-identical* to `run_streaming_with` (same seed ⇒ same failure
-//!    count), with and without a mid-stream defect event, for both
-//!    decoder backends. The epoch-spliced `WindowedDecoder::from_epochs`
-//!    construction degenerates to the monolithic graph edge for edge.
+//!    the exact fixed-patch model, so a [`StreamConfig`] with a pinned
+//!    timeline is *bit-identical* to the fixed-patch stream (same seed ⇒
+//!    same failure count), with and without a mid-stream defect event,
+//!    for both decoder backends. The epoch-spliced
+//!    `WindowedDecoder::from_epochs` construction degenerates to the
+//!    monolithic graph edge for edge.
 //! 2. **The adaptive win** — the repo's first true reproduction of the
 //!    paper's loop: a burst strikes at round 3, the detector reports it,
 //!    `Deformer::mitigate` deforms the patch mid-stream, and the
@@ -20,8 +21,7 @@ use rand::SeedableRng;
 use surf_defects::{DefectDetector, DefectEvent, DefectMap};
 use surf_deformer_core::{EnlargeBudget, PatchTimeline};
 use surf_lattice::{Basis, Coord, Patch};
-use surf_matching::WindowConfig;
-use surf_sim::{DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams};
+use surf_sim::{DecoderKind, DecoderPrior, MemoryExperiment, NoiseParams, StreamConfig};
 
 fn threads() -> usize {
     std::thread::available_parallelism()
@@ -65,18 +65,18 @@ fn adaptive_timeline(seed: u64, reaction: u32) -> PatchTimeline {
 }
 
 #[test]
-fn noop_timeline_is_bit_identical_to_run_streaming() {
+fn noop_timeline_is_bit_identical_to_fixed_patch_stream() {
     let mut exp = MemoryExperiment::standard(Patch::rotated(3));
     exp.rounds = 8;
     exp.noise = NoiseParams::uniform(3e-3);
     let timeline = PatchTimeline::fixed(exp.patch.clone(), exp.kept_defects.clone());
-    let config = WindowConfig::new(6);
     for kind in [DecoderKind::Mwpm, DecoderKind::UnionFind] {
         exp.decoder = kind;
         for seed in [7u64, 991] {
-            let fixed = exp.run_streaming_with(Basis::Z, 512, seed, config, None, threads());
+            let config = StreamConfig::new(512, seed, 6).with_threads(threads());
+            let fixed = exp.run_stream_basis(Basis::Z, &config);
             let timed =
-                exp.run_streaming_timeline(Basis::Z, 512, seed, config, &timeline, None, threads());
+                exp.run_stream_basis(Basis::Z, &config.clone().with_timeline(timeline.clone()));
             assert_eq!(fixed, timed, "{kind:?} seed {seed}");
         }
     }
@@ -91,19 +91,13 @@ fn noop_timeline_matches_the_spliced_event_path() {
     exp.noise = NoiseParams::uniform(2e-3);
     let event = DefectEvent::new(4, DefectMap::from_qubits([Coord::new(3, 3)], 0.5));
     let timeline = PatchTimeline::fixed(exp.patch.clone(), exp.kept_defects.clone());
-    let config = WindowConfig::new(6);
     for prior in [DecoderPrior::Informed, DecoderPrior::Nominal] {
         exp.prior = prior;
-        let fixed = exp.run_streaming_with(Basis::Z, 512, 13, config, Some(&event), threads());
-        let timed = exp.run_streaming_timeline(
-            Basis::Z,
-            512,
-            13,
-            config,
-            &timeline,
-            Some(&event),
-            threads(),
-        );
+        let config = StreamConfig::new(512, 13, 6)
+            .with_event(&event)
+            .with_threads(threads());
+        let fixed = exp.run_stream_basis(Basis::Z, &config);
+        let timed = exp.run_stream_basis(Basis::Z, &config.clone().with_timeline(timeline.clone()));
         assert_eq!(fixed, timed, "{prior:?}");
     }
 }
@@ -114,13 +108,14 @@ fn timeline_failure_counts_are_thread_count_independent() {
     exp.rounds = 12;
     let timeline = adaptive_timeline(3, 2);
     let event = burst_event();
-    let config = WindowConfig::new(10);
     // 500 shots: exercises the partial tail batch.
-    let reference =
-        exp.run_streaming_timeline(Basis::Z, 500, 21, config, &timeline, Some(&event), 1);
+    let config = StreamConfig::new(500, 21, 10)
+        .with_timeline(timeline)
+        .with_event(&event);
+    let reference = exp.run_stream_basis(Basis::Z, &config.clone().with_threads(1));
     for threads in [2usize, 5] {
         assert_eq!(
-            exp.run_streaming_timeline(Basis::Z, 500, 21, config, &timeline, Some(&event), threads),
+            exp.run_stream_basis(Basis::Z, &config.clone().with_threads(threads)),
             reference,
             "{threads} threads"
         );
@@ -136,24 +131,18 @@ fn adaptive_deformation_beats_blind_and_reweight_only() {
     // qubits for all 22 remaining rounds.
     let shots = 2000;
     let seed = 0xADA7;
-    let config = WindowConfig::new(10);
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = 25;
     let event = burst_event();
+    let config = StreamConfig::new(shots, seed, 10)
+        .with_event(&event)
+        .with_threads(threads());
     exp.prior = DecoderPrior::Nominal;
-    let blind = exp.run_streaming_with(Basis::Z, shots, seed, config, Some(&event), threads());
+    let blind = exp.run_stream_basis(Basis::Z, &config);
     exp.prior = DecoderPrior::Informed;
-    let reweight = exp.run_streaming_with(Basis::Z, shots, seed, config, Some(&event), threads());
+    let reweight = exp.run_stream_basis(Basis::Z, &config);
     let timeline = adaptive_timeline(seed, 2);
-    let adaptive = exp.run_streaming_timeline(
-        Basis::Z,
-        shots,
-        seed,
-        config,
-        &timeline,
-        Some(&event),
-        threads(),
-    );
+    let adaptive = exp.run_stream_basis(Basis::Z, &config.clone().with_timeline(timeline));
     assert!(
         reweight < blind,
         "reweighting must beat the blind decoder: {reweight} vs {blind}"
@@ -174,21 +163,16 @@ fn slower_reactions_cost_more_failures() {
     // deformation leaves the burst in the code longer.
     let shots = 2000;
     let seed = 0xF19;
-    let config = WindowConfig::new(10);
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = 25;
     let event = burst_event();
     let failures_at = |reaction: u32| {
         let timeline = adaptive_timeline(seed, reaction);
-        exp.run_streaming_timeline(
-            Basis::Z,
-            shots,
-            seed,
-            config,
-            &timeline,
-            Some(&event),
-            threads(),
-        )
+        let config = StreamConfig::new(shots, seed, 10)
+            .with_timeline(timeline)
+            .with_event(&event)
+            .with_threads(threads());
+        exp.run_stream_basis(Basis::Z, &config)
     };
     let fast = failures_at(2);
     let slow = failures_at(16);

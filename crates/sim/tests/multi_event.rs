@@ -2,8 +2,8 @@
 //!
 //! The schedule pipeline (`DefectSchedule` →
 //! `PatchTimeline::adaptive_schedule` → `TimelineModel::build_scheduled`
-//! → `run_streaming_schedule`) must collapse to the legacy single-event
-//! path exactly, chain correctly through ≥3 epochs (strike → deform →
+//! → `run_stream_basis` with a scheduled `StreamConfig`) must collapse
+//! to the legacy single-event path exactly, chain correctly through ≥3 epochs (strike → deform →
 //! recover → next strike), and shard losslessly — the contracts the
 //! streamed Fig. 14b figure binary rides on.
 
@@ -12,8 +12,7 @@ use rand::SeedableRng;
 use surf_defects::{DefectDetector, DefectEpisode, DefectEvent, DefectMap, DefectSchedule};
 use surf_deformer_core::{EnlargeBudget, PatchTimeline};
 use surf_lattice::{Basis, Coord, Patch};
-use surf_matching::WindowConfig;
-use surf_sim::{DecoderPrior, MemoryExperiment, NoiseParams, Shard, TimelineModel};
+use surf_sim::{DecoderPrior, MemoryExperiment, NoiseParams, Shard, StreamConfig, TimelineModel};
 
 fn threads() -> usize {
     std::thread::available_parallelism()
@@ -66,24 +65,19 @@ fn single_event_schedule_is_bit_identical_to_the_legacy_path() {
     );
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = 25;
-    let config = WindowConfig::new(10);
-    let legacy = exp.run_streaming_timeline(
+    let legacy = exp.run_stream_basis(
         Basis::Z,
-        1024,
-        41,
-        config,
-        &legacy_timeline,
-        Some(&event),
-        threads(),
+        &StreamConfig::new(1024, 41, 10)
+            .with_timeline(legacy_timeline)
+            .with_event(&event)
+            .with_threads(threads()),
     );
-    let multi = exp.run_streaming_schedule(
+    let multi = exp.run_stream_basis(
         Basis::Z,
-        1024,
-        41,
-        config,
-        &multi_timeline,
-        &schedule,
-        threads(),
+        &StreamConfig::new(1024, 41, 10)
+            .with_timeline(multi_timeline)
+            .with_schedule(schedule)
+            .with_threads(threads()),
     );
     assert_eq!(legacy, multi, "schedule path must reproduce the event path");
 }
@@ -200,25 +194,17 @@ fn events_beyond_the_horizon_do_not_perturb_the_stream() {
     assert_eq!(timelines[0].num_epochs(), timelines[1].num_epochs());
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = rounds;
-    let config = WindowConfig::new(10);
-    let f2 = exp.run_streaming_schedule(
-        Basis::Z,
-        512,
-        7,
-        config,
-        &timelines[0],
-        &schedule_2,
-        threads(),
-    );
-    let f3 = exp.run_streaming_schedule(
-        Basis::Z,
-        512,
-        7,
-        config,
-        &timelines[1],
-        &schedule_3,
-        threads(),
-    );
+    let run = |timeline: &PatchTimeline, schedule: &DefectSchedule| {
+        exp.run_stream_basis(
+            Basis::Z,
+            &StreamConfig::new(512, 7, 10)
+                .with_timeline(timeline.clone())
+                .with_schedule(schedule.clone())
+                .with_threads(threads()),
+        )
+    };
+    let f2 = run(&timelines[0], &schedule_2);
+    let f3 = run(&timelines[1], &schedule_3);
     assert_eq!(f2, f3);
 }
 
@@ -245,7 +231,6 @@ fn back_to_back_strikes_stream_end_to_end() {
     let reaction = 4;
     let shots = 2000;
     let seed = 0xBEB2;
-    let config = WindowConfig::new(10);
     let (chained, passes) = PatchTimeline::adaptive_schedule(
         Patch::rotated(5),
         DefectMap::new(),
@@ -263,14 +248,12 @@ fn back_to_back_strikes_stream_end_to_end() {
     exp.rounds = rounds;
     let fixed = PatchTimeline::fixed(Patch::rotated(5), DefectMap::new());
     let run = |exp: &MemoryExperiment, timeline: &PatchTimeline| {
-        exp.run_streaming_schedule(
+        exp.run_stream_basis(
             Basis::Z,
-            shots,
-            seed,
-            config,
-            timeline,
-            &schedule,
-            threads(),
+            &StreamConfig::new(shots, seed, 10)
+                .with_timeline(timeline.clone())
+                .with_schedule(schedule.clone())
+                .with_threads(threads()),
         )
     };
     let adaptive = run(&exp, &chained);
@@ -353,7 +336,6 @@ fn recovery_beats_staying_deformed() {
     let rounds = 60;
     let shots = 2000;
     let seed = 0x14B;
-    let config = WindowConfig::new(10);
     let (recovered, _) = PatchTimeline::adaptive_schedule(
         Patch::rotated(5),
         DefectMap::new(),
@@ -372,7 +354,13 @@ fn recovery_beats_staying_deformed() {
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = rounds;
     let run = |timeline: &PatchTimeline, schedule: &DefectSchedule| {
-        exp.run_streaming_schedule(Basis::Z, shots, seed, config, timeline, schedule, threads())
+        exp.run_stream_basis(
+            Basis::Z,
+            &StreamConfig::new(shots, seed, 10)
+                .with_timeline(timeline.clone())
+                .with_schedule(schedule.clone())
+                .with_threads(threads()),
+        )
     };
     let with_recovery = run(&recovered, &schedule);
     let without_recovery = run(&stays_deformed, &schedule);
@@ -441,14 +429,12 @@ fn observable_threads_through_a_boundary_strike() {
     );
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = rounds;
-    let failures = exp.run_streaming_schedule(
+    let failures = exp.run_stream_basis(
         Basis::Z,
-        1000,
-        7,
-        WindowConfig::new(10),
-        &timeline,
-        &schedule,
-        threads(),
+        &StreamConfig::new(1000, 7, 10)
+            .with_timeline(timeline)
+            .with_schedule(schedule)
+            .with_threads(threads()),
     );
     assert!(
         failures < 100,
@@ -479,31 +465,15 @@ fn schedule_shards_merge_exactly() {
     );
     let mut exp = MemoryExperiment::standard(Patch::rotated(5));
     exp.rounds = rounds;
-    let config = WindowConfig::new(10);
     let shots = 300; // 5 batches: shards own 3 and 2, tail is partial
     let seed = 77;
-    let solo = exp.run_streaming_schedule(
-        Basis::Z,
-        shots,
-        seed,
-        config,
-        &timeline,
-        &schedule,
-        threads(),
-    );
+    let config = StreamConfig::new(shots, seed, 10)
+        .with_timeline(timeline)
+        .with_schedule(schedule)
+        .with_threads(threads());
+    let solo = exp.run_stream_basis(Basis::Z, &config);
     let merged: u64 = (0..2)
-        .map(|k| {
-            exp.run_streaming_schedule_shard(
-                Basis::Z,
-                shots,
-                seed,
-                config,
-                &timeline,
-                &schedule,
-                threads(),
-                Shard::new(k, 2),
-            )
-        })
+        .map(|k| exp.run_stream_basis(Basis::Z, &config.clone().with_shard(Shard::new(k, 2))))
         .sum();
     assert_eq!(solo, merged, "shards must merge to the single-host count");
 }

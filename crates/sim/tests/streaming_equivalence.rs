@@ -6,9 +6,9 @@
 //! on the complete syndrome history — for both decoder backends, with
 //! and without a defect landing mid-stream. On top of that:
 //!
-//! * `run_streaming` with a full-history window reproduces `run_basis`
-//!   exactly (same seed ⇒ same failure count), locking the streamed
-//!   sampling path to the batch path bit for bit;
+//! * `run_stream_basis` with a full-history window reproduces
+//!   `run_basis` exactly (same seed ⇒ same failure count), locking the
+//!   streamed sampling path to the batch path bit for bit;
 //! * both runners are *thread-count independent*: batches draw their RNG
 //!   from a SplitMix64 stream indexed by batch number, so 1 worker and 8
 //!   workers produce identical counts (the regression test the PR 2
@@ -33,6 +33,7 @@ use surf_lattice::{Basis, Coord, Patch};
 use surf_matching::{Decoder, WindowConfig, WindowedDecoder};
 use surf_sim::{
     BitBatch, DecoderKind, DecoderPrior, DetectorModel, MemoryExperiment, NoiseParams, QubitNoise,
+    StreamConfig,
 };
 
 const D: usize = 3;
@@ -144,7 +145,7 @@ proptest! {
 }
 
 #[test]
-fn run_streaming_with_full_window_reproduces_run_basis() {
+fn streamed_full_window_reproduces_run_basis() {
     // A full-history window makes the streamed pipeline algebraically
     // identical to the batch pipeline; with the shared per-batch seeding
     // the failure counts must agree exactly.
@@ -155,19 +156,20 @@ fn run_streaming_with_full_window_reproduces_run_basis() {
         exp.decoder = kind;
         for seed in [1u64, 29, 997] {
             let batch = exp.run_basis(Basis::Z, 300, seed);
-            let streamed = exp.run_streaming(Basis::Z, 300, seed, ROUNDS + 1);
+            let streamed =
+                exp.run_stream_basis(Basis::Z, &StreamConfig::new(300, seed, ROUNDS + 1));
             assert_eq!(batch, streamed, "{kind:?} seed {seed}");
         }
     }
 }
 
 #[test]
-fn run_streaming_at_window_2d_reproduces_run_basis() {
+fn streamed_window_2d_reproduces_run_basis() {
     let mut exp = MemoryExperiment::standard(Patch::rotated(D));
     exp.rounds = ROUNDS;
     exp.noise = NoiseParams::uniform(2e-3);
     let batch = exp.run_basis(Basis::Z, 512, 7);
-    let streamed = exp.run_streaming(Basis::Z, 512, 7, 2 * D as u32);
+    let streamed = exp.run_stream_basis(Basis::Z, &StreamConfig::new(512, 7, 2 * D as u32));
     assert_eq!(batch, streamed);
 }
 
@@ -188,13 +190,13 @@ fn failure_counts_are_thread_count_independent() {
         );
     }
     assert_eq!(exp.run_basis(Basis::Z, shots, 42), reference);
-    let config = WindowConfig::new(2 * D as u32);
-    let streamed_1 = exp.run_streaming_with(Basis::Z, shots, 42, config, None, 1);
+    let config = StreamConfig::new(shots, 42, 2 * D as u32);
+    let streamed_1 = exp.run_stream_basis(Basis::Z, &config.clone().with_threads(1));
     for threads in [2usize, 5] {
         assert_eq!(
-            exp.run_streaming_with(Basis::Z, shots, 42, config, None, threads),
+            exp.run_stream_basis(Basis::Z, &config.clone().with_threads(threads)),
             streamed_1,
-            "run_streaming with {threads} threads"
+            "streamed run with {threads} threads"
         );
     }
 }
@@ -219,15 +221,16 @@ fn mid_stream_defect_event_raises_failure_rate() {
         0.5,
     );
     let event = DefectEvent::new(3, burst);
-    let config = WindowConfig::new(10);
-    let clean = exp.run_streaming_with(Basis::Z, 2000, 23, config, None, 4);
-    let blind = exp.run_streaming_with(Basis::Z, 2000, 23, config, Some(&event), 4);
+    let config = StreamConfig::new(2000, 23, 10).with_threads(4);
+    let clean = exp.run_stream_basis(Basis::Z, &config);
+    let struck_config = config.with_event(&event);
+    let blind = exp.run_stream_basis(Basis::Z, &struck_config);
     assert!(
         blind > clean,
         "mid-stream burst must raise failures: clean {clean}, struck {blind}"
     );
     exp.prior = DecoderPrior::Informed;
-    let informed = exp.run_streaming_with(Basis::Z, 2000, 23, config, Some(&event), 4);
+    let informed = exp.run_stream_basis(Basis::Z, &struck_config);
     assert!(
         informed < blind,
         "reweighted windows must beat the blind decoder: informed {informed}, blind {blind}"
